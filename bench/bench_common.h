@@ -1,0 +1,66 @@
+#ifndef QKC_BENCH_BENCH_COMMON_H
+#define QKC_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "util/rng.h"
+#include "vqa/workloads.h"
+
+namespace qkc::bench {
+
+/**
+ * Workload builders shared by the figure/table harnesses. Instances are
+ * deterministic per (size, seed) so runs are reproducible and the same
+ * random graph is fed to every backend.
+ */
+
+/** QAOA Max-Cut circuit on a random 3-regular graph (paper Figures 8a/c). */
+inline Circuit
+qaoaCircuit(std::size_t qubits, std::size_t iterations, std::uint64_t seed,
+            QaoaMaxCut* problemOut = nullptr)
+{
+    Rng rng(seed);
+    auto problem = QaoaMaxCut::randomRegular(qubits, 3, iterations, rng);
+    std::vector<double> params;
+    for (std::size_t i = 0; i < problem.numParams(); ++i)
+        params.push_back(i % 2 == 0 ? -0.55 : 0.35);  // near-optimal p=1 angles
+    if (problemOut)
+        *problemOut = problem;
+    return problem.circuit(params);
+}
+
+/** VQE 2D-Ising circuit on an approximately square grid (Figures 8b/d). */
+inline Circuit
+vqeCircuit(std::size_t qubits, std::size_t iterations, std::uint64_t seed,
+           VqeIsing* problemOut = nullptr)
+{
+    // Factor `qubits` into the most square rows x cols grid.
+    std::size_t rows = 1;
+    for (std::size_t r = 1; r * r <= qubits; ++r)
+        if (qubits % r == 0)
+            rows = r;
+    std::size_t cols = qubits / rows;
+    Rng rng(seed);
+    VqeIsing problem(rows, cols, iterations, rng);
+    std::vector<double> params;
+    for (std::size_t i = 0; i < problem.numParams(); ++i)
+        params.push_back(i % 2 == 0 ? -0.45 : 0.3);
+    if (problemOut)
+        *problemOut = problem;
+    return problem.circuit(params);
+}
+
+/** Prints a table header comment. */
+inline void
+printHeader(const std::string& title, const std::string& columns)
+{
+    std::printf("# %s\n", title.c_str());
+    std::printf("%s\n", columns.c_str());
+}
+
+} // namespace qkc::bench
+
+#endif // QKC_BENCH_BENCH_COMMON_H

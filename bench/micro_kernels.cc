@@ -1,0 +1,137 @@
+/**
+ * google-benchmark microbenchmarks for the hot kernels of every simulator
+ * family: state-vector gate application, AC upward/downward passes,
+ * incremental re-evaluation after a parameter refresh, one Gibbs sweep, and
+ * end-to-end knowledge compilation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "ac/gibbs_sampler.h"
+#include "ac/kc_simulator.h"
+#include "bench_common.h"
+#include "circuit/circuit.h"
+#include "statevector/statevector_simulator.h"
+
+using namespace qkc;
+
+namespace {
+
+void
+BM_StateVectorHadamard(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    StateVector sv(n);
+    Matrix h = Gate(GateKind::H, {0}).unitary();
+    std::size_t q = 0;
+    for (auto _ : state) {
+        sv.applySingleQubit(h, q);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            (1LL << n));
+}
+BENCHMARK(BM_StateVectorHadamard)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_StateVectorCnot(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    StateVector sv(n);
+    Matrix u = Gate(GateKind::CNOT, {0, 1}).unitary();
+    std::size_t q = 0;
+    for (auto _ : state) {
+        sv.applyTwoQubit(u, q, (q + 1) % n);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            (1LL << n));
+}
+BENCHMARK(BM_StateVectorCnot)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_AcUpwardPass(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    KcSimulator kc(bench::qaoaCircuit(n, 1, 19));
+    std::uint64_t x = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kc.amplitude(x));
+        x = (x + 1) & ((std::uint64_t{1} << n) - 1);
+    }
+    state.counters["ac_nodes"] =
+        static_cast<double>(kc.metrics().acNodes);
+}
+BENCHMARK(BM_AcUpwardPass)->Arg(8)->Arg(16)->Arg(24);
+
+void
+BM_AcDownwardPass(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    KcSimulator kc(bench::qaoaCircuit(n, 1, 19));
+    kc.amplitude(0);
+    for (auto _ : state) {
+        kc.evaluator().computeDerivatives();
+        benchmark::DoNotOptimize(kc.evaluator().derivative(0, 1));
+    }
+}
+BENCHMARK(BM_AcDownwardPass)->Arg(8)->Arg(16)->Arg(24);
+
+void
+BM_ParamRefreshEvaluate(benchmark::State& state)
+{
+    // The variational inner loop: new angles -> refresh leaves -> amplitude.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Circuit base = bench::qaoaCircuit(n, 1, 19);
+    KcSimulator kc(base);
+    double gamma = -0.55;
+    for (auto _ : state) {
+        gamma += 0.001;
+        Circuit c = base;
+        for (std::size_t idx : c.parameterizedGateIndices())
+            c.setGateParam(idx, gamma);
+        kc.refreshParams(c);
+        benchmark::DoNotOptimize(kc.amplitude(0));
+    }
+}
+BENCHMARK(BM_ParamRefreshEvaluate)->Arg(8)->Arg(16);
+
+void
+BM_GibbsSweep(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    KcSimulator kc(bench::qaoaCircuit(n, 1, 19));
+    GibbsSampler sampler(kc.bayesNet(), kc.evaluator());
+    Rng rng(5);
+    sampler.init(rng);
+    for (auto _ : state)
+        sampler.sweep(rng);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_GibbsSweep)->Arg(8)->Arg(16)->Arg(24);
+
+void
+BM_CompileQaoa(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Circuit c = bench::qaoaCircuit(n, 1, 19);
+    for (auto _ : state) {
+        KcSimulator kc(c);
+        benchmark::DoNotOptimize(kc.metrics().acNodes);
+    }
+}
+BENCHMARK(BM_CompileQaoa)->Arg(8)->Arg(12)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void
+BM_CircuitToBayesNet(benchmark::State& state)
+{
+    Circuit c = bench::qaoaCircuit(16, 2, 19);
+    for (auto _ : state) {
+        auto bn = circuitToBayesNet(c);
+        benchmark::DoNotOptimize(bn.variables().size());
+    }
+}
+BENCHMARK(BM_CircuitToBayesNet);
+
+} // namespace
+
+BENCHMARK_MAIN();

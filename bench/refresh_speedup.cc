@@ -1,0 +1,63 @@
+/**
+ * Ablation for the paper's central reuse claim (Section 3.2.1): a
+ * variational loop that refreshes the compiled AC's weight leaves versus
+ * one that recompiles the circuit on every optimizer iteration. The ratio
+ * is the amortization benefit knowledge compilation delivers to
+ * variational workloads.
+ */
+#include <cstdio>
+
+#include "ac/kc_simulator.h"
+#include "bench_common.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+using namespace qkc;
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv);
+    const std::size_t iterations =
+        static_cast<std::size_t>(cli.getInt("iterations", 50));
+    const std::size_t maxQubits =
+        static_cast<std::size_t>(cli.getInt("max-qubits", 20));
+
+    bench::printHeader(
+        "Variational reuse: refresh-leaves vs recompile-per-iteration (" +
+            std::to_string(iterations) + " iterations)",
+        "qubits\trecompile_s\trefresh_s\tspeedup");
+
+    for (std::size_t n = 8; n <= maxQubits; n += 4) {
+        Circuit base = bench::qaoaCircuit(n, 1, 19);
+        auto paramIdx = base.parameterizedGateIndices();
+
+        // Strategy A: recompile each iteration.
+        Timer tA;
+        for (std::size_t it = 0; it < iterations; ++it) {
+            Circuit c = base;
+            for (std::size_t idx : paramIdx)
+                c.setGateParam(idx, -0.5 + 0.01 * static_cast<double>(it));
+            KcSimulator kc(c);
+            kc.amplitude(0);
+        }
+        double recompile = tA.seconds();
+
+        // Strategy B: compile once, refresh leaves.
+        Timer tB;
+        KcSimulator kc(base);
+        for (std::size_t it = 0; it < iterations; ++it) {
+            Circuit c = base;
+            for (std::size_t idx : paramIdx)
+                c.setGateParam(idx, -0.5 + 0.01 * static_cast<double>(it));
+            kc.refreshParams(c);
+            kc.amplitude(0);
+        }
+        double refresh = tB.seconds();
+
+        std::printf("%zu\t%.3f\t%.3f\t%.1fx\n", n, recompile, refresh,
+                    recompile / refresh);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * QAOA Max-Cut end to end: a random 3-regular graph, the hybrid
+ * quantum-classical loop with Nelder-Mead, and the knowledge-compilation
+ * backend that compiles the circuit once and only refreshes parameter
+ * leaves on every optimizer iteration — the paper's headline use case.
+ *
+ * Usage: qaoa_maxcut [--vertices=10] [--iterations=1] [--samples=256]
+ */
+#include <cstdio>
+
+#include "util/cli.h"
+#include "util/timer.h"
+#include "vqa/driver.h"
+
+using namespace qkc;
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv);
+    std::size_t vertices = static_cast<std::size_t>(cli.getInt("vertices", 10));
+    std::size_t p = static_cast<std::size_t>(cli.getInt("iterations", 1));
+    std::size_t samples = static_cast<std::size_t>(cli.getInt("samples", 256));
+
+    Rng graphRng(7);
+    auto problem = QaoaMaxCut::randomRegular(vertices, 3, p, graphRng);
+    std::printf("Max-Cut on a random 3-regular graph: %zu vertices, "
+                "%zu edges, QAOA p=%zu\n",
+                problem.numQubits(), problem.graph().numEdges(), p);
+
+    std::size_t optimal = maxCutBruteForce(problem.graph());
+    std::printf("brute-force max cut: %zu\n\n", optimal);
+
+    VqaOptions options;
+    options.samplesPerEvaluation = samples;
+    options.optimizer.maxIterations = 40;
+    options.seed = 11;
+
+    KnowledgeCompilationBackend backend;
+    Timer t;
+    VqaResult result = runQaoaMaxCut(problem, backend, options);
+    double seconds = t.seconds();
+
+    std::printf("optimizer finished in %.2fs (%zu circuit evaluations, "
+                "%.2fs inside the sampler)\n",
+                seconds, result.circuitEvaluations, result.sampleSeconds);
+    std::printf("circuit compiled %zu time(s); every other evaluation "
+                "reused the arithmetic circuit\n",
+                backend.compileCount());
+    std::printf("best expected cut: %.3f / %zu (ratio %.3f)\n",
+                -result.bestObjective, optimal,
+                -result.bestObjective / static_cast<double>(optimal));
+    std::printf("best parameters:");
+    for (double v : result.bestParams)
+        std::printf(" %.3f", v);
+    std::printf("\n");
+    return 0;
+}

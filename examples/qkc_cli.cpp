@@ -1,0 +1,153 @@
+/**
+ * qkc_cli — drive the knowledge-compilation toolchain from the shell.
+ *
+ * Reads an OpenQASM 2.0 circuit (with optional `// qkc.noise ...` channel
+ * annotations) and runs one of:
+ *
+ *   --mode=compile   print pipeline metrics; optionally write the CNF
+ *                    (--cnf-out=f.cnf) and the AC (--nnf-out=f.nnf)
+ *   --mode=amplitude print the amplitude of --outcome=BITSTRING
+ *                    (noise events all pinned to "no event")
+ *   --mode=dist      print the exact outcome distribution (small circuits)
+ *   --mode=sample    Gibbs-sample --samples=N outcomes (--seed=S)
+ *   --mode=mpe       most probable explanation for --outcome=BITSTRING
+ *
+ * Example:
+ *   ./build/examples/qkc_cli --qasm=bell.qasm --mode=sample --samples=100
+ */
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "ac/kc_simulator.h"
+#include "ac/queries.h"
+#include "circuit/qasm.h"
+#include "util/cli.h"
+#include "util/stats.h"
+
+using namespace qkc;
+
+namespace {
+
+std::uint64_t
+parseOutcome(const std::string& bits, std::size_t numQubits)
+{
+    if (bits.size() != numQubits)
+        throw std::invalid_argument("--outcome length must equal qubit count");
+    std::uint64_t v = 0;
+    for (char c : bits) {
+        if (c != '0' && c != '1')
+            throw std::invalid_argument("--outcome must be a bitstring");
+        v = (v << 1) | static_cast<std::uint64_t>(c - '0');
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv);
+    std::string qasmPath = cli.getString("qasm", "");
+    std::string mode = cli.getString("mode", "compile");
+
+    Circuit circuit = [&]() {
+        if (qasmPath.empty() || qasmPath == "-") {
+            return parseQasm(std::cin);
+        }
+        std::ifstream in(qasmPath);
+        if (!in)
+            throw std::runtime_error("cannot open " + qasmPath);
+        return parseQasm(in);
+    }();
+
+    KcSimulator sim(circuit);
+    const std::size_t n = circuit.numQubits();
+
+    if (mode == "compile") {
+        auto m = sim.metrics();
+        std::printf("qubits        %zu\n", n);
+        std::printf("operations    %zu (%zu gates, %zu channels)\n",
+                    circuit.size(), circuit.gateCount(),
+                    circuit.noiseCount());
+        std::printf("bn_variables  %zu\n", m.bnNodes);
+        std::printf("cnf_vars      %zu (%zu indicators)\n", m.cnfVars,
+                    m.cnfIndicatorVars);
+        std::printf("cnf_clauses   %zu\n", m.cnfClauses);
+        std::printf("ac_nodes      %zu\n", m.acNodes);
+        std::printf("ac_edges      %zu\n", m.acEdges);
+        std::printf("ac_bytes      %zu\n", m.acFileBytes);
+        std::printf("compile_s     %.4f\n", m.compileSeconds);
+        std::string cnfOut = cli.getString("cnf-out", "");
+        if (!cnfOut.empty()) {
+            std::ofstream f(cnfOut);
+            sim.cnf().writeDimacs(f);
+            std::printf("wrote %s\n", cnfOut.c_str());
+        }
+        std::string nnfOut = cli.getString("nnf-out", "");
+        if (!nnfOut.empty()) {
+            std::ofstream f(nnfOut);
+            sim.ac().writeNnf(f);
+            std::printf("wrote %s\n", nnfOut.c_str());
+        }
+        return 0;
+    }
+
+    if (mode == "amplitude") {
+        std::uint64_t outcome = parseOutcome(
+            cli.getString("outcome", std::string(n, '0')), n);
+        std::vector<std::size_t> noNoise(sim.bayesNet().noiseVars().size(), 0);
+        Complex a = sim.amplitude(outcome, noNoise);
+        std::printf("A(%s%s) = %.10f %+.10fi  |A|^2 = %.10f\n",
+                    basisKet(outcome, n).c_str(),
+                    noNoise.empty() ? "" : ", no noise events", a.real(),
+                    a.imag(), norm2(a));
+        return 0;
+    }
+
+    if (mode == "dist") {
+        if (n > 16)
+            throw std::runtime_error("--mode=dist limited to 16 qubits");
+        auto dist = sim.outcomeDistribution();
+        for (std::uint64_t x = 0; x < dist.size(); ++x) {
+            if (dist[x] > 1e-12)
+                std::printf("%s  %.8f\n", basisKet(x, n).c_str(), dist[x]);
+        }
+        return 0;
+    }
+
+    if (mode == "sample") {
+        std::size_t numSamples =
+            static_cast<std::size_t>(cli.getInt("samples", 100));
+        Rng rng(static_cast<std::uint64_t>(cli.getInt("seed", 1)));
+        auto samples = sim.sample(numSamples, rng);
+        std::map<std::uint64_t, std::size_t> counts;
+        for (auto s : samples)
+            ++counts[s];
+        for (const auto& [outcome, count] : counts)
+            std::printf("%s  %zu\n", basisKet(outcome, n).c_str(), count);
+        return 0;
+    }
+
+    if (mode == "mpe") {
+        std::uint64_t outcome = parseOutcome(
+            cli.getString("outcome", std::string(n, '0')), n);
+        Rng rng(static_cast<std::uint64_t>(cli.getInt("seed", 1)));
+        auto r = mostProbableExplanation(sim, outcome, rng);
+        std::printf("observed %s -> %s explanation, mass %.6g:\n",
+                    basisKet(outcome, n).c_str(),
+                    r.exact ? "exact" : "annealed", r.mass);
+        const auto& bn = sim.bayesNet();
+        for (std::size_t i = 0; i < r.noiseAssignment.size(); ++i)
+            std::printf("  %s = %zu\n",
+                        bn.variable(bn.noiseVars()[i]).name.c_str(),
+                        r.noiseAssignment[i]);
+        return 0;
+    }
+
+    std::fprintf(stderr, "unknown --mode=%s\n", mode.c_str());
+    return 1;
+}

@@ -1,0 +1,244 @@
+#include "ac/arithmetic_circuit.h"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+namespace qkc {
+
+namespace {
+
+/** Serializes a node's identity for hash consing. */
+std::string
+internKey(const AcNode& node, const std::vector<AcNodeId>& children)
+{
+    std::string key;
+    key.reserve(1 + 8 + children.size() * 4);
+    key.push_back(static_cast<char>(node.kind));
+    auto push32 = [&key](std::uint32_t v) {
+        char buf[4];
+        std::memcpy(buf, &v, 4);
+        key.append(buf, 4);
+    };
+    switch (node.kind) {
+      case AcNodeKind::Indicator:
+        push32(node.var);
+        push32(node.value);
+        break;
+      case AcNodeKind::Param:
+        push32(static_cast<std::uint32_t>(node.paramId));
+        break;
+      case AcNodeKind::Constant: {
+        char buf[16];
+        double re = node.constant.real(), im = node.constant.imag();
+        std::memcpy(buf, &re, 8);
+        std::memcpy(buf + 8, &im, 8);
+        key.append(buf, 16);
+        break;
+      }
+      case AcNodeKind::Add:
+      case AcNodeKind::Mul:
+        for (AcNodeId c : children)
+            push32(c);
+        break;
+    }
+    return key;
+}
+
+} // namespace
+
+ArithmeticCircuit::ArithmeticCircuit()
+{
+    zero_ = constant(Complex{0.0});
+    one_ = constant(Complex{1.0});
+}
+
+AcNodeId
+ArithmeticCircuit::intern(AcNode node, std::vector<AcNodeId> children)
+{
+    std::string key = internKey(node, children);
+    auto it = internMap_.find(key);
+    if (it != internMap_.end())
+        return it->second;
+
+    node.childBegin = static_cast<std::uint32_t>(edges_.size());
+    for (AcNodeId c : children)
+        edges_.push_back(c);
+    node.childEnd = static_cast<std::uint32_t>(edges_.size());
+    nodes_.push_back(node);
+    AcNodeId id = static_cast<AcNodeId>(nodes_.size() - 1);
+    internMap_.emplace(std::move(key), id);
+    return id;
+}
+
+AcNodeId
+ArithmeticCircuit::indicator(BnVarId var, std::uint32_t value)
+{
+    AcNode n;
+    n.kind = AcNodeKind::Indicator;
+    n.var = var;
+    n.value = value;
+    return intern(n, {});
+}
+
+AcNodeId
+ArithmeticCircuit::param(std::int32_t paramId)
+{
+    AcNode n;
+    n.kind = AcNodeKind::Param;
+    n.paramId = paramId;
+    return intern(n, {});
+}
+
+AcNodeId
+ArithmeticCircuit::constant(const Complex& value)
+{
+    AcNode n;
+    n.kind = AcNodeKind::Constant;
+    n.constant = value;
+    return intern(n, {});
+}
+
+AcNodeId
+ArithmeticCircuit::add(std::vector<AcNodeId> children)
+{
+    // Flatten nested sums, drop zeros.
+    std::vector<AcNodeId> flat;
+    flat.reserve(children.size());
+    for (AcNodeId c : children) {
+        if (c == zero_)
+            continue;
+        if (nodes_[c].kind == AcNodeKind::Add) {
+            for (std::uint32_t e = nodes_[c].childBegin;
+                 e < nodes_[c].childEnd; ++e)
+                flat.push_back(edges_[e]);
+        } else {
+            flat.push_back(c);
+        }
+    }
+    if (flat.empty())
+        return zero_;
+    if (flat.size() == 1)
+        return flat[0];
+    std::sort(flat.begin(), flat.end());
+    AcNode n;
+    n.kind = AcNodeKind::Add;
+    return intern(n, std::move(flat));
+}
+
+AcNodeId
+ArithmeticCircuit::mul(std::vector<AcNodeId> children)
+{
+    // Flatten nested products, drop ones, short-circuit zero.
+    std::vector<AcNodeId> flat;
+    flat.reserve(children.size());
+    for (AcNodeId c : children) {
+        if (c == one_)
+            continue;
+        if (c == zero_)
+            return zero_;
+        if (nodes_[c].kind == AcNodeKind::Mul) {
+            for (std::uint32_t e = nodes_[c].childBegin;
+                 e < nodes_[c].childEnd; ++e)
+                flat.push_back(edges_[e]);
+        } else {
+            flat.push_back(c);
+        }
+    }
+    if (flat.empty())
+        return one_;
+    if (flat.size() == 1)
+        return flat[0];
+    std::sort(flat.begin(), flat.end());
+    AcNode n;
+    n.kind = AcNodeKind::Mul;
+    return intern(n, std::move(flat));
+}
+
+std::vector<AcNodeId>
+ArithmeticCircuit::children(AcNodeId id) const
+{
+    const AcNode& n = nodes_[id];
+    return std::vector<AcNodeId>(edges_.begin() + n.childBegin,
+                                 edges_.begin() + n.childEnd);
+}
+
+std::size_t
+ArithmeticCircuit::liveNodeCount() const
+{
+    std::vector<bool> live(nodes_.size(), false);
+    std::vector<AcNodeId> stack{root_};
+    live[root_] = true;
+    std::size_t count = 0;
+    while (!stack.empty()) {
+        AcNodeId id = stack.back();
+        stack.pop_back();
+        ++count;
+        const AcNode& n = nodes_[id];
+        for (std::uint32_t e = n.childBegin; e < n.childEnd; ++e) {
+            if (!live[edges_[e]]) {
+                live[edges_[e]] = true;
+                stack.push_back(edges_[e]);
+            }
+        }
+    }
+    return count;
+}
+
+std::size_t
+ArithmeticCircuit::liveEdgeCount() const
+{
+    std::vector<bool> live(nodes_.size(), false);
+    std::vector<AcNodeId> stack{root_};
+    live[root_] = true;
+    std::size_t count = 0;
+    while (!stack.empty()) {
+        AcNodeId id = stack.back();
+        stack.pop_back();
+        const AcNode& n = nodes_[id];
+        count += n.numChildren();
+        for (std::uint32_t e = n.childBegin; e < n.childEnd; ++e) {
+            if (!live[edges_[e]]) {
+                live[edges_[e]] = true;
+                stack.push_back(edges_[e]);
+            }
+        }
+    }
+    return count;
+}
+
+std::size_t
+ArithmeticCircuit::writeNnf(std::ostream& os) const
+{
+    std::ostringstream buf;
+    buf << "qnnf " << nodes_.size() << " " << edges_.size() << "\n";
+    for (const AcNode& n : nodes_) {
+        switch (n.kind) {
+          case AcNodeKind::Indicator:
+            buf << "I " << n.var << " " << n.value << "\n";
+            break;
+          case AcNodeKind::Param:
+            buf << "P " << n.paramId << "\n";
+            break;
+          case AcNodeKind::Constant:
+            buf << "C " << n.constant.real() << " " << n.constant.imag()
+                << "\n";
+            break;
+          case AcNodeKind::Add:
+          case AcNodeKind::Mul:
+            buf << (n.kind == AcNodeKind::Add ? "O " : "A ")
+                << n.numChildren();
+            for (std::uint32_t e = n.childBegin; e < n.childEnd; ++e)
+                buf << " " << edges_[e];
+            buf << "\n";
+            break;
+        }
+    }
+    buf << "R " << root_ << "\n";
+    std::string out = buf.str();
+    os << out;
+    return out.size();
+}
+
+} // namespace qkc

@@ -1,0 +1,109 @@
+#ifndef QKC_AC_ARITHMETIC_CIRCUIT_H
+#define QKC_AC_ARITHMETIC_CIRCUIT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "bayesnet/bayes_net.h"
+#include "linalg/types.h"
+
+namespace qkc {
+
+/** Index of a node inside an ArithmeticCircuit. */
+using AcNodeId = std::uint32_t;
+
+/** Node types of the compiled arithmetic circuit (paper Figure 5). */
+enum class AcNodeKind : std::uint8_t {
+    Add,        ///< sum over disjoint Feynman-path families
+    Mul,        ///< product over independent components / literals
+    Indicator,  ///< lambda_{var = value}: evidence switch for a query var
+    Param,      ///< weight variable leaf, resolved per simulation run
+    Constant,   ///< fixed complex constant (e.g. free-variable multiplicity)
+};
+
+/** One node. Children live in a shared edge array (childBegin..childEnd). */
+struct AcNode {
+    AcNodeKind kind;
+    std::uint32_t childBegin = 0;
+    std::uint32_t childEnd = 0;
+    BnVarId var = 0;            ///< Indicator: BN variable
+    std::uint32_t value = 0;    ///< Indicator: which value
+    std::int32_t paramId = -1;  ///< Param: index into the weight table
+    Complex constant{};         ///< Constant payload
+
+    std::size_t numChildren() const { return childEnd - childBegin; }
+};
+
+/**
+ * A smooth arithmetic circuit over complex weights — the compilation target
+ * of the toolchain (paper Section 3.2.2). Nodes are stored in topological
+ * order (children strictly before parents), which makes the upward
+ * (amplitude) and downward (sampling derivative) passes simple array sweeps.
+ *
+ * Construction applies logical minimization on the fly:
+ *  - hash consing: structurally identical nodes are created once;
+ *  - constant folding: products with a zero child collapse, unit children
+ *    drop out, single-child Add/Mul nodes pass through, and nested nodes of
+ *    the same kind are flattened.
+ */
+class ArithmeticCircuit {
+  public:
+    ArithmeticCircuit();
+
+    // -- Construction --------------------------------------------------------
+    AcNodeId indicator(BnVarId var, std::uint32_t value);
+    AcNodeId param(std::int32_t paramId);
+    AcNodeId constant(const Complex& value);
+    AcNodeId zero() const { return zero_; }
+    AcNodeId one() const { return one_; }
+
+    /** Sum node over `children` (folds constants / trivial shapes). */
+    AcNodeId add(std::vector<AcNodeId> children);
+
+    /** Product node over `children` (folds constants / trivial shapes). */
+    AcNodeId mul(std::vector<AcNodeId> children);
+
+    void setRoot(AcNodeId root) { root_ = root; }
+    AcNodeId root() const { return root_; }
+
+    // -- Inspection ----------------------------------------------------------
+    const AcNode& node(AcNodeId id) const { return nodes_[id]; }
+    std::size_t numNodes() const { return nodes_.size(); }
+    std::size_t numEdges() const { return edges_.size(); }
+    const std::vector<std::uint32_t>& edges() const { return edges_; }
+
+    /** Child node ids of `id`. */
+    std::vector<AcNodeId> children(AcNodeId id) const;
+
+    /**
+     * Number of nodes reachable from the root (the paper's "AC nodes"
+     * metric; hash-consed garbage below dead branches is excluded).
+     */
+    std::size_t liveNodeCount() const;
+
+    /** Live edge count (edges below reachable nodes). */
+    std::size_t liveEdgeCount() const;
+
+    /**
+     * Writes a c2d-style NNF text file: header `qnnf nodes edges`, then one
+     * node per line (I var value / P paramId / C re im / A k c... / O k c...).
+     * Returns bytes written (Table 4 / 6's "AC file size" metric).
+     */
+    std::size_t writeNnf(std::ostream& os) const;
+
+  private:
+    AcNodeId intern(AcNode node, std::vector<AcNodeId> children);
+
+    std::vector<AcNode> nodes_;
+    std::vector<std::uint32_t> edges_;
+    AcNodeId root_ = 0;
+    AcNodeId zero_ = 0;
+    AcNodeId one_ = 0;
+    std::unordered_map<std::string, AcNodeId> internMap_;
+};
+
+} // namespace qkc
+
+#endif // QKC_AC_ARITHMETIC_CIRCUIT_H

@@ -1,0 +1,98 @@
+#ifndef QKC_AC_KC_SIMULATOR_H
+#define QKC_AC_KC_SIMULATOR_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ac/arithmetic_circuit.h"
+#include "ac/evaluator.h"
+#include "ac/gibbs_sampler.h"
+#include "bayesnet/bayes_net.h"
+#include "circuit/circuit.h"
+#include "cnf/cnf.h"
+#include "knowledge/compiler.h"
+#include "util/rng.h"
+
+namespace qkc {
+
+/** Intermediate-representation metrics (the paper's Table 6 columns). */
+struct KcMetrics {
+    std::size_t bnNodes = 0;
+    std::size_t bnPotentials = 0;
+    std::size_t cnfVars = 0;
+    std::size_t cnfIndicatorVars = 0;
+    std::size_t cnfClauses = 0;
+    std::size_t acNodes = 0;
+    std::size_t acEdges = 0;
+    std::size_t acFileBytes = 0;
+    double compileSeconds = 0.0;
+};
+
+/**
+ * The knowledge-compilation quantum circuit simulator: the end-to-end
+ * toolchain of paper Figure 4. Construction runs
+ *
+ *   circuit -> complex-valued Bayesian network -> CNF -> arithmetic circuit
+ *
+ * once; afterwards amplitude queries, outcome probabilities, Gibbs sampling,
+ * and variational parameter updates all reuse the compiled structure.
+ */
+class KcSimulator {
+  public:
+    explicit KcSimulator(const Circuit& circuit, CompileOptions options = {});
+
+    const QuantumBayesNet& bayesNet() const { return bn_; }
+    const Cnf& cnf() const { return cnf_; }
+    const ArithmeticCircuit& ac() const { return ac_; }
+    const CompileStats& compileStats() const { return compileStats_; }
+
+    /** Pipeline size metrics, including the serialized AC size. */
+    KcMetrics metrics() const;
+
+    /**
+     * Amplitude of a measurement outcome given an explicit noise-event
+     * assignment (empty for noise-free circuits): the Table 5 upward-pass
+     * query. `noise` is indexed like bayesNet().noiseVars().
+     */
+    Complex amplitude(std::uint64_t outcome,
+                      const std::vector<std::size_t>& noise = {});
+
+    /**
+     * Probability of a measurement outcome: sum over all noise assignments
+     * of |amplitude|^2 (exact; enumerates noise combinations, so meant for
+     * validation-scale noisy circuits and arbitrary ideal circuits).
+     */
+    double probability(std::uint64_t outcome);
+
+    /** Exact outcome distribution over all 2^n measurement outcomes. */
+    std::vector<double> outcomeDistribution();
+
+    /** Gibbs samples of measurement outcomes (paper Section 3.3.2). */
+    std::vector<std::uint64_t> sample(std::size_t numSamples, Rng& rng,
+                                      const GibbsOptions& options = {});
+
+    /**
+     * Variational fast path: pushes new gate parameters from `circuit`
+     * (same structure as the compiled one) into the AC leaf weights without
+     * recompiling (paper Section 3.2.1's key reuse property).
+     */
+    void refreshParams(const Circuit& circuit);
+
+    /** Direct access for custom queries. */
+    AcEvaluator& evaluator() { return *eval_; }
+
+  private:
+    void setOutcomeEvidence(std::uint64_t outcome);
+
+    QuantumBayesNet bn_;
+    Cnf cnf_;
+    ArithmeticCircuit ac_;
+    CompileStats compileStats_;
+    double compileSeconds_ = 0.0;
+    std::unique_ptr<AcEvaluator> eval_;
+};
+
+} // namespace qkc
+
+#endif // QKC_AC_KC_SIMULATOR_H

@@ -1,0 +1,66 @@
+#include "ac/nnf_io.h"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qkc {
+
+ArithmeticCircuit
+readNnf(std::istream& is)
+{
+    std::string header;
+    std::size_t numNodes = 0, numEdges = 0;
+    is >> header >> numNodes >> numEdges;
+    if (header != "qnnf")
+        throw std::invalid_argument("readNnf: bad header");
+
+    ArithmeticCircuit ac;
+    std::vector<AcNodeId> remap;
+    remap.reserve(numNodes);
+
+    std::string tag;
+    while (is >> tag) {
+        if (tag == "I") {
+            BnVarId var;
+            std::uint32_t value;
+            is >> var >> value;
+            remap.push_back(ac.indicator(var, value));
+        } else if (tag == "P") {
+            std::int32_t paramId;
+            is >> paramId;
+            remap.push_back(ac.param(paramId));
+        } else if (tag == "C") {
+            double re, im;
+            is >> re >> im;
+            remap.push_back(ac.constant(Complex{re, im}));
+        } else if (tag == "A" || tag == "O") {
+            std::size_t k;
+            is >> k;
+            std::vector<AcNodeId> children(k);
+            for (std::size_t i = 0; i < k; ++i) {
+                std::size_t old;
+                is >> old;
+                if (old >= remap.size())
+                    throw std::invalid_argument("readNnf: forward reference");
+                children[i] = remap[old];
+            }
+            remap.push_back(tag == "A" ? ac.mul(std::move(children))
+                                       : ac.add(std::move(children)));
+        } else if (tag == "R") {
+            std::size_t root;
+            is >> root;
+            if (root >= remap.size())
+                throw std::invalid_argument("readNnf: bad root");
+            ac.setRoot(remap[root]);
+            return ac;
+        } else {
+            throw std::invalid_argument("readNnf: unknown tag " + tag);
+        }
+    }
+    throw std::invalid_argument("readNnf: missing root line");
+}
+
+} // namespace qkc

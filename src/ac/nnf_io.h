@@ -1,0 +1,20 @@
+#ifndef QKC_AC_NNF_IO_H
+#define QKC_AC_NNF_IO_H
+
+#include <iosfwd>
+
+#include "ac/arithmetic_circuit.h"
+
+namespace qkc {
+
+/**
+ * Reads an arithmetic circuit from the qnnf text format produced by
+ * ArithmeticCircuit::writeNnf. Node ids are remapped through the hash-
+ * consing constructor, so the result is semantically identical (same value
+ * under every evidence/parameter setting) though node ids may differ.
+ */
+ArithmeticCircuit readNnf(std::istream& is);
+
+} // namespace qkc
+
+#endif // QKC_AC_NNF_IO_H

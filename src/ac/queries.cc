@@ -1,0 +1,163 @@
+#include "ac/queries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/types.h"
+
+namespace qkc {
+
+std::vector<ParamSensitivity>
+parameterSensitivities(KcSimulator& simulator)
+{
+    AcEvaluator& eval = simulator.evaluator();
+    Complex amplitude = eval.evaluate();
+    eval.computeDerivatives();
+
+    const auto& params = simulator.bayesNet().paramValues();
+    std::vector<ParamSensitivity> out;
+    out.reserve(params.size());
+    for (std::size_t p = 0; p < params.size(); ++p) {
+        ParamSensitivity s;
+        s.paramId = static_cast<std::int32_t>(p);
+        s.value = params[p];
+        s.derivative = eval.paramDerivative(s.paramId);
+        // Gradient magnitude of |A|^2 under complex perturbation of w:
+        // |d|A|^2| <= 2 |A| |dA/dw|.
+        s.influence = 2.0 * std::abs(amplitude) * std::abs(s.derivative);
+        out.push_back(s);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ParamSensitivity& a, const ParamSensitivity& b) {
+                  return a.influence > b.influence;
+              });
+    return out;
+}
+
+namespace {
+
+/** Applies outcome evidence and the current noise assignment. */
+void
+applyAssignment(KcSimulator& simulator, std::uint64_t outcome,
+                const std::vector<std::size_t>& nu)
+{
+    AcEvaluator& eval = simulator.evaluator();
+    const auto& bn = simulator.bayesNet();
+    const auto& finals = bn.finalVars();
+    const std::size_t n = finals.size();
+    for (std::size_t q = 0; q < n; ++q)
+        eval.setEvidence(finals[q],
+                         static_cast<int>((outcome >> (n - 1 - q)) & 1));
+    const auto& noiseVars = bn.noiseVars();
+    for (std::size_t i = 0; i < nu.size(); ++i)
+        eval.setEvidence(noiseVars[i], static_cast<int>(nu[i]));
+}
+
+} // namespace
+
+MpeResult
+mostProbableExplanation(KcSimulator& simulator, std::uint64_t outcome,
+                        Rng& rng, std::size_t exactLimit,
+                        std::size_t annealSweeps)
+{
+    const auto& bn = simulator.bayesNet();
+    const auto& noiseVars = bn.noiseVars();
+    AcEvaluator& eval = simulator.evaluator();
+
+    std::vector<std::size_t> cards(noiseVars.size());
+    std::size_t combos = 1;
+    bool overflow = false;
+    for (std::size_t i = 0; i < noiseVars.size(); ++i) {
+        cards[i] = bn.variable(noiseVars[i]).cardinality;
+        if (combos > exactLimit / cards[i])
+            overflow = true;
+        else
+            combos *= cards[i];
+    }
+
+    MpeResult result;
+    result.noiseAssignment.assign(noiseVars.size(), 0);
+
+    eval.clearEvidence();
+    if (!overflow && combos <= exactLimit) {
+        // Exact: odometer over every noise assignment.
+        result.exact = true;
+        std::vector<std::size_t> nu(noiseVars.size(), 0);
+        for (;;) {
+            applyAssignment(simulator, outcome, nu);
+            double mass = norm2(eval.evaluate());
+            if (mass > result.mass) {
+                result.mass = mass;
+                result.noiseAssignment = nu;
+            }
+            std::size_t pos = 0;
+            for (; pos < nu.size(); ++pos) {
+                if (++nu[pos] < cards[pos])
+                    break;
+                nu[pos] = 0;
+            }
+            if (pos == nu.size())
+                break;
+        }
+        return result;
+    }
+
+    // Simulated annealing over single-variable moves: the downward pass
+    // gives every conditional in one sweep; the temperature schedule anneals
+    // from Gibbs sampling (T=1) down to greedy maximization (T->0).
+    std::vector<std::size_t> nu(noiseVars.size());
+    for (std::size_t i = 0; i < nu.size(); ++i)
+        nu[i] = rng.below(cards[i]);
+    applyAssignment(simulator, outcome, nu);
+
+    for (std::size_t sweep = 0; sweep < annealSweeps; ++sweep) {
+        double t = 1.0 - static_cast<double>(sweep) /
+                             static_cast<double>(annealSweeps);
+        double invT = 1.0 / std::max(t, 0.05);
+        for (std::size_t i = 0; i < noiseVars.size(); ++i) {
+            eval.evaluate();
+            eval.computeDerivatives();
+            std::vector<double> weights(cards[i], 0.0);
+            double best = 0.0;
+            for (std::size_t k = 0; k < cards[i]; ++k) {
+                weights[k] = norm2(eval.derivative(
+                    noiseVars[i], static_cast<std::uint32_t>(k)));
+                best = std::max(best, weights[k]);
+            }
+            if (best <= 0.0)
+                continue;
+            for (double& w : weights)
+                w = std::pow(w / best, invT);
+            std::size_t pick = rng.categorical(weights);
+            if (pick != nu[i]) {
+                nu[i] = pick;
+                eval.setEvidence(noiseVars[i], static_cast<int>(pick));
+            }
+        }
+    }
+    // Final greedy pass.
+    for (std::size_t i = 0; i < noiseVars.size(); ++i) {
+        eval.evaluate();
+        eval.computeDerivatives();
+        std::size_t bestK = nu[i];
+        double best = -1.0;
+        for (std::size_t k = 0; k < cards[i]; ++k) {
+            double mass = norm2(
+                eval.derivative(noiseVars[i], static_cast<std::uint32_t>(k)));
+            if (mass > best) {
+                best = mass;
+                bestK = k;
+            }
+        }
+        if (bestK != nu[i]) {
+            nu[i] = bestK;
+            eval.setEvidence(noiseVars[i], static_cast<int>(bestK));
+        }
+    }
+    result.noiseAssignment = nu;
+    result.mass = norm2(eval.evaluate());
+    result.exact = false;
+    return result;
+}
+
+} // namespace qkc

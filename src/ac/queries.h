@@ -1,0 +1,69 @@
+#ifndef QKC_AC_QUERIES_H
+#define QKC_AC_QUERIES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ac/kc_simulator.h"
+#include "util/rng.h"
+
+namespace qkc {
+
+/**
+ * The additional PGM query types the paper proposes as research directions
+ * (Section 5): sensitivity analysis and most-probable-explanation (MPE)
+ * queries on the compiled arithmetic circuit.
+ */
+
+/** Sensitivity of an amplitude query to one weight parameter. */
+struct ParamSensitivity {
+    std::int32_t paramId;
+    Complex value;       ///< current weight value
+    Complex derivative;  ///< d(amplitude) / d(weight)
+    /** |d|A|^2 / d(Re w)| + |d|A|^2 / d(Im w)|: scalar influence score. */
+    double influence;
+};
+
+/**
+ * Sensitivity analysis (paper Section 5, citing Darwiche ch. 16): for a
+ * fixed evidence setting, the downward differential pass yields the partial
+ * derivative of the queried amplitude with respect to EVERY weight
+ * parameter in one traversal. High-influence parameters identify the gates
+ * and noise events that most strongly steer the outcome — the paper's
+ * suggested use is mapping influential operations onto reliable hardware
+ * qubits.
+ *
+ * The evaluator must already hold the desired evidence (e.g. after
+ * KcSimulator::amplitude). Results are sorted by descending influence.
+ */
+std::vector<ParamSensitivity> parameterSensitivities(KcSimulator& simulator);
+
+/** Result of an MPE query. */
+struct MpeResult {
+    /** Value per noise RV (bayesNet().noiseVars() order). */
+    std::vector<std::size_t> noiseAssignment;
+    /** |A(outcome, noiseAssignment)|^2, the unnormalized posterior mass. */
+    double mass = 0.0;
+    bool exact = false;
+};
+
+/**
+ * Most Probable Explanation over noise events: given an observed outcome x,
+ * find the noise assignment nu maximizing |A(x, nu)|^2 — "what error event
+ * best explains a given symptomatic observed outcome" (paper Section 5).
+ *
+ * The paper notes a MAX operator is undefined for complex amplitudes but
+ * well-defined for real probabilities; |A|^2 is exactly that real-valued
+ * target. Exact maximization enumerates noise assignments when there are at
+ * most `exactLimit` of them; larger instances fall back to simulated
+ * annealing over single-flip moves driven by the downward pass.
+ */
+MpeResult mostProbableExplanation(KcSimulator& simulator,
+                                  std::uint64_t outcome, Rng& rng,
+                                  std::size_t exactLimit = 4096,
+                                  std::size_t annealSweeps = 64);
+
+} // namespace qkc
+
+#endif // QKC_AC_QUERIES_H

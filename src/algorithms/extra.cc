@@ -1,0 +1,61 @@
+#include "algorithms/algorithms.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qkc {
+
+Circuit
+phaseEstimationCircuit(std::size_t counting, double phi)
+{
+    if (counting < 1 || counting > 10)
+        throw std::invalid_argument("phaseEstimationCircuit: counting in [1,10]");
+    const std::size_t t = counting;
+    Circuit c(t + 1);
+    const std::size_t eigen = t;  // eigenstate qubit
+
+    c.x(eigen);  // |1> is the eigenstate of P(theta) with eigenvalue e^{i theta}
+    for (std::size_t j = 0; j < t; ++j)
+        c.h(j);
+    // Counting qubit j (MSB first) controls U^(2^(t-1-j)).
+    for (std::size_t j = 0; j < t; ++j) {
+        double theta = 2.0 * M_PI * phi * std::pow(2.0, static_cast<double>(t - 1 - j));
+        c.cphase(j, eigen, theta);
+    }
+    // Inverse QFT on the counting register.
+    for (std::size_t i = 0; i < t / 2; ++i)
+        c.swap(i, t - 1 - i);
+    for (std::size_t i = t; i-- > 0;) {
+        for (std::size_t j = t; j-- > i + 1;) {
+            double theta = -M_PI / static_cast<double>(1ULL << (j - i));
+            c.cphase(j, i, theta);
+        }
+        c.h(i);
+    }
+    return c;
+}
+
+Circuit
+wStateCircuit(std::size_t n)
+{
+    if (n < 2)
+        throw std::invalid_argument("wStateCircuit: need n >= 2");
+    Circuit c(n);
+    c.x(0);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        // Controlled-Ry(theta) spreading 1/(n-i) of the remaining amplitude,
+        // followed by a CNOT that moves the excitation.
+        double theta = 2.0 * std::acos(std::sqrt(
+            1.0 / static_cast<double>(n - i)));
+        Matrix ry = Gate(GateKind::Ry, {0}, theta).unitary();
+        Matrix cry = Matrix::identity(4);
+        for (std::size_t r = 0; r < 2; ++r)
+            for (std::size_t col = 0; col < 2; ++col)
+                cry(2 + r, 2 + col) = ry(r, col);
+        c.append(Gate::custom({i, i + 1}, cry, "CRy"));
+        c.cnot(i + 1, i);
+    }
+    return c;
+}
+
+} // namespace qkc

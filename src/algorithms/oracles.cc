@@ -1,0 +1,105 @@
+#include "algorithms/algorithms.h"
+
+#include <stdexcept>
+
+namespace qkc {
+
+namespace {
+
+bool
+maskBit(std::uint64_t mask, std::size_t qubit, std::size_t n)
+{
+    // Qubit 0 is the most significant bit of an n-bit string.
+    return (mask >> (n - 1 - qubit)) & 1;
+}
+
+} // namespace
+
+Circuit
+deutschJozsaCircuit(std::size_t n, std::uint64_t balancedMask)
+{
+    Circuit c(n + 1);
+    const std::size_t anc = n;
+    // Phase-kickback ancilla in |->.
+    c.x(anc).h(anc);
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(q);
+    // Oracle: f(x) = parity(x & mask); constant-zero when mask == 0.
+    for (std::size_t q = 0; q < n; ++q) {
+        if (maskBit(balancedMask, q, n))
+            c.cnot(q, anc);
+    }
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(q);
+    return c;
+}
+
+Circuit
+bernsteinVaziraniCircuit(std::size_t n, std::uint64_t a)
+{
+    // BV is DJ with the hidden-string parity oracle; the final H layer maps
+    // the phase pattern back to the basis state |a>.
+    return deutschJozsaCircuit(n, a);
+}
+
+Circuit
+simonCircuit(std::size_t n, std::uint64_t s)
+{
+    if (s == 0 || s >= (std::uint64_t{1} << n))
+        throw std::invalid_argument("simonCircuit: need 0 < s < 2^n");
+
+    Circuit c(2 * n);
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(q);
+    // Oracle f(x) = x XOR (x_j ? s : 0) where j is the first set bit of s;
+    // f is two-to-one with period s. First copy x into the output register.
+    for (std::size_t q = 0; q < n; ++q)
+        c.cnot(q, n + q);
+    std::size_t pivot = 0;
+    while (!maskBit(s, pivot, n))
+        ++pivot;
+    for (std::size_t q = 0; q < n; ++q) {
+        if (maskBit(s, q, n))
+            c.cnot(pivot, n + q);
+    }
+    // Fourier sample the input register.
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(q);
+    return c;
+}
+
+Circuit
+hiddenShiftCircuit(std::size_t n, std::uint64_t s)
+{
+    if (n % 2 != 0)
+        throw std::invalid_argument("hiddenShiftCircuit: n must be even");
+
+    // Maiorana-McFarland bent function f(x) = XOR_i x_{2i} x_{2i+1}; its
+    // dual is itself, so the van Dam-Hallgren-Ip circuit is
+    // H^n . O_f . H^n . O_g . H^n with O_g the shifted oracle.
+    Circuit c(n);
+    auto oracle = [&] {
+        for (std::size_t i = 0; i + 1 < n; i += 2)
+            c.cz(i, i + 1);
+    };
+    auto shift = [&] {
+        for (std::size_t q = 0; q < n; ++q) {
+            if (maskBit(s, q, n))
+                c.x(q);
+        }
+    };
+
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(q);
+    shift();
+    oracle();
+    shift();
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(q);
+    oracle();
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(q);
+    return c;
+}
+
+} // namespace qkc

@@ -1,0 +1,44 @@
+#include "algorithms/algorithms.h"
+
+#include <cmath>
+
+namespace qkc {
+
+Circuit
+qftCircuit(std::size_t n)
+{
+    // Standard textbook QFT: on each qubit an H followed by controlled
+    // phases from every later qubit, then a qubit-order reversal.
+    Circuit c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        c.h(i);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double theta = M_PI / static_cast<double>(1ULL << (j - i));
+            c.cphase(j, i, theta);
+        }
+    }
+    for (std::size_t i = 0; i < n / 2; ++i)
+        c.swap(i, n - 1 - i);
+    return c;
+}
+
+Circuit
+inverseQftCircuit(std::size_t n)
+{
+    // Reverse gate order with negated phases.
+    Circuit c(n);
+    for (std::size_t i = n; i-- > 0;) {
+        for (std::size_t j = n; j-- > i + 1;) {
+            double theta = -M_PI / static_cast<double>(1ULL << (j - i));
+            c.cphase(j, i, theta);
+        }
+        c.h(i);
+    }
+    Circuit swapped(n);
+    for (std::size_t i = 0; i < n / 2; ++i)
+        swapped.swap(i, n - 1 - i);
+    swapped.extend(c);
+    return swapped;
+}
+
+} // namespace qkc

@@ -1,0 +1,87 @@
+#include "algorithms/algorithms.h"
+
+#include <cmath>
+
+namespace qkc {
+
+namespace {
+
+/** sqrt(X): X^(1/2) with eigenvalues {1, i}. */
+Matrix
+sqrtX()
+{
+    const Complex a{0.5, 0.5};
+    const Complex b{0.5, -0.5};
+    return Matrix{{a, b}, {b, a}};
+}
+
+/** sqrt(Y). */
+Matrix
+sqrtY()
+{
+    const Complex a{0.5, 0.5};
+    return Matrix{{a, -a}, {a, a}};
+}
+
+} // namespace
+
+Circuit
+rcsCircuit(std::size_t rows, std::size_t cols, std::size_t depth, Rng& rng)
+{
+    const std::size_t n = rows * cols;
+    Circuit c(n);
+    auto q = [&](std::size_t r, std::size_t col) { return r * cols + col; };
+
+    for (std::size_t i = 0; i < n; ++i)
+        c.h(i);
+
+    // GRCS-style template: layers alternate between four CZ patterns
+    // (horizontal/vertical pairs at even/odd offsets); qubits touched by a
+    // CZ in the previous layer receive a random gate from
+    // {sqrt(X), sqrt(Y), T} (never the same twice in a row by construction
+    // of the random draw below).
+    std::vector<int> lastGate(n, -1);
+    for (std::size_t layer = 0; layer < depth; ++layer) {
+        std::vector<bool> touched(n, false);
+        const std::size_t pattern = layer % 4;
+        if (pattern < 2) {
+            // Horizontal pairs at even (pattern 0) or odd (pattern 1) offset.
+            for (std::size_t r = 0; r < rows; ++r) {
+                for (std::size_t col = pattern; col + 1 < cols; col += 2) {
+                    c.cz(q(r, col), q(r, col + 1));
+                    touched[q(r, col)] = touched[q(r, col + 1)] = true;
+                }
+            }
+        } else {
+            // Vertical pairs at even (pattern 2) or odd (pattern 3) offset.
+            for (std::size_t r = pattern - 2; r + 1 < rows; r += 2) {
+                for (std::size_t col = 0; col < cols; ++col) {
+                    c.cz(q(r, col), q(r + 1, col));
+                    touched[q(r, col)] = touched[q(r + 1, col)] = true;
+                }
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!touched[i])
+                continue;
+            int pick = static_cast<int>(rng.below(3));
+            if (pick == lastGate[i])
+                pick = (pick + 1) % 3;
+            lastGate[i] = pick;
+            switch (pick) {
+              case 0:
+                c.append(Gate::custom({i}, sqrtX(), "X^0.5"));
+                break;
+              case 1:
+                c.append(Gate::custom({i}, sqrtY(), "Y^0.5"));
+                break;
+              default:
+                c.t(i);
+                break;
+            }
+        }
+    }
+    return c;
+}
+
+} // namespace qkc

@@ -1,0 +1,73 @@
+#include "bayesnet/bayes_net.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "circuit/circuit.h"
+
+namespace qkc {
+
+std::vector<BnVarId>
+QuantumBayesNet::queryVars() const
+{
+    std::vector<BnVarId> q = finalVars_;
+    q.insert(q.end(), noiseVars_.begin(), noiseVars_.end());
+    return q;
+}
+
+void
+QuantumBayesNet::refreshParams(const Circuit& circuit)
+{
+    // Rebuild the network for the new parameters and verify the structure is
+    // unchanged; only the weight values are carried over. The rebuild is
+    // linear in circuit size and negligible next to AC evaluation, so this
+    // trades a little compute for having exactly one table-construction
+    // code path.
+    QuantumBayesNet fresh = circuitToBayesNet(circuit);
+    if (fresh.vars_.size() != vars_.size() ||
+        fresh.potentials_.size() != potentials_.size() ||
+        fresh.paramValues_.size() != paramValues_.size()) {
+        throw std::invalid_argument(
+            "refreshParams: circuit structure changed; rebuild the network");
+    }
+    for (std::size_t i = 0; i < potentials_.size(); ++i) {
+        const auto& a = potentials_[i];
+        const auto& b = fresh.potentials_[i];
+        if (a.vars != b.vars || a.entries.size() != b.entries.size())
+            throw std::invalid_argument(
+                "refreshParams: potential structure changed");
+        for (std::size_t e = 0; e < a.entries.size(); ++e) {
+            if (a.entries[e].kind != b.entries[e].kind ||
+                a.entries[e].paramId != b.entries[e].paramId)
+                throw std::invalid_argument(
+                    "refreshParams: entry structure changed");
+        }
+    }
+    paramValues_ = std::move(fresh.paramValues_);
+}
+
+std::string
+QuantumBayesNet::summary() const
+{
+    std::ostringstream os;
+    std::size_t numQuery = 0;
+    for (const auto& v : vars_)
+        numQuery += v.isQuery();
+    os << "QuantumBayesNet(" << vars_.size() << " variables (" << numQuery
+       << " query), " << potentials_.size() << " potentials, "
+       << paramValues_.size() << " parameters)\n";
+    for (BnVarId id = 0; id < vars_.size(); ++id) {
+        const auto& v = vars_[id];
+        os << "  " << v.name << " card=" << v.cardinality;
+        switch (v.role) {
+          case BnVarRole::InitialState: os << " [initial]"; break;
+          case BnVarRole::IntermediateState: os << " [internal]"; break;
+          case BnVarRole::FinalState: os << " [final]"; break;
+          case BnVarRole::NoiseRv: os << " [noise]"; break;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace qkc

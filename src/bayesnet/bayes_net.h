@@ -1,0 +1,144 @@
+#ifndef QKC_BAYESNET_BAYES_NET_H
+#define QKC_BAYESNET_BAYES_NET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/types.h"
+
+namespace qkc {
+
+class Circuit;
+
+/** Index of a random variable inside a QuantumBayesNet. */
+using BnVarId = std::uint32_t;
+
+/** What a Bayesian-network variable stands for in the quantum circuit. */
+enum class BnVarRole {
+    InitialState,       ///< qXm0, known |0>; removed by unit resolution
+    IntermediateState,  ///< internal qubit state; existentially elided
+    FinalState,         ///< a qubit's last state variable (query variable)
+    NoiseRv,            ///< spurious-measurement noise random variable (query)
+};
+
+/** A random variable: a qubit state at some moment, or a noise event. */
+struct BnVariable {
+    std::string name;        ///< e.g. "q0m2" or "q0m2rv" (paper Figure 2c)
+    BnVarRole role;
+    std::size_t qubit;       ///< owning qubit
+    std::size_t moment;      ///< per-qubit moment counter
+    std::size_t cardinality; ///< 2 for qubit states; #Kraus ops for noise RVs
+
+    bool isQuery() const
+    {
+        return role == BnVarRole::FinalState || role == BnVarRole::NoiseRv;
+    }
+};
+
+/** Classification of a conditional-amplitude-table entry. */
+enum class BnEntryKind : std::uint8_t {
+    StructuralZero,  ///< 0 for every parameter setting: becomes a hard clause
+    StructuralOne,   ///< 1 for every parameter setting: pure logic, no weight
+    Parameter,       ///< carries a weight variable resolved at simulation time
+};
+
+/** One conditional-amplitude-table cell. */
+struct BnEntry {
+    BnEntryKind kind;
+    std::int32_t paramId;  ///< valid when kind == Parameter, else -1
+};
+
+/**
+ * A potential: the conditional amplitude table of a node (scope = parents +
+ * child variable) or a standalone diagonal factor (scope = existing
+ * variables only, e.g. the phase pattern of a CZ / ZZ gate, which changes no
+ * basis state and therefore introduces no new variable).
+ *
+ * Entries are indexed in mixed radix over `vars` with the LAST variable
+ * fastest-varying.
+ */
+struct BnPotential {
+    std::vector<BnVarId> vars;
+    std::vector<BnEntry> entries;
+    /** Operation index in the source circuit; SIZE_MAX for initial states. */
+    std::size_t sourceOp = SIZE_MAX;
+
+    std::size_t tableSize() const { return entries.size(); }
+};
+
+/**
+ * Complex-valued Bayesian network representation of a noisy quantum circuit
+ * (paper Section 3.1). Variables are qubit states over time plus noise
+ * random variables; potentials are conditional amplitude tables. A full
+ * assignment of all variables is one Feynman path; the product of potential
+ * values along the path is the path amplitude.
+ */
+class QuantumBayesNet {
+  public:
+    const std::vector<BnVariable>& variables() const { return vars_; }
+    const std::vector<BnPotential>& potentials() const { return potentials_; }
+
+    const BnVariable& variable(BnVarId id) const { return vars_[id]; }
+
+    /** The final state variable of each qubit, indexed by qubit. */
+    const std::vector<BnVarId>& finalVars() const { return finalVars_; }
+
+    /** All noise random variables, in circuit order. */
+    const std::vector<BnVarId>& noiseVars() const { return noiseVars_; }
+
+    /** Query variables: final qubit states followed by noise RVs. */
+    std::vector<BnVarId> queryVars() const;
+
+    /** Current numeric value of each weight parameter, indexed by paramId. */
+    const std::vector<Complex>& paramValues() const { return paramValues_; }
+
+    std::size_t numParams() const { return paramValues_.size(); }
+
+    /**
+     * Recomputes parameter values from `circuit`, which must be structurally
+     * identical to the circuit the network was built from (same ops, same
+     * qubits) with possibly different gate angles. This is the variational
+     * fast path: the network / CNF / AC structure is untouched; only leaf
+     * weights change (paper Section 3.2.1, rule 3).
+     */
+    void refreshParams(const Circuit& circuit);
+
+    /** Human-readable dump of variables and table sizes. */
+    std::string summary() const;
+
+  private:
+    friend QuantumBayesNet circuitToBayesNet(const Circuit& circuit);
+    friend class BayesNetBuilder;
+
+    std::vector<BnVariable> vars_;
+    std::vector<BnPotential> potentials_;
+    std::vector<BnVarId> finalVars_;
+    std::vector<BnVarId> noiseVars_;
+    std::vector<Complex> paramValues_;
+};
+
+/**
+ * Compiles a noisy quantum circuit to its complex-valued Bayesian network
+ * (paper Section 3.1; the Figure 2 transformation).
+ *
+ * Encoding rules:
+ *  - initial qubit states become InitialState variables with a [1, 0] table;
+ *  - a single-qubit gate adds one node whose CAT is the transpose of the
+ *    gate unitary (Table 2a);
+ *  - permutation-like multi-qubit gates add deterministic nodes for the
+ *    qubits whose basis state changes (Table 2c); pure phase (diagonal)
+ *    gates add a standalone factor and no variable; SWAP relabels wires;
+ *  - general (non-permutation) unitaries use a chain-rule encoding: a
+ *    weight-free node for the first output plus a node holding the joint
+ *    amplitudes;
+ *  - a noise channel adds a NoiseRv variable with one value per Kraus
+ *    operator; if every Kraus operator is diagonal the qubit keeps its
+ *    state variable (Table 2b), otherwise a fresh output state variable is
+ *    added with entries E_k[out][in].
+ */
+QuantumBayesNet circuitToBayesNet(const Circuit& circuit);
+
+} // namespace qkc
+
+#endif // QKC_BAYESNET_BAYES_NET_H

@@ -1,0 +1,388 @@
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "bayesnet/bayes_net.h"
+#include "circuit/circuit.h"
+
+namespace qkc {
+
+namespace {
+
+/** Angle offset used to probe whether a table cell is structurally 0/1. */
+constexpr double kProbeDelta = 0.7310585;
+constexpr double kStructEps = 1e-9;
+
+/** A table cell observed at the build angle and at the probe angle. */
+struct CellProbe {
+    Complex primary;
+    Complex probe;
+
+    bool structuralZero() const
+    {
+        return std::abs(primary) < kStructEps && std::abs(probe) < kStructEps;
+    }
+    bool structuralOne() const
+    {
+        return std::abs(primary - 1.0) < kStructEps &&
+               std::abs(probe - 1.0) < kStructEps;
+    }
+    bool operator<(const CellProbe& o) const
+    {
+        auto key = [](const Complex& z) {
+            return std::make_pair(z.real(), z.imag());
+        };
+        return std::make_pair(key(primary), key(probe)) <
+               std::make_pair(key(o.primary), key(o.probe));
+    }
+};
+
+/** Permutation structure of a unitary: one nonzero per column, per row. */
+struct PermInfo {
+    bool isPermutation = false;
+    std::vector<std::size_t> outOf;   ///< outOf[in] = output basis state
+    std::vector<CellProbe> weight;    ///< weight[in] = the nonzero cell
+};
+
+PermInfo
+analyzePermutation(const Matrix& u, const Matrix& uProbe)
+{
+    const std::size_t d = u.rows();
+    PermInfo info;
+    info.outOf.resize(d);
+    info.weight.resize(d);
+    std::vector<bool> rowUsed(d, false);
+    for (std::size_t in = 0; in < d; ++in) {
+        std::size_t nonZero = 0;
+        std::size_t row = 0;
+        for (std::size_t r = 0; r < d; ++r) {
+            bool nzPrimary = std::abs(u(r, in)) > kStructEps;
+            bool nzProbe = std::abs(uProbe(r, in)) > kStructEps;
+            if (nzPrimary != nzProbe)
+                return info;  // pattern depends on the angle: treat as dense
+            if (nzPrimary) {
+                ++nonZero;
+                row = r;
+            }
+        }
+        if (nonZero != 1 || rowUsed[row])
+            return info;
+        rowUsed[row] = true;
+        info.outOf[in] = row;
+        info.weight[in] = {u(row, in), uProbe(row, in)};
+    }
+    info.isPermutation = true;
+    return info;
+}
+
+} // namespace
+
+/** Builds the quantum Bayesian network for one circuit. */
+class BayesNetBuilder {
+  public:
+    explicit BayesNetBuilder(const Circuit& circuit) : circuit_(circuit) {}
+
+    QuantumBayesNet build()
+    {
+        const std::size_t n = circuit_.numQubits();
+        current_.resize(n);
+        moment_.assign(n, 0);
+        for (std::size_t q = 0; q < n; ++q) {
+            BnVarId v = newVar(BnVarRole::InitialState, q, 2, "");
+            current_[q] = v;
+            // Known initial state |0>: table [1, 0].
+            BnPotential pot;
+            pot.vars = {v};
+            pot.entries = {{BnEntryKind::StructuralOne, -1},
+                           {BnEntryKind::StructuralZero, -1}};
+            bn_.potentials_.push_back(std::move(pot));
+        }
+
+        const auto& ops = circuit_.operations();
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            if (const Gate* g = std::get_if<Gate>(&ops[i]))
+                handleGate(*g, i);
+            else
+                handleNoise(std::get<NoiseChannel>(ops[i]), i);
+        }
+
+        // The last state variable of each qubit is a query variable.
+        bn_.finalVars_.resize(n);
+        for (std::size_t q = 0; q < n; ++q) {
+            BnVariable& v = bn_.vars_[current_[q]];
+            v.role = BnVarRole::FinalState;
+            bn_.finalVars_[q] = current_[q];
+        }
+        return std::move(bn_);
+    }
+
+  private:
+    BnVarId newVar(BnVarRole role, std::size_t qubit, std::size_t cardinality,
+                   const char* suffix)
+    {
+        char name[32];
+        std::snprintf(name, sizeof(name), "q%zum%zu%s", qubit, moment_[qubit],
+                      suffix);
+        bn_.vars_.push_back(
+            {name, role, qubit, moment_[qubit], cardinality});
+        return static_cast<BnVarId>(bn_.vars_.size() - 1);
+    }
+
+    /** Interns one cell into `pot`, deduplicating parameters per potential. */
+    void pushEntry(BnPotential& pot, const CellProbe& cell,
+                   std::map<CellProbe, std::int32_t>& local)
+    {
+        if (cell.structuralZero()) {
+            pot.entries.push_back({BnEntryKind::StructuralZero, -1});
+            return;
+        }
+        if (cell.structuralOne()) {
+            pot.entries.push_back({BnEntryKind::StructuralOne, -1});
+            return;
+        }
+        auto it = local.find(cell);
+        std::int32_t id;
+        if (it != local.end()) {
+            id = it->second;
+        } else {
+            id = static_cast<std::int32_t>(bn_.paramValues_.size());
+            bn_.paramValues_.push_back(cell.primary);
+            local.emplace(cell, id);
+        }
+        pot.entries.push_back({BnEntryKind::Parameter, id});
+    }
+
+    void handleGate(const Gate& gate, std::size_t opIdx)
+    {
+        // SWAP is a pure wire relabeling: no variable, no potential.
+        if (gate.kind() == GateKind::SWAP) {
+            std::swap(current_[gate.qubits()[0]], current_[gate.qubits()[1]]);
+            return;
+        }
+
+        Matrix u = gate.unitary();
+        Matrix uProbe = u;
+        if (gate.isParameterized()) {
+            Gate probe = gate;
+            probe.setParam(gate.param() + kProbeDelta);
+            uProbe = probe.unitary();
+        }
+
+        const auto& qubits = gate.qubits();
+        const std::size_t arity = qubits.size();
+        std::vector<BnVarId> inVars(arity);
+        for (std::size_t j = 0; j < arity; ++j)
+            inVars[j] = current_[qubits[j]];
+
+        PermInfo perm = analyzePermutation(u, uProbe);
+        if (perm.isPermutation) {
+            encodePermutationGate(gate, opIdx, inVars, perm);
+        } else if (arity == 1) {
+            encodeDense1Q(gate, opIdx, inVars[0], u, uProbe);
+        } else if (arity == 2) {
+            encodeDense2Q(gate, opIdx, inVars, u, uProbe);
+        } else {
+            throw std::invalid_argument(
+                "circuitToBayesNet: dense 3-qubit gates are not supported");
+        }
+    }
+
+    /**
+     * Permutation-like gate: qubits whose basis state never changes keep
+     * their variable; each changed qubit gets a deterministic node; the
+     * first changed qubit's node carries the weights. A gate changing no
+     * basis states (diagonal) becomes a standalone factor (Section 3.1.1's
+     * "permutation of the unitary" encoding, extended).
+     */
+    void encodePermutationGate(const Gate& gate, std::size_t opIdx,
+                               const std::vector<BnVarId>& inVars,
+                               const PermInfo& perm)
+    {
+        const std::size_t arity = gate.qubits().size();
+        const std::size_t dim = std::size_t{1} << arity;
+
+        std::vector<std::size_t> changed;
+        for (std::size_t j = 0; j < arity; ++j) {
+            for (std::size_t in = 0; in < dim; ++in) {
+                std::size_t bitIn = (in >> (arity - 1 - j)) & 1;
+                std::size_t bitOut = (perm.outOf[in] >> (arity - 1 - j)) & 1;
+                if (bitIn != bitOut) {
+                    changed.push_back(j);
+                    break;
+                }
+            }
+        }
+
+        std::map<CellProbe, std::int32_t> local;
+        if (changed.empty()) {
+            // Diagonal gate: a factor over the input variables only.
+            bool allOne = true;
+            for (std::size_t in = 0; in < dim; ++in)
+                allOne = allOne && perm.weight[in].structuralOne();
+            if (allOne)
+                return;  // identity: nothing to encode
+            BnPotential pot;
+            pot.vars = inVars;
+            pot.sourceOp = opIdx;
+            for (std::size_t in = 0; in < dim; ++in)
+                pushEntry(pot, perm.weight[in], local);
+            bn_.potentials_.push_back(std::move(pot));
+            return;
+        }
+
+        for (std::size_t c = 0; c < changed.size(); ++c) {
+            std::size_t j = changed[c];
+            std::size_t qubit = gate.qubits()[j];
+            ++moment_[qubit];
+            BnVarId outVar = newVar(BnVarRole::IntermediateState, qubit, 2, "");
+
+            BnPotential pot;
+            pot.vars = inVars;
+            pot.vars.push_back(outVar);
+            pot.sourceOp = opIdx;
+            for (std::size_t in = 0; in < dim; ++in) {
+                std::size_t expected = (perm.outOf[in] >> (arity - 1 - j)) & 1;
+                for (std::size_t o = 0; o < 2; ++o) {
+                    if (o != expected) {
+                        pot.entries.push_back(
+                            {BnEntryKind::StructuralZero, -1});
+                    } else if (c == 0) {
+                        pushEntry(pot, perm.weight[in], local);
+                    } else {
+                        pot.entries.push_back({BnEntryKind::StructuralOne, -1});
+                    }
+                }
+            }
+            bn_.potentials_.push_back(std::move(pot));
+            current_[qubit] = outVar;
+        }
+    }
+
+    /** Dense single-qubit gate: CAT = transpose of the unitary (Table 2a). */
+    void encodeDense1Q(const Gate& gate, std::size_t opIdx, BnVarId inVar,
+                       const Matrix& u, const Matrix& uProbe)
+    {
+        std::size_t qubit = gate.qubits()[0];
+        ++moment_[qubit];
+        BnVarId outVar = newVar(BnVarRole::IntermediateState, qubit, 2, "");
+
+        BnPotential pot;
+        pot.vars = {inVar, outVar};
+        pot.sourceOp = opIdx;
+        std::map<CellProbe, std::int32_t> local;
+        for (std::size_t in = 0; in < 2; ++in)
+            for (std::size_t out = 0; out < 2; ++out)
+                pushEntry(pot, {u(out, in), uProbe(out, in)}, local);
+        bn_.potentials_.push_back(std::move(pot));
+        current_[qubit] = outVar;
+    }
+
+    /**
+     * Dense two-qubit gate: chain-rule encoding with a single joint
+     * potential over (inA, inB, outA, outB) holding U[(oA,oB)][(iA,iB)].
+     */
+    void encodeDense2Q(const Gate& gate, std::size_t opIdx,
+                       const std::vector<BnVarId>& inVars, const Matrix& u,
+                       const Matrix& uProbe)
+    {
+        std::size_t qa = gate.qubits()[0];
+        std::size_t qb = gate.qubits()[1];
+        ++moment_[qa];
+        ++moment_[qb];
+        BnVarId outA = newVar(BnVarRole::IntermediateState, qa, 2, "");
+        BnVarId outB = newVar(BnVarRole::IntermediateState, qb, 2, "");
+
+        BnPotential pot;
+        pot.vars = {inVars[0], inVars[1], outA, outB};
+        pot.sourceOp = opIdx;
+        std::map<CellProbe, std::int32_t> local;
+        for (std::size_t in = 0; in < 4; ++in)
+            for (std::size_t out = 0; out < 4; ++out)
+                pushEntry(pot, {u(out, in), uProbe(out, in)}, local);
+        bn_.potentials_.push_back(std::move(pot));
+        current_[qa] = outA;
+        current_[qb] = outB;
+    }
+
+    /**
+     * Noise channel: a NoiseRv variable with one value per Kraus operator
+     * (the spurious measurement of Section 3.1.2). If every Kraus operator
+     * is diagonal the qubit state passes through and the potential spans
+     * (in, rv) — exactly Table 2b; otherwise a fresh state variable is added
+     * and entries are E_k[out][in].
+     */
+    void handleNoise(const NoiseChannel& ch, std::size_t opIdx)
+    {
+        const auto& kraus = ch.krausOperators();
+        const std::size_t numK = kraus.size();
+        const auto& qubits = ch.qubits();
+        const std::size_t arity = qubits.size();
+        const std::size_t dim = std::size_t{1} << arity;
+
+        std::vector<BnVarId> inVars(arity);
+        for (std::size_t j = 0; j < arity; ++j)
+            inVars[j] = current_[qubits[j]];
+
+        bool allDiagonal = true;
+        for (const Matrix& e : kraus)
+            for (std::size_t r = 0; r < dim; ++r)
+                for (std::size_t c = 0; c < dim; ++c)
+                    allDiagonal = allDiagonal &&
+                                  (r == c || std::abs(e(r, c)) < kStructEps);
+
+        ++moment_[qubits[0]];
+        BnVarId rv = newVar(BnVarRole::NoiseRv, qubits[0], numK, "rv");
+        bn_.noiseVars_.push_back(rv);
+
+        std::map<CellProbe, std::int32_t> local;
+        if (allDiagonal) {
+            // The qubits keep their state variables (Table 2b generalized).
+            BnPotential pot;
+            pot.vars = inVars;
+            pot.vars.push_back(rv);
+            pot.sourceOp = opIdx;
+            for (std::size_t in = 0; in < dim; ++in)
+                for (std::size_t k = 0; k < numK; ++k)
+                    pushEntry(pot, {kraus[k](in, in), kraus[k](in, in)}, local);
+            bn_.potentials_.push_back(std::move(pot));
+            return;
+        }
+
+        // Fresh output state variable per operand qubit; entries are
+        // E_k[out][in] over the joint basis.
+        std::vector<BnVarId> outVars(arity);
+        for (std::size_t j = 0; j < arity; ++j) {
+            std::size_t q = qubits[j];
+            if (j > 0)
+                ++moment_[q];
+            outVars[j] = newVar(BnVarRole::IntermediateState, q, 2, "");
+        }
+        BnPotential pot;
+        pot.vars = inVars;
+        pot.vars.push_back(rv);
+        pot.vars.insert(pot.vars.end(), outVars.begin(), outVars.end());
+        pot.sourceOp = opIdx;
+        for (std::size_t in = 0; in < dim; ++in)
+            for (std::size_t k = 0; k < numK; ++k)
+                for (std::size_t out = 0; out < dim; ++out)
+                    pushEntry(pot, {kraus[k](out, in), kraus[k](out, in)},
+                              local);
+        bn_.potentials_.push_back(std::move(pot));
+        for (std::size_t j = 0; j < arity; ++j)
+            current_[qubits[j]] = outVars[j];
+    }
+
+    const Circuit& circuit_;
+    QuantumBayesNet bn_;
+    std::vector<BnVarId> current_;
+    std::vector<std::size_t> moment_;
+};
+
+QuantumBayesNet
+circuitToBayesNet(const Circuit& circuit)
+{
+    return BayesNetBuilder(circuit).build();
+}
+
+} // namespace qkc

@@ -1,0 +1,59 @@
+#include "circuit/device_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qkc {
+
+Circuit
+DeviceModel::apply(const Circuit& circuit) const
+{
+    Circuit noisy(circuit.numQubits());
+    for (const auto& op : circuit.operations()) {
+        if (const NoiseChannel* ch = std::get_if<NoiseChannel>(&op)) {
+            noisy.append(*ch);
+            continue;
+        }
+        const Gate& g = std::get<Gate>(op);
+        noisy.append(g);
+
+        double duration;
+        switch (g.arity()) {
+          case 1: duration = singleQubitGateNs; break;
+          case 2: duration = twoQubitGateNs; break;
+          default: duration = threeQubitGateNs; break;
+        }
+
+        // Thermal relaxation on every operand qubit for the gate duration.
+        for (std::size_t q : g.qubits()) {
+            double T1 = t1Of(q);
+            double T2 = t2Of(q);
+            if (T2 > 2.0 * T1 + 1e-9)
+                throw std::invalid_argument(
+                    "DeviceModel: T2 > 2*T1 is unphysical");
+            double gammaAmp = 1.0 - std::exp(-duration / T1);
+            if (gammaAmp > 1e-12)
+                noisy.append(NoiseChannel::amplitudeDamping(q, gammaAmp));
+            // Pure dephasing rate beyond what T1 decay already causes.
+            double invTphi = 1.0 / T2 - 0.5 / T1;
+            if (invTphi > 1e-15) {
+                double gammaPhi = 1.0 - std::exp(-2.0 * duration * invTphi);
+                if (gammaPhi > 1e-12)
+                    noisy.append(NoiseChannel::phaseDamping(q, gammaPhi));
+            }
+        }
+
+        // Gate-error depolarizing: correlated across two-qubit operands.
+        if (g.arity() == 2 && twoQubitDepolarizing > 0.0) {
+            noisy.append(NoiseChannel::twoQubitDepolarizing(
+                g.qubits()[0], g.qubits()[1], twoQubitDepolarizing));
+        } else if (singleQubitDepolarizing > 0.0) {
+            for (std::size_t q : g.qubits())
+                noisy.append(
+                    NoiseChannel::depolarizing(q, singleQubitDepolarizing));
+        }
+    }
+    return noisy;
+}
+
+} // namespace qkc

@@ -1,0 +1,58 @@
+#ifndef QKC_CIRCUIT_DEVICE_MODEL_H
+#define QKC_CIRCUIT_DEVICE_MODEL_H
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qkc {
+
+/**
+ * A hardware-calibration-style noise model: per-qubit T1 (relaxation) and
+ * T2 (dephasing) times plus gate durations and depolarizing error rates.
+ * Applying it to an ideal circuit inserts, after each gate,
+ *
+ *   - amplitude damping with gamma = 1 - exp(-duration / T1),
+ *   - extra phase damping with the pure-dephasing rate
+ *     1/Tphi = 1/T2 - 1/(2 T1) (requires T2 <= 2 T1),
+ *   - a depolarizing channel with the gate's error rate
+ *     (correlated two-qubit depolarizing after two-qubit gates),
+ *
+ * on every operand qubit — the standard NISQ device abstraction the paper's
+ * Table 1 channels parameterize ("related to T1 time" / "related to T2
+ * time"). This turns published device calibration numbers directly into
+ * circuits the knowledge-compilation pipeline can simulate.
+ */
+struct DeviceModel {
+    /** Per-qubit T1; empty means "uniform defaultT1". */
+    std::vector<double> t1;
+    /** Per-qubit T2 (<= 2 T1); empty means "uniform defaultT2". */
+    std::vector<double> t2;
+    double defaultT1 = 50e3;    ///< ns (typical transmon: tens of microseconds)
+    double defaultT2 = 70e3;    ///< ns
+    double singleQubitGateNs = 25.0;
+    double twoQubitGateNs = 250.0;
+    double threeQubitGateNs = 500.0;
+    double singleQubitDepolarizing = 0.001;
+    double twoQubitDepolarizing = 0.01;
+
+    double t1Of(std::size_t q) const
+    {
+        return q < t1.size() ? t1[q] : defaultT1;
+    }
+    double t2Of(std::size_t q) const
+    {
+        return q < t2.size() ? t2[q] : defaultT2;
+    }
+
+    /**
+     * Returns a copy of `circuit` with the model's channels inserted after
+     * every gate. Throws if any T2 exceeds 2 T1 (unphysical).
+     */
+    Circuit apply(const Circuit& circuit) const;
+};
+
+} // namespace qkc
+
+#endif // QKC_CIRCUIT_DEVICE_MODEL_H

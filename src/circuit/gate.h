@@ -1,0 +1,91 @@
+#ifndef QKC_CIRCUIT_GATE_H
+#define QKC_CIRCUIT_GATE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qkc {
+
+/**
+ * Gate vocabulary. The set mirrors what the paper's workloads need: the
+ * Clifford+T basics for the validation algorithm suite (Deutsch-Jozsa ...
+ * Shor), parameterized rotations for the variational workloads (QAOA / VQE),
+ * and escape hatches (Custom1Q / Custom2Q) for arbitrary unitaries such as
+ * the GRCS random-circuit gates.
+ */
+enum class GateKind {
+    I,
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    Rx,       ///< exp(-i theta X / 2)
+    Ry,       ///< exp(-i theta Y / 2)
+    Rz,       ///< exp(-i theta Z / 2)
+    PhaseZ,   ///< diag(1, e^{i theta})
+    CNOT,
+    CZ,
+    SWAP,
+    CRz,      ///< controlled Rz(theta)
+    CPhase,   ///< controlled diag(1, e^{i theta})
+    ZZ,       ///< exp(-i theta Z(x)Z / 2), the QAOA phase separator
+    CCX,      ///< Toffoli
+    CCZ,
+    CSWAP,    ///< Fredkin
+    Custom1Q,
+    Custom2Q,
+};
+
+/**
+ * A quantum gate instance: a kind, the qubits it acts on (qubits[0] is the
+ * most significant bit of the gate's local basis index; controls precede
+ * targets), an optional rotation angle, and, for Custom*, an explicit
+ * unitary.
+ */
+class Gate {
+  public:
+    Gate(GateKind kind, std::vector<std::size_t> qubits, double param = 0.0);
+
+    /** Builds a custom gate from an explicit unitary (2x2 or 4x4). */
+    static Gate custom(std::vector<std::size_t> qubits, Matrix unitary,
+                       std::string label = "U");
+
+    GateKind kind() const { return kind_; }
+    const std::vector<std::size_t>& qubits() const { return qubits_; }
+    std::size_t arity() const { return qubits_.size(); }
+    double param() const { return param_; }
+
+    /**
+     * Replaces the rotation angle. Only meaningful for parameterized kinds;
+     * used by the variational drivers to sweep circuit parameters without
+     * rebuilding the circuit.
+     */
+    void setParam(double param) { param_ = param; }
+
+    /** True for Rx/Ry/Rz/PhaseZ/CRz/CPhase/ZZ. */
+    bool isParameterized() const;
+
+    /** The full 2^arity x 2^arity unitary in the gate's local basis. */
+    Matrix unitary() const;
+
+    /** Short mnemonic, e.g. "H", "CNOT", "Rz(0.500)". */
+    std::string name() const;
+
+  private:
+    GateKind kind_;
+    std::vector<std::size_t> qubits_;
+    double param_ = 0.0;
+    Matrix custom_;
+    std::string label_;
+};
+
+} // namespace qkc
+
+#endif // QKC_CIRCUIT_GATE_H

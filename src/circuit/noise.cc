@@ -1,0 +1,203 @@
+#include "circuit/noise.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace qkc {
+
+namespace {
+
+constexpr Complex kI{0.0, 1.0};
+
+Matrix
+pauliX()
+{
+    return Matrix{{0.0, 1.0}, {1.0, 0.0}};
+}
+
+Matrix
+pauliY()
+{
+    return Matrix{{0.0, -kI}, {kI, 0.0}};
+}
+
+Matrix
+pauliZ()
+{
+    return Matrix{{1.0, 0.0}, {0.0, -1.0}};
+}
+
+void
+checkProbability(double p, const char* what)
+{
+    if (p < 0.0 || p > 1.0)
+        throw std::invalid_argument(std::string(what) +
+                                    ": probability out of [0, 1]");
+}
+
+std::string
+fmt(const char* base, double a)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s(%.4g)", base, a);
+    return buf;
+}
+
+/** Verifies the completeness relation sum_k E_k^dagger E_k == I. */
+void
+checkCompleteness(const std::vector<Matrix>& kraus)
+{
+    assert(!kraus.empty());
+    Matrix acc = Matrix::zero(kraus[0].cols(), kraus[0].cols());
+    for (const Matrix& e : kraus)
+        acc = acc + e.adjoint() * e;
+    assert(acc.approxEqual(Matrix::identity(acc.rows()), 1e-8));
+    (void)acc;
+}
+
+} // namespace
+
+NoiseChannel::NoiseChannel(NoiseKind kind, std::vector<std::size_t> qubits,
+                           std::vector<Matrix> kraus, std::string label)
+    : kind_(kind), qubits_(std::move(qubits)), kraus_(std::move(kraus)),
+      label_(std::move(label))
+{
+    checkCompleteness(kraus_);
+}
+
+NoiseChannel
+NoiseChannel::bitFlip(std::size_t qubit, double p)
+{
+    checkProbability(p, "bitFlip");
+    std::vector<Matrix> kraus{Matrix::identity(2) * std::sqrt(1.0 - p),
+                              pauliX() * std::sqrt(p)};
+    return NoiseChannel(NoiseKind::BitFlip, {qubit}, std::move(kraus),
+                        fmt("BitFlip", p));
+}
+
+NoiseChannel
+NoiseChannel::phaseFlip(std::size_t qubit, double p)
+{
+    checkProbability(p, "phaseFlip");
+    std::vector<Matrix> kraus{Matrix::identity(2) * std::sqrt(1.0 - p),
+                              pauliZ() * std::sqrt(p)};
+    return NoiseChannel(NoiseKind::PhaseFlip, {qubit}, std::move(kraus),
+                        fmt("PhaseFlip", p));
+}
+
+NoiseChannel
+NoiseChannel::depolarizing(std::size_t qubit, double p)
+{
+    checkProbability(p, "depolarizing");
+    std::vector<Matrix> kraus{Matrix::identity(2) * std::sqrt(1.0 - p),
+                              pauliX() * std::sqrt(p / 3.0),
+                              pauliY() * std::sqrt(p / 3.0),
+                              pauliZ() * std::sqrt(p / 3.0)};
+    return NoiseChannel(NoiseKind::Depolarizing, {qubit}, std::move(kraus),
+                        fmt("Depol", p));
+}
+
+NoiseChannel
+NoiseChannel::asymmetricDepolarizing(std::size_t qubit, double pX, double pY,
+                                     double pZ)
+{
+    checkProbability(pX, "asymmetricDepolarizing pX");
+    checkProbability(pY, "asymmetricDepolarizing pY");
+    checkProbability(pZ, "asymmetricDepolarizing pZ");
+    double p0 = 1.0 - pX - pY - pZ;
+    if (p0 < 0.0)
+        throw std::invalid_argument("asymmetricDepolarizing: pX+pY+pZ > 1");
+    std::vector<Matrix> kraus{Matrix::identity(2) * std::sqrt(p0),
+                              pauliX() * std::sqrt(pX),
+                              pauliY() * std::sqrt(pY),
+                              pauliZ() * std::sqrt(pZ)};
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "ADepol(%.4g,%.4g,%.4g)", pX, pY, pZ);
+    return NoiseChannel(NoiseKind::AsymmetricDepolarizing, {qubit},
+                        std::move(kraus), buf);
+}
+
+NoiseChannel
+NoiseChannel::amplitudeDamping(std::size_t qubit, double gamma)
+{
+    checkProbability(gamma, "amplitudeDamping");
+    Matrix e0{{1.0, 0.0}, {0.0, std::sqrt(1.0 - gamma)}};
+    Matrix e1{{0.0, std::sqrt(gamma)}, {0.0, 0.0}};
+    return NoiseChannel(NoiseKind::AmplitudeDamping, {qubit}, {e0, e1},
+                        fmt("AmpDamp", gamma));
+}
+
+NoiseChannel
+NoiseChannel::phaseDamping(std::size_t qubit, double gamma)
+{
+    checkProbability(gamma, "phaseDamping");
+    Matrix e0{{1.0, 0.0}, {0.0, std::sqrt(1.0 - gamma)}};
+    Matrix e1{{0.0, 0.0}, {0.0, std::sqrt(gamma)}};
+    return NoiseChannel(NoiseKind::PhaseDamping, {qubit}, {e0, e1},
+                        fmt("PhaseDamp", gamma));
+}
+
+NoiseChannel
+NoiseChannel::generalizedAmplitudeDamping(std::size_t qubit, double gamma,
+                                          double p)
+{
+    checkProbability(gamma, "generalizedAmplitudeDamping gamma");
+    checkProbability(p, "generalizedAmplitudeDamping p");
+    double sp = std::sqrt(p);
+    double sq = std::sqrt(1.0 - p);
+    Matrix e0 = Matrix{{1.0, 0.0}, {0.0, std::sqrt(1.0 - gamma)}} * sp;
+    Matrix e1 = Matrix{{0.0, std::sqrt(gamma)}, {0.0, 0.0}} * sp;
+    Matrix e2 = Matrix{{std::sqrt(1.0 - gamma), 0.0}, {0.0, 1.0}} * sq;
+    Matrix e3 = Matrix{{0.0, 0.0}, {std::sqrt(gamma), 0.0}} * sq;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "GAD(%.4g,%.4g)", gamma, p);
+    return NoiseChannel(NoiseKind::GeneralizedAmplitudeDamping, {qubit},
+                        {e0, e1, e2, e3}, buf);
+}
+
+NoiseChannel
+NoiseChannel::twoQubitDepolarizing(std::size_t qubitA, std::size_t qubitB,
+                                   double p)
+{
+    checkProbability(p, "twoQubitDepolarizing");
+    if (qubitA == qubitB)
+        throw std::invalid_argument("twoQubitDepolarizing: distinct qubits");
+    const Matrix paulis[4] = {Matrix::identity(2), pauliX(), pauliY(),
+                              pauliZ()};
+    std::vector<Matrix> kraus;
+    kraus.reserve(16);
+    kraus.push_back(Matrix::identity(4) * std::sqrt(1.0 - p));
+    for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) {
+            if (a == 0 && b == 0)
+                continue;
+            kraus.push_back(paulis[a].kron(paulis[b]) * std::sqrt(p / 15.0));
+        }
+    }
+    return NoiseChannel(NoiseKind::TwoQubitDepolarizing, {qubitA, qubitB},
+                        std::move(kraus), fmt("Depol2Q", p));
+}
+
+bool
+NoiseChannel::isMixture() const
+{
+    // E is a scaled unitary iff E^dagger E is a non-negative multiple of I.
+    for (const Matrix& e : kraus_) {
+        Matrix m = e.adjoint() * e;
+        Complex scale = m(0, 0);
+        Matrix scaled = Matrix::identity(m.rows()) * scale;
+        if (!m.approxEqual(scaled, 1e-9))
+            return false;
+    }
+    return true;
+}
+
+std::string
+NoiseChannel::name() const
+{
+    return label_;
+}
+
+} // namespace qkc

@@ -1,0 +1,95 @@
+#ifndef QKC_CIRCUIT_NOISE_H
+#define QKC_CIRCUIT_NOISE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qkc {
+
+/**
+ * The canonical single-qubit noise models of the paper's Table 1
+ * (Nielsen & Chuang chapter 8.3).
+ *
+ * "Mixtures" (bit flip, phase flip, depolarizing) are probabilistic
+ * ensembles of unitaries — every Kraus operator is sqrt(p_k) * U_k — and can
+ * be simulated by stochastic state-vector trajectories. "Channels"
+ * (amplitude damping, phase damping, generalized amplitude damping) have
+ * non-unitary Kraus operators and classically require the density matrix
+ * representation; the knowledge-compilation pipeline handles both uniformly
+ * by attaching a spurious-measurement random variable (Section 3.1.2).
+ */
+enum class NoiseKind {
+    BitFlip,                      ///< (1-p) I rho I + p X rho X
+    PhaseFlip,                    ///< (1-p) I rho I + p Z rho Z
+    Depolarizing,                 ///< symmetric: p/3 chance of each Pauli
+    AsymmetricDepolarizing,       ///< independent pX, pY, pZ
+    AmplitudeDamping,             ///< T1-type relaxation, strength gamma
+    PhaseDamping,                 ///< T2-type dephasing, strength gamma
+    GeneralizedAmplitudeDamping,  ///< finite-temperature damping (gamma, p)
+    TwoQubitDepolarizing,         ///< correlated: each non-II Pauli pair p/15
+};
+
+/**
+ * A noise operation attached to one or two qubits at one point in the
+ * circuit, defined by its Kraus operator decomposition.
+ */
+class NoiseChannel {
+  public:
+    static NoiseChannel bitFlip(std::size_t qubit, double p);
+    static NoiseChannel phaseFlip(std::size_t qubit, double p);
+    /** Symmetric depolarizing: each of X, Y, Z occurs with probability p/3. */
+    static NoiseChannel depolarizing(std::size_t qubit, double p);
+    static NoiseChannel asymmetricDepolarizing(std::size_t qubit, double pX,
+                                               double pY, double pZ);
+    static NoiseChannel amplitudeDamping(std::size_t qubit, double gamma);
+    static NoiseChannel phaseDamping(std::size_t qubit, double gamma);
+    static NoiseChannel generalizedAmplitudeDamping(std::size_t qubit,
+                                                    double gamma, double p);
+
+    /**
+     * Correlated two-qubit depolarizing: with probability p one of the 15
+     * non-identity two-qubit Paulis is applied (p/15 each). Models
+     * crosstalk after two-qubit gates, which independent one-qubit
+     * channels cannot express.
+     */
+    static NoiseChannel twoQubitDepolarizing(std::size_t qubitA,
+                                             std::size_t qubitB, double p);
+
+    NoiseKind kind() const { return kind_; }
+
+    /** The operand qubits (size 1 or 2). */
+    const std::vector<std::size_t>& qubits() const { return qubits_; }
+    std::size_t arity() const { return qubits_.size(); }
+
+    /** The single operand of a one-qubit channel. */
+    std::size_t qubit() const { return qubits_.front(); }
+
+    /** Kraus operators E_k with sum_k E_k^dagger E_k = I. */
+    const std::vector<Matrix>& krausOperators() const { return kraus_; }
+
+    /**
+     * True if every Kraus operator is a scaled unitary, i.e. the channel is
+     * a probabilistic mixture of unitaries and admits trajectory simulation
+     * on state vectors (Table 1's "Sim. technique" row).
+     */
+    bool isMixture() const;
+
+    /** Human-readable label, e.g. "Depol(0.005)". */
+    std::string name() const;
+
+  private:
+    NoiseChannel(NoiseKind kind, std::vector<std::size_t> qubits,
+                 std::vector<Matrix> kraus, std::string label);
+
+    NoiseKind kind_;
+    std::vector<std::size_t> qubits_;
+    std::vector<Matrix> kraus_;
+    std::string label_;
+};
+
+} // namespace qkc
+
+#endif // QKC_CIRCUIT_NOISE_H

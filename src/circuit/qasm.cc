@@ -1,0 +1,467 @@
+#include "circuit/qasm.h"
+
+#include <cctype>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qkc {
+
+namespace {
+
+const char*
+noiseKindTag(NoiseKind kind)
+{
+    switch (kind) {
+      case NoiseKind::BitFlip: return "bitflip";
+      case NoiseKind::PhaseFlip: return "phaseflip";
+      case NoiseKind::Depolarizing: return "depolarizing";
+      case NoiseKind::AsymmetricDepolarizing: return "adepolarizing";
+      case NoiseKind::AmplitudeDamping: return "ampdamp";
+      case NoiseKind::PhaseDamping: return "phasedamp";
+      case NoiseKind::GeneralizedAmplitudeDamping: return "gad";
+      case NoiseKind::TwoQubitDepolarizing: return "depol2q";
+    }
+    return "?";
+}
+
+/**
+ * Reconstructs the scalar parameters of a channel from its Kraus operators
+ * (they were built from closed-form matrices, so the entries are exact).
+ */
+std::vector<double>
+noiseParams(const NoiseChannel& ch)
+{
+    const auto& k = ch.krausOperators();
+    switch (ch.kind()) {
+      case NoiseKind::BitFlip:
+      case NoiseKind::PhaseFlip: {
+        // E1 = sqrt(p) * Pauli: any nonzero entry has magnitude sqrt(p).
+        double s = 0.0;
+        for (std::size_t r = 0; r < 2; ++r)
+            for (std::size_t c = 0; c < 2; ++c)
+                s = std::max(s, std::abs(k[1](r, c)));
+        return {s * s};
+      }
+      case NoiseKind::Depolarizing: {
+        double sx = 0.0;
+        for (std::size_t r = 0; r < 2; ++r)
+            for (std::size_t c = 0; c < 2; ++c)
+                sx = std::max(sx, std::abs(k[1](r, c)));
+        return {3.0 * sx * sx};
+      }
+      case NoiseKind::AsymmetricDepolarizing: {
+        auto maxAbs = [](const Matrix& m) {
+            double s = 0.0;
+            for (std::size_t r = 0; r < 2; ++r)
+                for (std::size_t c = 0; c < 2; ++c)
+                    s = std::max(s, std::abs(m(r, c)));
+            return s;
+        };
+        double px = maxAbs(k[1]), py = maxAbs(k[2]), pz = maxAbs(k[3]);
+        return {px * px, py * py, pz * pz};
+      }
+      case NoiseKind::AmplitudeDamping:
+      case NoiseKind::PhaseDamping: {
+        double sg = std::abs(k[1](k[0].rows() - 1, 1));
+        if (ch.kind() == NoiseKind::AmplitudeDamping)
+            sg = std::abs(k[1](0, 1));
+        return {sg * sg};
+      }
+      case NoiseKind::GeneralizedAmplitudeDamping: {
+        // E0 = sqrt(p) diag(1, sqrt(1-g)); E1 = sqrt(p) offdiag(sqrt(g)).
+        double sp = std::abs(k[0](0, 0));
+        double p = sp * sp;
+        double sg = std::abs(k[1](0, 1)) / sp;
+        return {sg * sg, p};
+      }
+      case NoiseKind::TwoQubitDepolarizing: {
+        double s0 = std::abs(k[0](0, 0));
+        return {1.0 - s0 * s0};
+      }
+    }
+    return {};
+}
+
+NoiseChannel
+makeChannel(const std::string& tag, const std::vector<std::size_t>& qubits,
+            const std::vector<double>& params)
+{
+    std::size_t qubit = qubits.front();
+    if (tag == "depol2q")
+        return NoiseChannel::twoQubitDepolarizing(qubits.at(0), qubits.at(1),
+                                                  params.at(0));
+    if (tag == "bitflip")
+        return NoiseChannel::bitFlip(qubit, params.at(0));
+    if (tag == "phaseflip")
+        return NoiseChannel::phaseFlip(qubit, params.at(0));
+    if (tag == "depolarizing")
+        return NoiseChannel::depolarizing(qubit, params.at(0));
+    if (tag == "adepolarizing")
+        return NoiseChannel::asymmetricDepolarizing(qubit, params.at(0),
+                                                    params.at(1),
+                                                    params.at(2));
+    if (tag == "ampdamp")
+        return NoiseChannel::amplitudeDamping(qubit, params.at(0));
+    if (tag == "phasedamp")
+        return NoiseChannel::phaseDamping(qubit, params.at(0));
+    if (tag == "gad")
+        return NoiseChannel::generalizedAmplitudeDamping(qubit, params.at(0),
+                                                         params.at(1));
+    throw std::invalid_argument("parseQasm: unknown noise tag " + tag);
+}
+
+/** Minimal arithmetic evaluator for QASM angle expressions. */
+class AngleParser {
+  public:
+    explicit AngleParser(const std::string& text) : text_(text) {}
+
+    double parse()
+    {
+        double v = expr();
+        skipWs();
+        if (pos_ != text_.size())
+            throw std::invalid_argument("parseQasm: bad angle: " + text_);
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() && std::isspace(text_[pos_]))
+            ++pos_;
+    }
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    double expr()
+    {
+        double v = term();
+        for (;;) {
+            if (consume('+'))
+                v += term();
+            else if (consume('-'))
+                v -= term();
+            else
+                return v;
+        }
+    }
+    double term()
+    {
+        double v = unary();
+        for (;;) {
+            if (consume('*'))
+                v *= unary();
+            else if (consume('/'))
+                v /= unary();
+            else
+                return v;
+        }
+    }
+    double unary()
+    {
+        if (consume('-'))
+            return -unary();
+        return atom();
+    }
+    double atom()
+    {
+        skipWs();
+        if (consume('(')) {
+            double v = expr();
+            if (!consume(')'))
+                throw std::invalid_argument("parseQasm: missing ')'");
+            return v;
+        }
+        if (text_.compare(pos_, 2, "pi") == 0) {
+            pos_ += 2;
+            return M_PI;
+        }
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(text_[end]) || text_[end] == '.' ||
+                text_[end] == 'e' || text_[end] == 'E' ||
+                ((text_[end] == '+' || text_[end] == '-') && end > pos_ &&
+                 (text_[end - 1] == 'e' || text_[end - 1] == 'E'))))
+            ++end;
+        if (end == pos_)
+            throw std::invalid_argument("parseQasm: bad angle: " + text_);
+        double v = std::stod(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        return v;
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+void
+writeQasm(const Circuit& circuit, std::ostream& os)
+{
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    os << "qreg q[" << circuit.numQubits() << "];\n";
+    os << "creg c[" << circuit.numQubits() << "];\n";
+
+    auto q = [](std::size_t i) {
+        std::ostringstream s;
+        s << "q[" << i << "]";
+        return s.str();
+    };
+
+    for (const auto& op : circuit.operations()) {
+        if (const NoiseChannel* ch = std::get_if<NoiseChannel>(&op)) {
+            os << "// qkc.noise " << noiseKindTag(ch->kind());
+            for (std::size_t qi : ch->qubits())
+                os << " " << qi;
+            for (double p : noiseParams(*ch))
+                os << " " << p;
+            os << "\n";
+            continue;
+        }
+        const Gate& g = std::get<Gate>(op);
+        const auto& qs = g.qubits();
+        char angle[64];
+        std::snprintf(angle, sizeof(angle), "%.17g", g.param());
+        switch (g.kind()) {
+          case GateKind::I: os << "id " << q(qs[0]); break;
+          case GateKind::X: os << "x " << q(qs[0]); break;
+          case GateKind::Y: os << "y " << q(qs[0]); break;
+          case GateKind::Z: os << "z " << q(qs[0]); break;
+          case GateKind::H: os << "h " << q(qs[0]); break;
+          case GateKind::S: os << "s " << q(qs[0]); break;
+          case GateKind::Sdg: os << "sdg " << q(qs[0]); break;
+          case GateKind::T: os << "t " << q(qs[0]); break;
+          case GateKind::Tdg: os << "tdg " << q(qs[0]); break;
+          case GateKind::Rx: os << "rx(" << angle << ") " << q(qs[0]); break;
+          case GateKind::Ry: os << "ry(" << angle << ") " << q(qs[0]); break;
+          case GateKind::Rz: os << "rz(" << angle << ") " << q(qs[0]); break;
+          case GateKind::PhaseZ:
+            os << "u1(" << angle << ") " << q(qs[0]);
+            break;
+          case GateKind::CNOT:
+            os << "cx " << q(qs[0]) << "," << q(qs[1]);
+            break;
+          case GateKind::CZ:
+            os << "cz " << q(qs[0]) << "," << q(qs[1]);
+            break;
+          case GateKind::SWAP:
+            os << "swap " << q(qs[0]) << "," << q(qs[1]);
+            break;
+          case GateKind::CRz:
+            os << "crz(" << angle << ") " << q(qs[0]) << "," << q(qs[1]);
+            break;
+          case GateKind::CPhase:
+            os << "cu1(" << angle << ") " << q(qs[0]) << "," << q(qs[1]);
+            break;
+          case GateKind::ZZ:
+            os << "rzz(" << angle << ") " << q(qs[0]) << "," << q(qs[1]);
+            break;
+          case GateKind::CCX:
+            os << "ccx " << q(qs[0]) << "," << q(qs[1]) << "," << q(qs[2]);
+            break;
+          case GateKind::CCZ:
+            // qelib1 has no ccz; conjugate a Toffoli with Hadamards.
+            os << "h " << q(qs[2]) << ";\n";
+            os << "ccx " << q(qs[0]) << "," << q(qs[1]) << "," << q(qs[2])
+               << ";\n";
+            os << "h " << q(qs[2]);
+            break;
+          case GateKind::CSWAP:
+            os << "cswap " << q(qs[0]) << "," << q(qs[1]) << "," << q(qs[2]);
+            break;
+          case GateKind::Custom1Q:
+          case GateKind::Custom2Q:
+            throw std::invalid_argument(
+                "writeQasm: custom unitaries have no QASM 2.0 spelling");
+        }
+        os << ";\n";
+    }
+}
+
+std::string
+toQasm(const Circuit& circuit)
+{
+    std::ostringstream os;
+    writeQasm(circuit, os);
+    return os.str();
+}
+
+Circuit
+parseQasm(std::istream& is)
+{
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    return parseQasm(text);
+}
+
+Circuit
+parseQasm(const std::string& text)
+{
+    // Pre-scan: find the qreg size so the Circuit can be constructed.
+    std::unique_ptr<Circuit> circuit;
+    std::string qregName;
+
+    // Split into statements, keeping // qkc.noise comment lines.
+    std::istringstream lines(text);
+    std::string line;
+    std::vector<std::string> statements;
+    while (std::getline(lines, line)) {
+        auto comment = line.find("//");
+        if (comment != std::string::npos) {
+            std::string c = line.substr(comment + 2);
+            std::istringstream cs(c);
+            std::string tag;
+            cs >> tag;
+            if (tag == "qkc.noise")
+                statements.push_back("@noise" + c.substr(c.find(tag) + tag.size()));
+            line = line.substr(0, comment);
+        }
+        std::size_t start = 0;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            if (line[i] == ';') {
+                statements.push_back(line.substr(start, i - start));
+                start = i + 1;
+            }
+        }
+        std::string rest = line.substr(start);
+        if (rest.find_first_not_of(" \t\r") != std::string::npos)
+            statements.push_back(rest);
+    }
+
+    auto trim = [](std::string s) {
+        auto b = s.find_first_not_of(" \t\r");
+        auto e = s.find_last_not_of(" \t\r");
+        return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+    };
+
+    for (std::string stmtRaw : statements) {
+        std::string stmt = trim(stmtRaw);
+        if (stmt.empty())
+            continue;
+
+        if (stmt.rfind("@noise", 0) == 0) {
+            std::istringstream ns(stmt.substr(6));
+            std::string tag;
+            ns >> tag;
+            std::size_t numQubits = tag == "depol2q" ? 2 : 1;
+            std::vector<std::size_t> qubits(numQubits);
+            for (std::size_t& q : qubits)
+                ns >> q;
+            std::vector<double> params;
+            double p;
+            while (ns >> p)
+                params.push_back(p);
+            if (!circuit)
+                throw std::invalid_argument("parseQasm: noise before qreg");
+            circuit->append(makeChannel(tag, qubits, params));
+            continue;
+        }
+        if (stmt.rfind("OPENQASM", 0) == 0 || stmt.rfind("include", 0) == 0 ||
+            stmt.rfind("creg", 0) == 0 || stmt.rfind("measure", 0) == 0 ||
+            stmt.rfind("barrier", 0) == 0)
+            continue;
+        if (stmt.rfind("qreg", 0) == 0) {
+            auto lb = stmt.find('[');
+            auto rb = stmt.find(']');
+            if (lb == std::string::npos || rb == std::string::npos)
+                throw std::invalid_argument("parseQasm: bad qreg");
+            if (circuit)
+                throw std::invalid_argument("parseQasm: multiple qregs");
+            qregName = trim(stmt.substr(4, lb - 4));
+            std::size_t n = std::stoul(stmt.substr(lb + 1, rb - lb - 1));
+            circuit = std::make_unique<Circuit>(n);
+            continue;
+        }
+
+        // Gate application: name[(params)] operand[,operand...]
+        if (!circuit)
+            throw std::invalid_argument("parseQasm: gate before qreg");
+        std::string name, argText, operandText;
+        auto paren = stmt.find('(');
+        auto space = stmt.find_first_of(" \t");
+        if (paren != std::string::npos && paren < space) {
+            name = trim(stmt.substr(0, paren));
+            // Match the closing paren by depth (angles may nest parens).
+            std::size_t close = std::string::npos;
+            int depth = 0;
+            for (std::size_t i = paren; i < stmt.size(); ++i) {
+                if (stmt[i] == '(')
+                    ++depth;
+                else if (stmt[i] == ')' && --depth == 0) {
+                    close = i;
+                    break;
+                }
+            }
+            if (close == std::string::npos)
+                throw std::invalid_argument("parseQasm: missing ')'");
+            argText = stmt.substr(paren + 1, close - paren - 1);
+            operandText = trim(stmt.substr(close + 1));
+        } else {
+            if (space == std::string::npos)
+                throw std::invalid_argument("parseQasm: bad statement: " + stmt);
+            name = trim(stmt.substr(0, space));
+            operandText = trim(stmt.substr(space + 1));
+        }
+
+        double theta = 0.0;
+        if (!argText.empty())
+            theta = AngleParser(argText).parse();
+
+        std::vector<std::size_t> qubits;
+        std::istringstream ops(operandText);
+        std::string operand;
+        while (std::getline(ops, operand, ',')) {
+            operand = trim(operand);
+            auto lb = operand.find('[');
+            auto rb = operand.find(']');
+            if (lb == std::string::npos || rb == std::string::npos)
+                throw std::invalid_argument(
+                    "parseQasm: whole-register operations unsupported: " +
+                    operand);
+            std::string reg = trim(operand.substr(0, lb));
+            if (reg != qregName)
+                throw std::invalid_argument("parseQasm: unknown register " +
+                                            reg);
+            qubits.push_back(
+                std::stoul(operand.substr(lb + 1, rb - lb - 1)));
+        }
+
+        static const std::map<std::string, GateKind> kKinds{
+            {"id", GateKind::I},     {"x", GateKind::X},
+            {"y", GateKind::Y},      {"z", GateKind::Z},
+            {"h", GateKind::H},      {"s", GateKind::S},
+            {"sdg", GateKind::Sdg},  {"t", GateKind::T},
+            {"tdg", GateKind::Tdg},  {"rx", GateKind::Rx},
+            {"ry", GateKind::Ry},    {"rz", GateKind::Rz},
+            {"u1", GateKind::PhaseZ},{"p", GateKind::PhaseZ},
+            {"cx", GateKind::CNOT},  {"CX", GateKind::CNOT},
+            {"cz", GateKind::CZ},    {"swap", GateKind::SWAP},
+            {"crz", GateKind::CRz},  {"cu1", GateKind::CPhase},
+            {"cp", GateKind::CPhase},{"rzz", GateKind::ZZ},
+            {"ccx", GateKind::CCX},  {"cswap", GateKind::CSWAP},
+        };
+        auto it = kKinds.find(name);
+        if (it == kKinds.end())
+            throw std::invalid_argument("parseQasm: unsupported gate " + name);
+        circuit->append(Gate(it->second, qubits, theta));
+    }
+
+    if (!circuit)
+        throw std::invalid_argument("parseQasm: no qreg declaration");
+    return std::move(*circuit);
+}
+
+} // namespace qkc

@@ -1,0 +1,43 @@
+#ifndef QKC_CIRCUIT_QASM_H
+#define QKC_CIRCUIT_QASM_H
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qkc {
+
+/**
+ * OpenQASM 2.0 interoperability for the circuit IR, so circuits written for
+ * other toolchains (Qiskit, Cirq's exporter, staq, ...) can be fed into the
+ * knowledge-compilation pipeline and vice versa.
+ *
+ * Supported gate vocabulary on export: id, x, y, z, h, s, sdg, t, tdg,
+ * rx, ry, rz, u1, cx, cz, swap, crz, cu1, rzz, ccx, ccz (as h+ccx+h),
+ * cswap. Custom-unitary gates have no QASM 2.0 spelling and are rejected.
+ * Noise channels are emitted as structured comments (`// qkc.noise ...`)
+ * and round-trip through our own reader; foreign readers ignore them.
+ */
+
+/** Serializes `circuit` as OpenQASM 2.0. */
+void writeQasm(const Circuit& circuit, std::ostream& os);
+
+/** Convenience wrapper returning a string. */
+std::string toQasm(const Circuit& circuit);
+
+/**
+ * Parses an OpenQASM 2.0 program. Requirements: a single qreg, the
+ * `qelib1.inc` vocabulary listed above, numeric angle expressions made of
+ * literals, `pi`, unary minus, `*` and `/` (e.g. `-3*pi/4`). `measure`,
+ * `barrier`, and creg declarations are accepted and ignored (measurement is
+ * implicit at the end of our circuits).
+ */
+Circuit parseQasm(std::istream& is);
+
+/** Convenience wrapper parsing from a string. */
+Circuit parseQasm(const std::string& text);
+
+} // namespace qkc
+
+#endif // QKC_CIRCUIT_QASM_H

@@ -1,0 +1,176 @@
+#include "cnf/bn_to_cnf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+namespace qkc {
+
+namespace {
+
+/**
+ * Applies unit resolution: literals fixed by unit clauses are substituted
+ * into all other clauses until fixpoint. Unit clauses are retained so fixed
+ * variables stay pinned for the downstream compiler.
+ */
+void
+unitResolve(Cnf& cnf)
+{
+    // fixed[v] : 0 unassigned, +1 true, -1 false.
+    std::vector<int> fixed(cnf.vars.size() + 1, 0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::vector<Clause> next;
+        next.reserve(cnf.clauses.size());
+        for (Clause& clause : cnf.clauses) {
+            if (clause.size() == 1) {
+                int lit = clause[0];
+                int var = std::abs(lit);
+                int sign = lit > 0 ? 1 : -1;
+                if (fixed[var] == -sign)
+                    throw std::logic_error("bayesNetToCnf: contradictory units");
+                if (fixed[var] == 0) {
+                    fixed[var] = sign;
+                    changed = true;
+                }
+                next.push_back(std::move(clause));
+                continue;
+            }
+            bool satisfied = false;
+            Clause reduced;
+            reduced.reserve(clause.size());
+            for (int lit : clause) {
+                int var = std::abs(lit);
+                int sign = lit > 0 ? 1 : -1;
+                if (fixed[var] == sign) {
+                    satisfied = true;
+                    break;
+                }
+                if (fixed[var] == 0)
+                    reduced.push_back(lit);
+                // Literals fixed false are dropped.
+            }
+            if (satisfied) {
+                changed = changed || true;
+                continue;  // clause removed
+            }
+            if (reduced.empty())
+                throw std::logic_error("bayesNetToCnf: unsatisfiable encoding");
+            if (reduced.size() != clause.size())
+                changed = true;
+            next.push_back(std::move(reduced));
+        }
+        cnf.clauses = std::move(next);
+    }
+
+    // Deduplicate unit clauses that may now repeat.
+    std::sort(cnf.clauses.begin(), cnf.clauses.end());
+    cnf.clauses.erase(std::unique(cnf.clauses.begin(), cnf.clauses.end()),
+                      cnf.clauses.end());
+}
+
+} // namespace
+
+Cnf
+bayesNetToCnf(const QuantumBayesNet& bn, const BnToCnfOptions& options)
+{
+    Cnf cnf;
+    cnf.bnVarIndicators.resize(bn.variables().size());
+
+    // Indicator variables: one Boolean per binary BN variable, a one-hot
+    // group with exactly-one clauses per multi-valued noise RV.
+    for (BnVarId id = 0; id < bn.variables().size(); ++id) {
+        const BnVariable& v = bn.variables()[id];
+        if (v.cardinality == 2) {
+            CnfVariable cv;
+            cv.kind = CnfVarKind::BinaryIndicator;
+            cv.bnVar = id;
+            cv.query = v.isQuery();
+            cnf.vars.push_back(cv);
+            cnf.bnVarIndicators[id] = {static_cast<int>(cnf.vars.size())};
+        } else {
+            std::vector<int> group;
+            for (std::uint32_t k = 0; k < v.cardinality; ++k) {
+                CnfVariable cv;
+                cv.kind = CnfVarKind::OneHotIndicator;
+                cv.bnVar = id;
+                cv.value = k;
+                cv.query = v.isQuery();
+                cnf.vars.push_back(cv);
+                group.push_back(static_cast<int>(cnf.vars.size()));
+            }
+            cnf.bnVarIndicators[id] = group;
+            // At least one value...
+            cnf.clauses.push_back(group);
+            // ... and at most one.
+            for (std::size_t i = 0; i < group.size(); ++i)
+                for (std::size_t j = i + 1; j < group.size(); ++j)
+                    cnf.clauses.push_back({-group[i], -group[j]});
+        }
+    }
+
+    // Literal for "BN variable v takes value k".
+    auto literal = [&](BnVarId v, std::size_t k) -> int {
+        const auto& slots = cnf.bnVarIndicators[v];
+        if (slots.size() == 1)
+            return k == 1 ? slots[0] : -slots[0];
+        return slots[k];
+    };
+
+    // Table entries.
+    for (const BnPotential& pot : bn.potentials()) {
+        std::vector<std::size_t> cards;
+        cards.reserve(pot.vars.size());
+        for (BnVarId v : pot.vars)
+            cards.push_back(bn.variable(v).cardinality);
+
+        std::vector<std::size_t> assign(pot.vars.size(), 0);
+        for (std::size_t flat = 0; flat < pot.entries.size(); ++flat) {
+            std::size_t rem = flat;
+            for (std::size_t i = pot.vars.size(); i-- > 0;) {
+                assign[i] = rem % cards[i];
+                rem /= cards[i];
+            }
+            const BnEntry& entry = pot.entries[flat];
+            if (entry.kind == BnEntryKind::StructuralOne)
+                continue;
+
+            std::vector<int> lits(pot.vars.size());
+            for (std::size_t i = 0; i < pot.vars.size(); ++i)
+                lits[i] = literal(pot.vars[i], assign[i]);
+
+            if (entry.kind == BnEntryKind::StructuralZero) {
+                Clause clause;
+                clause.reserve(lits.size());
+                for (int l : lits)
+                    clause.push_back(-l);
+                cnf.clauses.push_back(std::move(clause));
+                continue;
+            }
+
+            // Parameter entry: weight variable theta <=> conjunction(lits).
+            CnfVariable theta;
+            theta.kind = CnfVarKind::Param;
+            theta.paramId = entry.paramId;
+            cnf.vars.push_back(theta);
+            int thetaLit = static_cast<int>(cnf.vars.size());
+
+            Clause imp;  // lits => theta
+            imp.reserve(lits.size() + 1);
+            for (int l : lits)
+                imp.push_back(-l);
+            imp.push_back(thetaLit);
+            cnf.clauses.push_back(std::move(imp));
+            for (int l : lits)
+                cnf.clauses.push_back({-thetaLit, l});
+        }
+    }
+
+    if (options.unitResolution)
+        unitResolve(cnf);
+    return cnf;
+}
+
+} // namespace qkc

@@ -1,0 +1,40 @@
+#ifndef QKC_CNF_BN_TO_CNF_H
+#define QKC_CNF_BN_TO_CNF_H
+
+#include "bayesnet/bayes_net.h"
+#include "cnf/cnf.h"
+
+namespace qkc {
+
+/** Options for the Bayesian-network-to-CNF compiler. */
+struct BnToCnfOptions {
+    /**
+     * Apply logical unit resolution: literals fixed by unit clauses (known
+     * initial qubit states) are substituted into every other clause (paper
+     * Section 3.2.1, simplification rule 1). The unit clauses themselves are
+     * kept so the downstream compiler still pins the variables.
+     */
+    bool unitResolution = true;
+};
+
+/**
+ * Compiles a quantum Bayesian network into a CNF whose weighted models are
+ * the circuit's Feynman paths (paper Section 3.2.1 / Table 3).
+ *
+ * Encoding:
+ *  - each binary BN variable becomes one Boolean (true = |1>);
+ *  - each multi-valued noise RV becomes a one-hot group with exactly-one
+ *    clauses;
+ *  - each Parameter table entry e (assignment a, weight w) becomes a fresh
+ *    weight variable theta_e with the equivalence theta_e <=> a, so models
+ *    biject with full indicator assignments and each model's true weight
+ *    variables identify exactly the table cells its path traverses;
+ *  - StructuralZero entries become the hard clause NOT(a) (deterministic
+ *    parameters factored directly into logic, Table 3's last rule);
+ *  - StructuralOne entries produce nothing.
+ */
+Cnf bayesNetToCnf(const QuantumBayesNet& bn, const BnToCnfOptions& options = {});
+
+} // namespace qkc
+
+#endif // QKC_CNF_BN_TO_CNF_H

@@ -1,0 +1,194 @@
+#include "densitymatrix/density_matrix.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qkc {
+
+namespace {
+
+std::size_t
+checkedDimension(std::size_t numQubits)
+{
+    if (numQubits == 0 || numQubits > 14)
+        throw std::invalid_argument("DensityMatrix: qubit count out of range");
+    return std::size_t{1} << numQubits;
+}
+
+} // namespace
+
+DensityMatrix::DensityMatrix(std::size_t numQubits)
+    : numQubits_(numQubits), dim_(checkedDimension(numQubits)),
+      data_(dim_ * dim_)
+{
+    data_[0] = 1.0;
+}
+
+std::vector<std::size_t>
+DensityMatrix::bitPositions(const std::vector<std::size_t>& qubits) const
+{
+    std::vector<std::size_t> shifts;
+    shifts.reserve(qubits.size());
+    for (std::size_t q : qubits) {
+        assert(q < numQubits_);
+        shifts.push_back(numQubits_ - 1 - q);
+    }
+    return shifts;
+}
+
+void
+DensityMatrix::applyLeft(const Matrix& m, const std::vector<std::size_t>& bits)
+{
+    const std::size_t a = bits.size();
+    const std::size_t k = std::size_t{1} << a;
+    assert(m.rows() == k && m.cols() == k);
+
+    std::uint64_t mask = 0;
+    for (std::size_t s : bits)
+        mask |= std::uint64_t{1} << s;
+
+    std::vector<Complex> in(k), out(k);
+    for (std::uint64_t base = 0; base < dim_; ++base) {
+        if (base & mask)
+            continue;
+        std::vector<std::uint64_t> rows(k);
+        for (std::size_t l = 0; l < k; ++l) {
+            std::uint64_t r = base;
+            for (std::size_t j = 0; j < a; ++j) {
+                if ((l >> (a - 1 - j)) & 1)
+                    r |= std::uint64_t{1} << bits[j];
+            }
+            rows[l] = r;
+        }
+        for (std::uint64_t col = 0; col < dim_; ++col) {
+            for (std::size_t l = 0; l < k; ++l)
+                in[l] = at(rows[l], col);
+            for (std::size_t r = 0; r < k; ++r) {
+                out[r] = Complex{};
+                for (std::size_t c = 0; c < k; ++c)
+                    out[r] += m(r, c) * in[c];
+            }
+            for (std::size_t l = 0; l < k; ++l)
+                at(rows[l], col) = out[l];
+        }
+    }
+}
+
+void
+DensityMatrix::applyRightAdjoint(const Matrix& m,
+                                 const std::vector<std::size_t>& bits)
+{
+    const std::size_t a = bits.size();
+    const std::size_t k = std::size_t{1} << a;
+    assert(m.rows() == k && m.cols() == k);
+
+    std::uint64_t mask = 0;
+    for (std::size_t s : bits)
+        mask |= std::uint64_t{1} << s;
+
+    std::vector<Complex> in(k), out(k);
+    for (std::uint64_t base = 0; base < dim_; ++base) {
+        if (base & mask)
+            continue;
+        std::vector<std::uint64_t> cols(k);
+        for (std::size_t l = 0; l < k; ++l) {
+            std::uint64_t c = base;
+            for (std::size_t j = 0; j < a; ++j) {
+                if ((l >> (a - 1 - j)) & 1)
+                    c |= std::uint64_t{1} << bits[j];
+            }
+            cols[l] = c;
+        }
+        for (std::uint64_t row = 0; row < dim_; ++row) {
+            for (std::size_t l = 0; l < k; ++l)
+                in[l] = at(row, cols[l]);
+            // (rho M^dagger)[., c] = sum_k rho[., k] conj(M[c][k])
+            for (std::size_t c = 0; c < k; ++c) {
+                out[c] = Complex{};
+                for (std::size_t kk = 0; kk < k; ++kk)
+                    out[c] += in[kk] * std::conj(m(c, kk));
+            }
+            for (std::size_t l = 0; l < k; ++l)
+                at(row, cols[l]) = out[l];
+        }
+    }
+}
+
+void
+DensityMatrix::applyUnitarySingle(const Matrix& u, std::size_t qubit)
+{
+    auto bits = bitPositions({qubit});
+    applyLeft(u, bits);
+    applyRightAdjoint(u, bits);
+}
+
+void
+DensityMatrix::applyUnitaryTwo(const Matrix& u, std::size_t q0, std::size_t q1)
+{
+    auto bits = bitPositions({q0, q1});
+    applyLeft(u, bits);
+    applyRightAdjoint(u, bits);
+}
+
+void
+DensityMatrix::applyUnitaryThree(const Matrix& u, std::size_t q0,
+                                 std::size_t q1, std::size_t q2)
+{
+    auto bits = bitPositions({q0, q1, q2});
+    applyLeft(u, bits);
+    applyRightAdjoint(u, bits);
+}
+
+void
+DensityMatrix::applyChannelSingle(const std::vector<Matrix>& kraus,
+                                  std::size_t qubit)
+{
+    applyChannel(kraus, {qubit});
+}
+
+void
+DensityMatrix::applyChannel(const std::vector<Matrix>& kraus,
+                            const std::vector<std::size_t>& qubits)
+{
+    auto bits = bitPositions(qubits);
+    std::vector<Complex> acc(data_.size(), Complex{});
+    const std::vector<Complex> original = data_;
+    for (const Matrix& e : kraus) {
+        data_ = original;
+        applyLeft(e, bits);
+        applyRightAdjoint(e, bits);
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            acc[i] += data_[i];
+    }
+    data_ = std::move(acc);
+}
+
+Complex
+DensityMatrix::trace() const
+{
+    Complex t{};
+    for (std::uint64_t i = 0; i < dim_; ++i)
+        t += at(i, i);
+    return t;
+}
+
+std::vector<double>
+DensityMatrix::diagonalProbabilities() const
+{
+    std::vector<double> probs(dim_);
+    for (std::uint64_t i = 0; i < dim_; ++i)
+        probs[i] = at(i, i).real();
+    return probs;
+}
+
+Matrix
+DensityMatrix::toMatrix() const
+{
+    Matrix m(dim_, dim_);
+    for (std::uint64_t r = 0; r < dim_; ++r)
+        for (std::uint64_t c = 0; c < dim_; ++c)
+            m(r, c) = at(r, c);
+    return m;
+}
+
+} // namespace qkc

@@ -1,0 +1,87 @@
+#ifndef QKC_DENSITYMATRIX_DENSITY_MATRIX_H
+#define QKC_DENSITYMATRIX_DENSITY_MATRIX_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace qkc {
+
+/**
+ * Dense 2^n x 2^n density matrix with local-operator application kernels.
+ *
+ * This is the representation behind the Cirq density-matrix baseline the
+ * paper benchmarks in Figure 9: quadratic storage in the state-vector size
+ * and matrix-matrix (rather than matrix-vector) update cost, which is why
+ * knowledge compilation breaks even at fewer qubits in the noisy case.
+ *
+ * rho is stored row-major; index convention matches Circuit (qubit 0 is the
+ * most significant bit of a row/column index).
+ */
+class DensityMatrix {
+  public:
+    /** Initializes |0...0><0...0|. */
+    explicit DensityMatrix(std::size_t numQubits);
+
+    std::size_t numQubits() const { return numQubits_; }
+    std::size_t dimension() const { return dim_; }
+
+    Complex& at(std::uint64_t row, std::uint64_t col)
+    {
+        return data_[row * dim_ + col];
+    }
+    const Complex& at(std::uint64_t row, std::uint64_t col) const
+    {
+        return data_[row * dim_ + col];
+    }
+
+    /** rho <- U rho U^dagger for a single-qubit unitary on `qubit`. */
+    void applyUnitarySingle(const Matrix& u, std::size_t qubit);
+
+    /** rho <- U rho U^dagger for a two-qubit unitary (q0 high, q1 low). */
+    void applyUnitaryTwo(const Matrix& u, std::size_t q0, std::size_t q1);
+
+    /** rho <- U rho U^dagger for a three-qubit unitary. */
+    void applyUnitaryThree(const Matrix& u, std::size_t q0, std::size_t q1,
+                           std::size_t q2);
+
+    /** rho <- sum_k E_k rho E_k^dagger for a single-qubit channel. */
+    void applyChannelSingle(const std::vector<Matrix>& kraus, std::size_t qubit);
+
+    /** rho <- sum_k E_k rho E_k^dagger for a one- or two-qubit channel. */
+    void applyChannel(const std::vector<Matrix>& kraus,
+                      const std::vector<std::size_t>& qubits);
+
+    /** Tr(rho). */
+    Complex trace() const;
+
+    /** Measurement probabilities: the (real parts of the) diagonal. */
+    std::vector<double> diagonalProbabilities() const;
+
+    /** Extracts the full matrix (tests / small instances only). */
+    Matrix toMatrix() const;
+
+  private:
+    /**
+     * Applies a k-qubit operator M to the row index space:
+     * rho <- M rho (columns untouched), with `bits` the global bit positions
+     * (MSB first) of the operated qubits.
+     */
+    void applyLeft(const Matrix& m, const std::vector<std::size_t>& bits);
+
+    /** rho <- rho M^dagger on the column index space. */
+    void applyRightAdjoint(const Matrix& m, const std::vector<std::size_t>& bits);
+
+    std::vector<std::size_t> bitPositions(const std::vector<std::size_t>& qubits) const;
+
+    std::size_t numQubits_;
+    std::size_t dim_;
+    std::vector<Complex> data_;
+};
+
+} // namespace qkc
+
+#endif // QKC_DENSITYMATRIX_DENSITY_MATRIX_H

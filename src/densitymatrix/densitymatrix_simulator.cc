@@ -1,0 +1,51 @@
+#include "densitymatrix/densitymatrix_simulator.h"
+
+#include <stdexcept>
+
+#include "statevector/statevector_simulator.h"
+
+namespace qkc {
+
+DensityMatrix
+DensityMatrixSimulator::simulate(const Circuit& circuit) const
+{
+    DensityMatrix rho(circuit.numQubits());
+    for (const auto& op : circuit.operations()) {
+        if (const Gate* g = std::get_if<Gate>(&op)) {
+            const auto& q = g->qubits();
+            switch (g->arity()) {
+              case 1:
+                rho.applyUnitarySingle(g->unitary(), q[0]);
+                break;
+              case 2:
+                rho.applyUnitaryTwo(g->unitary(), q[0], q[1]);
+                break;
+              case 3:
+                rho.applyUnitaryThree(g->unitary(), q[0], q[1], q[2]);
+                break;
+              default:
+                throw std::logic_error("DensityMatrixSimulator: bad arity");
+            }
+        } else {
+            const auto& ch = std::get<NoiseChannel>(op);
+            rho.applyChannel(ch.krausOperators(), ch.qubits());
+        }
+    }
+    return rho;
+}
+
+std::vector<double>
+DensityMatrixSimulator::distribution(const Circuit& circuit) const
+{
+    return simulate(circuit).diagonalProbabilities();
+}
+
+std::vector<std::uint64_t>
+DensityMatrixSimulator::sample(const Circuit& circuit, std::size_t numSamples,
+                               Rng& rng) const
+{
+    auto probs = distribution(circuit);
+    return StateVectorSimulator::sampleFromDistribution(probs, numSamples, rng);
+}
+
+} // namespace qkc

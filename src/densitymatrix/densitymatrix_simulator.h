@@ -1,0 +1,36 @@
+#ifndef QKC_DENSITYMATRIX_DENSITYMATRIX_SIMULATOR_H
+#define QKC_DENSITYMATRIX_DENSITYMATRIX_SIMULATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "densitymatrix/density_matrix.h"
+#include "util/rng.h"
+
+namespace qkc {
+
+/**
+ * Density matrix circuit simulator — the stand-in for the Cirq
+ * density-matrix baseline in the paper's noisy-circuit evaluation
+ * (Figure 9). Handles arbitrary mixtures and channels exactly.
+ */
+class DensityMatrixSimulator {
+  public:
+    /** Evolves |0..0><0..0| through all gates and channels. */
+    DensityMatrix simulate(const Circuit& circuit) const;
+
+    /** Exact outcome distribution: diagonal of the final density matrix. */
+    std::vector<double> distribution(const Circuit& circuit) const;
+
+    /**
+     * Draws measurement outcomes. The density matrix is computed once and
+     * outcomes are drawn from its diagonal.
+     */
+    std::vector<std::uint64_t> sample(const Circuit& circuit,
+                                      std::size_t numSamples, Rng& rng) const;
+};
+
+} // namespace qkc
+
+#endif // QKC_DENSITYMATRIX_DENSITYMATRIX_SIMULATOR_H

@@ -1,0 +1,437 @@
+#include "knowledge/compiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/graph.h"
+#include "util/min_fill.h"
+
+namespace qkc {
+
+namespace {
+
+using ClauseList = std::vector<Clause>;
+
+/** Lexicographic canonical key of a (literal-sorted) clause list. */
+std::string
+canonicalKey(const ClauseList& clauses)
+{
+    std::vector<const Clause*> order;
+    order.reserve(clauses.size());
+    for (const Clause& c : clauses)
+        order.push_back(&c);
+    std::sort(order.begin(), order.end(),
+              [](const Clause* a, const Clause* b) { return *a < *b; });
+    std::string key;
+    for (const Clause* c : order) {
+        for (int lit : *c) {
+            char buf[4];
+            std::memcpy(buf, &lit, 4);
+            key.append(buf, 4);
+        }
+        char zero[4] = {0, 0, 0, 0};
+        key.append(zero, 4);
+    }
+    return key;
+}
+
+/**
+ * Conditions `clauses` on `lit`: satisfied clauses are dropped and the
+ * complementary literal is removed. Returns false on an empty clause
+ * (conflict), leaving `out` unspecified.
+ */
+bool
+condition(const ClauseList& clauses, int lit, ClauseList& out)
+{
+    out.clear();
+    out.reserve(clauses.size());
+    for (const Clause& c : clauses) {
+        bool satisfied = false;
+        for (int l : c) {
+            if (l == lit) {
+                satisfied = true;
+                break;
+            }
+        }
+        if (satisfied)
+            continue;
+        Clause reduced;
+        reduced.reserve(c.size());
+        for (int l : c) {
+            if (l != -lit)
+                reduced.push_back(l);
+        }
+        if (reduced.empty())
+            return false;
+        out.push_back(std::move(reduced));
+    }
+    return true;
+}
+
+/** The DPLL-to-d-DNNF compilation engine for one CNF. */
+class CompilerRun {
+  public:
+    CompilerRun(const Cnf& cnf, const CompileOptions& options,
+                CompileStats& stats)
+        : cnf_(cnf), options_(options), stats_(stats)
+    {
+        buildStaticOrder();
+    }
+
+    ArithmeticCircuit run()
+    {
+        ClauseList clauses = cnf_.clauses;
+        for (Clause& c : clauses) {
+            std::sort(c.begin(), c.end(), [](int a, int b) {
+                return std::abs(a) != std::abs(b) ? std::abs(a) < std::abs(b)
+                                                  : a < b;
+            });
+        }
+        std::vector<int> scope(cnf_.numVars());
+        for (std::size_t i = 0; i < scope.size(); ++i)
+            scope[i] = static_cast<int>(i + 1);
+
+        AcNodeId root = compileFormula(std::move(clauses), std::move(scope));
+        ac_.setRoot(root);
+        stats_.cacheEntries = cache_.size();
+        return std::move(ac_);
+    }
+
+  private:
+    bool isBranchable(int var) const
+    {
+        return cnf_.vars[var - 1].kind != CnfVarKind::Param;
+    }
+
+    /** AC leaf for an assigned literal (paper Section 3.3's leaf kinds). */
+    AcNodeId leafFor(int lit)
+    {
+        const CnfVariable& info = cnf_.vars[std::abs(lit) - 1];
+        switch (info.kind) {
+          case CnfVarKind::Param:
+            return lit > 0 ? ac_.param(info.paramId) : ac_.one();
+          case CnfVarKind::BinaryIndicator:
+            if (!info.query && options_.elideInternalStates)
+                return ac_.one();
+            return ac_.indicator(info.bnVar, lit > 0 ? 1 : 0);
+          case CnfVarKind::OneHotIndicator:
+            // The negative literal of a one-hot member has weight 1.
+            if (lit < 0)
+                return ac_.one();
+            return ac_.indicator(info.bnVar, info.value);
+        }
+        return ac_.one();
+    }
+
+    /**
+     * Factor for a variable that became unconstrained: both values are
+     * consistent Feynman paths, so query variables contribute the smoothing
+     * sum lambda_0 + lambda_1 and elided internals the multiplicity 2.
+     */
+    AcNodeId freeFactor(int var)
+    {
+        const CnfVariable& info = cnf_.vars[var - 1];
+        if (info.kind == CnfVarKind::Param) {
+            throw std::logic_error(
+                "KnowledgeCompiler: weight variable left unconstrained; "
+                "the encoding must use equivalences");
+        }
+        if (info.kind == CnfVarKind::OneHotIndicator) {
+            throw std::logic_error(
+                "KnowledgeCompiler: one-hot indicator left unconstrained");
+        }
+        if (!info.query && options_.elideInternalStates)
+            return ac_.constant(Complex{2.0});
+        return ac_.add(
+            {ac_.indicator(info.bnVar, 0), ac_.indicator(info.bnVar, 1)});
+    }
+
+    /**
+     * Compiles a clause list responsible for exactly the variables in
+     * `scope`. Invariant: the returned node's value equals the weighted sum
+     * over all assignments of scope variables satisfying the clauses.
+     */
+    AcNodeId compileFormula(ClauseList clauses, std::vector<int> scope)
+    {
+        std::vector<AcNodeId> factors;
+
+        // Unit propagation. Assigned variables leave the scope and deposit
+        // their leaf weight.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const Clause& c : clauses) {
+                if (c.size() != 1)
+                    continue;
+                int lit = c[0];
+                factors.push_back(leafFor(lit));
+                ClauseList reduced;
+                if (!condition(clauses, lit, reduced))
+                    return ac_.zero();
+                clauses = std::move(reduced);
+                scope.erase(
+                    std::remove(scope.begin(), scope.end(), std::abs(lit)),
+                    scope.end());
+                changed = true;
+                break;
+            }
+        }
+
+        if (clauses.empty()) {
+            for (int v : scope)
+                factors.push_back(freeFactor(v));
+            return ac_.mul(std::move(factors));
+        }
+
+        // Connected components of the residual formula.
+        std::vector<std::vector<std::size_t>> componentClauses;
+        std::vector<std::vector<int>> componentVars;
+        splitComponents(clauses, componentClauses, componentVars);
+        stats_.components += componentClauses.size() > 1
+                                 ? componentClauses.size()
+                                 : 0;
+
+        std::vector<bool> covered(cnf_.numVars() + 1, false);
+        for (const auto& vars : componentVars)
+            for (int v : vars)
+                covered[v] = true;
+
+        for (std::size_t k = 0; k < componentClauses.size(); ++k) {
+            ClauseList sub;
+            sub.reserve(componentClauses[k].size());
+            for (std::size_t ci : componentClauses[k])
+                sub.push_back(clauses[ci]);
+            factors.push_back(compileComponent(std::move(sub),
+                                               componentVars[k]));
+        }
+
+        // Scope variables in no residual clause are free.
+        for (int v : scope) {
+            if (!covered[v])
+                factors.push_back(freeFactor(v));
+        }
+        return ac_.mul(std::move(factors));
+    }
+
+    /** Compiles one connected component (unit-free, nonempty). */
+    AcNodeId compileComponent(ClauseList clauses, const std::vector<int>& vars)
+    {
+        std::string key;
+        if (options_.componentCaching) {
+            key = canonicalKey(clauses);
+            auto it = cache_.find(key);
+            if (it != cache_.end()) {
+                ++stats_.cacheHits;
+                return it->second;
+            }
+        }
+
+        int x = pickVariable(clauses, vars);
+        ++stats_.decisions;
+
+        std::vector<int> subScope;
+        subScope.reserve(vars.size() - 1);
+        for (int v : vars) {
+            if (v != x)
+                subScope.push_back(v);
+        }
+
+        AcNodeId branches[2];
+        for (int sign = 0; sign < 2; ++sign) {
+            int lit = sign == 0 ? x : -x;
+            ClauseList reduced;
+            if (!condition(clauses, lit, reduced)) {
+                branches[sign] = ac_.zero();
+                continue;
+            }
+            AcNodeId sub = compileFormula(std::move(reduced), subScope);
+            branches[sign] = ac_.mul({leafFor(lit), sub});
+        }
+        AcNodeId node = ac_.add({branches[0], branches[1]});
+
+        if (options_.componentCaching)
+            cache_.emplace(std::move(key), node);
+        return node;
+    }
+
+    /** Decision variable choice (Section 3.2.2's elimination-order knob). */
+    int pickVariable(const ClauseList& clauses, const std::vector<int>& vars)
+    {
+        if (options_.heuristic == DecisionHeuristic::Dynamic) {
+            std::unordered_map<int, std::size_t> freq;
+            for (const Clause& c : clauses)
+                for (int lit : c)
+                    if (isBranchable(std::abs(lit)))
+                        ++freq[std::abs(lit)];
+            int best = 0;
+            std::size_t bestCount = 0;
+            for (auto [v, count] : freq) {
+                if (count > bestCount ||
+                    (count == bestCount && v < best)) {
+                    best = v;
+                    bestCount = count;
+                }
+            }
+            if (best != 0)
+                return best;
+        } else {
+            int best = 0;
+            std::size_t bestPos = SIZE_MAX;
+            for (int v : vars) {
+                if (!isBranchable(v))
+                    continue;
+                if (staticPos_[v] < bestPos) {
+                    bestPos = staticPos_[v];
+                    best = v;
+                }
+            }
+            if (best != 0)
+                return best;
+        }
+        throw std::logic_error(
+            "KnowledgeCompiler: component with no branchable variable");
+    }
+
+    /** Splits residual clauses into connected components. */
+    void splitComponents(const ClauseList& clauses,
+                         std::vector<std::vector<std::size_t>>& compClauses,
+                         std::vector<std::vector<int>>& compVars)
+    {
+        const std::size_t m = clauses.size();
+        if (!options_.componentDecomposition) {
+            compClauses.assign(1, {});
+            compVars.assign(1, {});
+            std::vector<bool> seen(cnf_.numVars() + 1, false);
+            for (std::size_t i = 0; i < m; ++i) {
+                compClauses[0].push_back(i);
+                for (int lit : clauses[i]) {
+                    int v = std::abs(lit);
+                    if (!seen[v]) {
+                        seen[v] = true;
+                        compVars[0].push_back(v);
+                    }
+                }
+            }
+            return;
+        }
+
+        // Union-find over clause indices through shared variables.
+        std::vector<std::size_t> parent(m);
+        for (std::size_t i = 0; i < m; ++i)
+            parent[i] = i;
+        std::function<std::size_t(std::size_t)> find =
+            [&](std::size_t a) -> std::size_t {
+            while (parent[a] != a) {
+                parent[a] = parent[parent[a]];
+                a = parent[a];
+            }
+            return a;
+        };
+        std::unordered_map<int, std::size_t> firstClauseOfVar;
+        for (std::size_t i = 0; i < m; ++i) {
+            for (int lit : clauses[i]) {
+                int v = std::abs(lit);
+                auto [it, inserted] = firstClauseOfVar.emplace(v, i);
+                if (!inserted) {
+                    std::size_t ra = find(it->second);
+                    std::size_t rb = find(i);
+                    if (ra != rb)
+                        parent[rb] = ra;
+                }
+            }
+        }
+
+        std::unordered_map<std::size_t, std::size_t> rootToComp;
+        for (std::size_t i = 0; i < m; ++i) {
+            std::size_t r = find(i);
+            auto [it, inserted] = rootToComp.emplace(r, compClauses.size());
+            if (inserted) {
+                compClauses.emplace_back();
+                compVars.emplace_back();
+            }
+            compClauses[it->second].push_back(i);
+        }
+        std::vector<bool> seen(cnf_.numVars() + 1, false);
+        for (std::size_t k = 0; k < compClauses.size(); ++k) {
+            for (std::size_t ci : compClauses[k]) {
+                for (int lit : clauses[ci]) {
+                    int v = std::abs(lit);
+                    if (!seen[v]) {
+                        seen[v] = true;
+                        compVars[k].push_back(v);
+                    }
+                }
+            }
+            // Reset marks for the next component.
+            for (std::size_t ci : compClauses[k])
+                for (int lit : clauses[ci])
+                    seen[std::abs(lit)] = false;
+        }
+    }
+
+    /** Static decision positions for Lexicographic / MinFill. */
+    void buildStaticOrder()
+    {
+        staticPos_.assign(cnf_.numVars() + 1, SIZE_MAX);
+        if (options_.heuristic == DecisionHeuristic::Lexicographic ||
+            options_.heuristic == DecisionHeuristic::Dynamic) {
+            for (std::size_t v = 1; v <= cnf_.numVars(); ++v)
+                staticPos_[v] = v;
+            return;
+        }
+
+        // Min-fill over the indicator-variable interaction graph. Weight
+        // variables are excluded: they are never branched on and would blow
+        // up the ordering computation.
+        std::vector<int> indicatorVars;
+        std::vector<std::size_t> compact(cnf_.numVars() + 1, SIZE_MAX);
+        for (std::size_t v = 1; v <= cnf_.numVars(); ++v) {
+            if (isBranchable(static_cast<int>(v))) {
+                compact[v] = indicatorVars.size();
+                indicatorVars.push_back(static_cast<int>(v));
+            }
+        }
+        Graph g(indicatorVars.size());
+        for (const Clause& c : cnf_.clauses) {
+            std::vector<std::size_t> members;
+            for (int lit : c) {
+                std::size_t idx = compact[std::abs(lit)];
+                if (idx != SIZE_MAX)
+                    members.push_back(idx);
+            }
+            for (std::size_t i = 0; i < members.size(); ++i)
+                for (std::size_t j = i + 1; j < members.size(); ++j)
+                    g.addEdge(members[i], members[j]);
+        }
+        // Branch on variables in REVERSE elimination order: the last
+        // variables a min-fill elimination removes are the top separators
+        // of the induced tree decomposition, and deciding them first makes
+        // the residual formula fall apart into components.
+        auto order = minFillOrdering(g);
+        for (std::size_t pos = 0; pos < order.size(); ++pos)
+            staticPos_[indicatorVars[order[pos]]] = order.size() - pos;
+    }
+
+    const Cnf& cnf_;
+    const CompileOptions& options_;
+    CompileStats& stats_;
+    ArithmeticCircuit ac_;
+    std::vector<std::size_t> staticPos_;
+    std::unordered_map<std::string, AcNodeId> cache_;
+};
+
+} // namespace
+
+ArithmeticCircuit
+KnowledgeCompiler::compile(const Cnf& cnf)
+{
+    stats_ = CompileStats{};
+    CompilerRun run(cnf, options_, stats_);
+    return run.run();
+}
+
+} // namespace qkc

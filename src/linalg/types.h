@@ -1,0 +1,31 @@
+#ifndef QKC_LINALG_TYPES_H
+#define QKC_LINALG_TYPES_H
+
+#include <complex>
+
+namespace qkc {
+
+/** Complex probability amplitude. */
+using Complex = std::complex<double>;
+
+/** Tolerance used for amplitude / unitarity comparisons across the library. */
+inline constexpr double kAmpEps = 1e-9;
+
+/** |z|^2 without the sqrt of std::abs. */
+inline double
+norm2(const Complex& z)
+{
+    return z.real() * z.real() + z.imag() * z.imag();
+}
+
+/** True if two amplitudes are within kAmpEps componentwise. */
+inline bool
+approxEqual(const Complex& a, const Complex& b, double eps = kAmpEps)
+{
+    return std::abs(a.real() - b.real()) <= eps &&
+           std::abs(a.imag() - b.imag()) <= eps;
+}
+
+} // namespace qkc
+
+#endif // QKC_LINALG_TYPES_H

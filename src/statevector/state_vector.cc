@@ -1,0 +1,139 @@
+#include "statevector/state_vector.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace qkc {
+
+namespace {
+
+std::size_t
+checkedDimension(std::size_t numQubits)
+{
+    if (numQubits == 0 || numQubits > 30)
+        throw std::invalid_argument("StateVector: qubit count out of range");
+    return std::size_t{1} << numQubits;
+}
+
+} // namespace
+
+StateVector::StateVector(std::size_t numQubits)
+    : numQubits_(numQubits), amps_(checkedDimension(numQubits))
+{
+    amps_[0] = 1.0;
+}
+
+void
+StateVector::applySingleQubit(const Matrix& m, std::size_t qubit)
+{
+    assert(m.rows() == 2 && m.cols() == 2 && qubit < numQubits_);
+    const std::size_t bit = numQubits_ - 1 - qubit;
+    const std::uint64_t stride = std::uint64_t{1} << bit;
+    const std::uint64_t dim = amps_.size();
+    const Complex m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+
+    // Iterate over all indices with the target bit clear; the partner index
+    // has it set. The two nested loops walk contiguous blocks for locality.
+    for (std::uint64_t block = 0; block < dim; block += stride * 2) {
+        for (std::uint64_t off = 0; off < stride; ++off) {
+            const std::uint64_t i0 = block | off;
+            const std::uint64_t i1 = i0 | stride;
+            const Complex a0 = amps_[i0];
+            const Complex a1 = amps_[i1];
+            amps_[i0] = m00 * a0 + m01 * a1;
+            amps_[i1] = m10 * a0 + m11 * a1;
+        }
+    }
+}
+
+void
+StateVector::applyTwoQubit(const Matrix& m, std::size_t q0, std::size_t q1)
+{
+    assert(m.rows() == 4 && m.cols() == 4);
+    assert(q0 < numQubits_ && q1 < numQubits_ && q0 != q1);
+    const std::uint64_t s0 = std::uint64_t{1} << (numQubits_ - 1 - q0);
+    const std::uint64_t s1 = std::uint64_t{1} << (numQubits_ - 1 - q1);
+    const std::uint64_t mask = s0 | s1;
+    const std::uint64_t dim = amps_.size();
+
+    Complex in[4], out[4];
+    for (std::uint64_t base = 0; base < dim; ++base) {
+        if (base & mask)
+            continue;
+        const std::uint64_t idx[4] = {base, base | s1, base | s0,
+                                      base | s0 | s1};
+        for (int k = 0; k < 4; ++k)
+            in[k] = amps_[idx[k]];
+        for (int r = 0; r < 4; ++r) {
+            out[r] = Complex{};
+            for (int c = 0; c < 4; ++c)
+                out[r] += m(r, c) * in[c];
+        }
+        for (int k = 0; k < 4; ++k)
+            amps_[idx[k]] = out[k];
+    }
+}
+
+void
+StateVector::applyThreeQubit(const Matrix& m, std::size_t q0, std::size_t q1,
+                             std::size_t q2)
+{
+    assert(m.rows() == 8 && m.cols() == 8);
+    assert(q0 != q1 && q1 != q2 && q0 != q2);
+    const std::uint64_t s0 = std::uint64_t{1} << (numQubits_ - 1 - q0);
+    const std::uint64_t s1 = std::uint64_t{1} << (numQubits_ - 1 - q1);
+    const std::uint64_t s2 = std::uint64_t{1} << (numQubits_ - 1 - q2);
+    const std::uint64_t mask = s0 | s1 | s2;
+    const std::uint64_t dim = amps_.size();
+
+    Complex in[8], out[8];
+    for (std::uint64_t base = 0; base < dim; ++base) {
+        if (base & mask)
+            continue;
+        std::uint64_t idx[8];
+        for (int k = 0; k < 8; ++k) {
+            idx[k] = base | ((k & 4) ? s0 : 0) | ((k & 2) ? s1 : 0) |
+                     ((k & 1) ? s2 : 0);
+        }
+        for (int k = 0; k < 8; ++k)
+            in[k] = amps_[idx[k]];
+        for (int r = 0; r < 8; ++r) {
+            out[r] = Complex{};
+            for (int c = 0; c < 8; ++c)
+                out[r] += m(r, c) * in[c];
+        }
+        for (int k = 0; k < 8; ++k)
+            amps_[idx[k]] = out[k];
+    }
+}
+
+double
+StateVector::norm() const
+{
+    double n = 0.0;
+    for (const Complex& a : amps_)
+        n += norm2(a);
+    return n;
+}
+
+void
+StateVector::normalize()
+{
+    double n = norm();
+    assert(n > 0.0);
+    double inv = 1.0 / std::sqrt(n);
+    for (Complex& a : amps_)
+        a *= inv;
+}
+
+std::vector<double>
+StateVector::probabilities() const
+{
+    std::vector<double> probs(amps_.size());
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        probs[i] = norm2(amps_[i]);
+    return probs;
+}
+
+} // namespace qkc

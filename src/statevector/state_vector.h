@@ -1,0 +1,61 @@
+#ifndef QKC_STATEVECTOR_STATE_VECTOR_H
+#define QKC_STATEVECTOR_STATE_VECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace qkc {
+
+/**
+ * Dense 2^n complex state vector with in-place gate application kernels.
+ *
+ * This is the storage-heavy representation the paper's qsim baseline uses
+ * (Section 4.1): every simulation run touches all 2^n amplitudes, which is
+ * exactly the cost profile Figure 8 measures against knowledge compilation.
+ *
+ * Bit convention matches Circuit: qubit 0 is the most significant bit of the
+ * basis index.
+ */
+class StateVector {
+  public:
+    /** Initializes |00...0>. */
+    explicit StateVector(std::size_t numQubits);
+
+    std::size_t numQubits() const { return numQubits_; }
+    std::size_t dimension() const { return amps_.size(); }
+
+    const Complex& amplitude(std::uint64_t basis) const { return amps_[basis]; }
+    Complex& amplitude(std::uint64_t basis) { return amps_[basis]; }
+    const std::vector<Complex>& amplitudes() const { return amps_; }
+
+    /** Applies a 2x2 matrix (not necessarily unitary) to one qubit. */
+    void applySingleQubit(const Matrix& m, std::size_t qubit);
+
+    /** Applies a 4x4 matrix to (q0=high bit, q1=low bit of the local index). */
+    void applyTwoQubit(const Matrix& m, std::size_t q0, std::size_t q1);
+
+    /** Applies a 8x8 matrix to three qubits (q0 high ... q2 low). */
+    void applyThreeQubit(const Matrix& m, std::size_t q0, std::size_t q1,
+                         std::size_t q2);
+
+    /** Sum of |amplitude|^2 (1.0 for normalized states). */
+    double norm() const;
+
+    /** Scales all amplitudes by 1/sqrt(norm()). Requires norm() > 0. */
+    void normalize();
+
+    /** Probability of each basis outcome (|amp|^2). */
+    std::vector<double> probabilities() const;
+
+  private:
+    std::size_t numQubits_;
+    std::vector<Complex> amps_;
+};
+
+} // namespace qkc
+
+#endif // QKC_STATEVECTOR_STATE_VECTOR_H

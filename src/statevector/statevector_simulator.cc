@@ -1,0 +1,184 @@
+#include "statevector/statevector_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace qkc {
+
+void
+StateVectorSimulator::applyGate(StateVector& sv, const Gate& gate)
+{
+    const auto& q = gate.qubits();
+    switch (gate.arity()) {
+      case 1:
+        sv.applySingleQubit(gate.unitary(), q[0]);
+        break;
+      case 2:
+        sv.applyTwoQubit(gate.unitary(), q[0], q[1]);
+        break;
+      case 3:
+        sv.applyThreeQubit(gate.unitary(), q[0], q[1], q[2]);
+        break;
+      default:
+        throw std::logic_error("StateVectorSimulator: unsupported arity");
+    }
+}
+
+StateVector
+StateVectorSimulator::simulate(const Circuit& circuit) const
+{
+    StateVector sv(circuit.numQubits());
+    for (const auto& op : circuit.operations()) {
+        const Gate* g = std::get_if<Gate>(&op);
+        if (!g) {
+            throw std::invalid_argument(
+                "StateVectorSimulator::simulate: circuit has noise; use "
+                "simulateTrajectory");
+        }
+        applyGate(sv, *g);
+    }
+    return sv;
+}
+
+StateVector
+StateVectorSimulator::simulateTrajectory(const Circuit& circuit, Rng& rng) const
+{
+    StateVector sv(circuit.numQubits());
+    for (const auto& op : circuit.operations()) {
+        if (const Gate* g = std::get_if<Gate>(&op)) {
+            applyGate(sv, *g);
+            continue;
+        }
+        const auto& ch = std::get<NoiseChannel>(op);
+        const auto& kraus = ch.krausOperators();
+
+        // Born-rule Kraus selection: p_k = ||E_k psi||^2. Computed by
+        // applying each candidate to a copy; the copies dominate only at
+        // very small qubit counts.
+        std::vector<double> weights(kraus.size());
+        std::vector<StateVector> results;
+        results.reserve(kraus.size());
+        for (std::size_t k = 0; k < kraus.size(); ++k) {
+            StateVector copy = sv;
+            if (ch.arity() == 1)
+                copy.applySingleQubit(kraus[k], ch.qubit());
+            else
+                copy.applyTwoQubit(kraus[k], ch.qubits()[0], ch.qubits()[1]);
+            weights[k] = copy.norm();
+            results.push_back(std::move(copy));
+        }
+        std::size_t pick = rng.categorical(weights);
+        sv = std::move(results[pick]);
+        if (weights[pick] > 0.0)
+            sv.normalize();
+    }
+    return sv;
+}
+
+std::vector<std::uint64_t>
+StateVectorSimulator::sample(const Circuit& circuit, std::size_t numSamples,
+                             Rng& rng) const
+{
+    StateVector sv = simulate(circuit);
+    return sampleFromDistribution(sv.probabilities(), numSamples, rng);
+}
+
+std::vector<std::uint64_t>
+StateVectorSimulator::sampleNoisy(const Circuit& circuit,
+                                  std::size_t numSamples, Rng& rng) const
+{
+    std::vector<std::uint64_t> samples;
+    samples.reserve(numSamples);
+    for (std::size_t i = 0; i < numSamples; ++i) {
+        StateVector sv = simulateTrajectory(circuit, rng);
+        auto one = sampleFromDistribution(sv.probabilities(), 1, rng);
+        samples.push_back(one[0]);
+    }
+    return samples;
+}
+
+std::vector<double>
+StateVectorSimulator::noisyDistributionExhaustive(const Circuit& circuit) const
+{
+    // Collect channel positions so we can enumerate Kraus-choice vectors.
+    std::vector<std::size_t> channelOps;
+    for (std::size_t i = 0; i < circuit.operations().size(); ++i) {
+        if (std::holds_alternative<NoiseChannel>(circuit.operations()[i]))
+            channelOps.push_back(i);
+    }
+    if (channelOps.size() > 20) {
+        throw std::invalid_argument(
+            "noisyDistributionExhaustive: too many channels to enumerate");
+    }
+
+    std::vector<double> dist(std::size_t{1} << circuit.numQubits(), 0.0);
+    std::vector<std::size_t> choice(channelOps.size(), 0);
+
+    // Odometer-style enumeration over all Kraus index combinations. Each
+    // combination is one unnormalized branch; its squared amplitudes already
+    // carry the branch probability, so plain accumulation is exact.
+    for (;;) {
+        StateVector sv(circuit.numQubits());
+        std::size_t chIdx = 0;
+        for (const auto& op : circuit.operations()) {
+            if (const Gate* g = std::get_if<Gate>(&op)) {
+                applyGate(sv, *g);
+            } else {
+                const auto& ch = std::get<NoiseChannel>(op);
+                const Matrix& e = ch.krausOperators()[choice[chIdx]];
+                if (ch.arity() == 1)
+                    sv.applySingleQubit(e, ch.qubit());
+                else
+                    sv.applyTwoQubit(e, ch.qubits()[0], ch.qubits()[1]);
+                ++chIdx;
+            }
+        }
+        const auto probs = sv.probabilities();
+        for (std::size_t i = 0; i < dist.size(); ++i)
+            dist[i] += probs[i];
+
+        // Advance the odometer.
+        std::size_t pos = 0;
+        for (; pos < choice.size(); ++pos) {
+            const auto& ch =
+                std::get<NoiseChannel>(circuit.operations()[channelOps[pos]]);
+            if (++choice[pos] < ch.krausOperators().size())
+                break;
+            choice[pos] = 0;
+        }
+        if (pos == choice.size())
+            break;
+        if (choice.empty())
+            break;
+    }
+    return dist;
+}
+
+std::vector<std::uint64_t>
+StateVectorSimulator::sampleFromDistribution(const std::vector<double>& probs,
+                                             std::size_t numSamples, Rng& rng)
+{
+    std::vector<double> cdf(probs.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        acc += probs[i];
+        cdf[i] = acc;
+    }
+    assert(acc > 0.0);
+
+    std::vector<std::uint64_t> samples;
+    samples.reserve(numSamples);
+    for (std::size_t s = 0; s < numSamples; ++s) {
+        double r = rng.uniform() * acc;
+        auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
+        std::size_t idx = static_cast<std::size_t>(it - cdf.begin());
+        if (idx >= probs.size())
+            idx = probs.size() - 1;
+        samples.push_back(idx);
+    }
+    return samples;
+}
+
+} // namespace qkc

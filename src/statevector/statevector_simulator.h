@@ -1,0 +1,66 @@
+#ifndef QKC_STATEVECTOR_STATEVECTOR_SIMULATOR_H
+#define QKC_STATEVECTOR_STATEVECTOR_SIMULATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "statevector/state_vector.h"
+#include "util/rng.h"
+
+namespace qkc {
+
+/**
+ * State vector quantum circuit simulator — our stand-in for Google's qsim
+ * baseline (paper Section 4.1).
+ *
+ * Ideal circuits run exactly: the full 2^n wavefunction is produced and
+ * measurement outcomes are drawn by direct ("ideal") sampling from |psi|^2.
+ *
+ * Noisy circuits use Monte-Carlo trajectories: each trajectory picks one
+ * Kraus operator per channel with the Born probability and renormalizes,
+ * which is exact in distribution for mixtures *and* general channels, at the
+ * cost of one full wavefunction pass per sample.
+ */
+class StateVectorSimulator {
+  public:
+    /** Runs the ideal part of `circuit`; throws if it contains noise. */
+    StateVector simulate(const Circuit& circuit) const;
+
+    /**
+     * Runs one noisy trajectory: gates apply exactly; every channel chooses
+     * a Kraus operator k with probability ||E_k psi||^2, applies it, and
+     * renormalizes.
+     */
+    StateVector simulateTrajectory(const Circuit& circuit, Rng& rng) const;
+
+    /** Draws `numSamples` measurement outcomes from the ideal circuit. */
+    std::vector<std::uint64_t> sample(const Circuit& circuit,
+                                      std::size_t numSamples, Rng& rng) const;
+
+    /**
+     * Draws one outcome per trajectory for noisy circuits (the qsim-style
+     * noisy sampling cost model: every sample pays a full re-simulation).
+     */
+    std::vector<std::uint64_t> sampleNoisy(const Circuit& circuit,
+                                           std::size_t numSamples,
+                                           Rng& rng) const;
+
+    /**
+     * Exact outcome distribution of a noisy circuit by enumerating every
+     * combination of Kraus choices. Exponential in the channel count; meant
+     * for validation at small sizes.
+     */
+    std::vector<double> noisyDistributionExhaustive(const Circuit& circuit) const;
+
+    /** Draws outcomes from an explicit probability vector (ideal sampling). */
+    static std::vector<std::uint64_t> sampleFromDistribution(
+        const std::vector<double>& probs, std::size_t numSamples, Rng& rng);
+
+  private:
+    static void applyGate(StateVector& sv, const Gate& gate);
+};
+
+} // namespace qkc
+
+#endif // QKC_STATEVECTOR_STATEVECTOR_SIMULATOR_H

@@ -1,0 +1,85 @@
+#include "tensornet/tensor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qkc {
+
+Tensor
+Tensor::vec(int e, const Complex& a, const Complex& b)
+{
+    Tensor t;
+    t.edges = {e};
+    t.data = {a, b};
+    return t;
+}
+
+Tensor
+contractPair(const Tensor& a, const Tensor& b)
+{
+    // Partition edges.
+    std::vector<int> shared;
+    for (int e : a.edges)
+        if (std::find(b.edges.begin(), b.edges.end(), e) != b.edges.end())
+            shared.push_back(e);
+    std::vector<int> freeA, freeB;
+    for (int e : a.edges)
+        if (std::find(shared.begin(), shared.end(), e) == shared.end())
+            freeA.push_back(e);
+    for (int e : b.edges)
+        if (std::find(shared.begin(), shared.end(), e) == shared.end())
+            freeB.push_back(e);
+
+    Tensor out;
+    out.edges = freeA;
+    out.edges.insert(out.edges.end(), freeB.begin(), freeB.end());
+    out.data.assign(std::size_t{1} << out.edges.size(), Complex{});
+
+    // Bit position of each role within the operands' linear indices.
+    auto positions = [](const std::vector<int>& tensorEdges,
+                        const std::vector<int>& wanted) {
+        std::vector<int> pos;
+        pos.reserve(wanted.size());
+        for (int e : wanted) {
+            auto it = std::find(tensorEdges.begin(), tensorEdges.end(), e);
+            assert(it != tensorEdges.end());
+            // Shift amount: first edge is the most significant bit.
+            pos.push_back(static_cast<int>(tensorEdges.size() - 1 -
+                                           (it - tensorEdges.begin())));
+        }
+        return pos;
+    };
+    auto posFreeA = positions(a.edges, freeA);
+    auto posSharedA = positions(a.edges, shared);
+    auto posFreeB = positions(b.edges, freeB);
+    auto posSharedB = positions(b.edges, shared);
+
+    const std::size_t nFreeA = freeA.size();
+    const std::size_t nFreeB = freeB.size();
+    const std::size_t nShared = shared.size();
+
+    auto compose = [](const std::vector<int>& pos, std::size_t bits) {
+        std::size_t idx = 0;
+        for (std::size_t i = 0; i < pos.size(); ++i) {
+            if ((bits >> (pos.size() - 1 - i)) & 1)
+                idx |= std::size_t{1} << pos[i];
+        }
+        return idx;
+    };
+
+    for (std::size_t ia = 0; ia < (std::size_t{1} << nFreeA); ++ia) {
+        const std::size_t baseA = compose(posFreeA, ia);
+        for (std::size_t ib = 0; ib < (std::size_t{1} << nFreeB); ++ib) {
+            const std::size_t baseB = compose(posFreeB, ib);
+            Complex acc{};
+            for (std::size_t is = 0; is < (std::size_t{1} << nShared); ++is) {
+                acc += a.data[baseA | compose(posSharedA, is)] *
+                       b.data[baseB | compose(posSharedB, is)];
+            }
+            out.data[(ia << nFreeB) | ib] = acc;
+        }
+    }
+    return out;
+}
+
+} // namespace qkc

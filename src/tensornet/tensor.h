@@ -1,0 +1,35 @@
+#ifndef QKC_TENSORNET_TENSOR_H
+#define QKC_TENSORNET_TENSOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/types.h"
+
+namespace qkc {
+
+/**
+ * A dense tensor whose indices are all dimension 2 (qubit legs), identified
+ * by integer edge ids. Data is flat with the FIRST edge as the most
+ * significant bit of the linear index.
+ */
+struct Tensor {
+    std::vector<int> edges;
+    std::vector<Complex> data;
+
+    std::size_t rank() const { return edges.size(); }
+    std::size_t size() const { return data.size(); }
+
+    /** A rank-1 tensor [a, b] on edge e. */
+    static Tensor vec(int e, const Complex& a, const Complex& b);
+};
+
+/**
+ * Contracts two tensors over all shared edges (tensor product when none are
+ * shared). Cost is 2^(#freeA + #freeB + #shared).
+ */
+Tensor contractPair(const Tensor& a, const Tensor& b);
+
+} // namespace qkc
+
+#endif // QKC_TENSORNET_TENSOR_H

@@ -1,0 +1,97 @@
+#ifndef QKC_TENSORNET_TENSORNET_SIMULATOR_H
+#define QKC_TENSORNET_TENSORNET_SIMULATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "tensornet/tensor.h"
+#include "util/rng.h"
+
+namespace qkc {
+
+/**
+ * Tensor-network contraction simulator for ideal circuits — the stand-in
+ * for the qTorch baseline (paper Section 4.1). The circuit is converted to
+ * a tensor network (initial-state vectors, gate tensors, measurement
+ * vectors) and contracted pairwise with a greedy minimum-result-size order.
+ *
+ * Amplitude queries contract a single-layer network; sampling draws each
+ * output bit from its conditional marginal, computed by contracting the
+ * DOUBLED (ket + conjugate bra) network — one contraction per qubit per
+ * sample, which is the per-sample cost profile Figure 8 measures against
+ * knowledge compilation.
+ */
+class TensorNetworkSimulator {
+  public:
+    /** Amplitude <bitstring| C |0...0>. Throws on noisy circuits. */
+    Complex amplitude(const Circuit& circuit, std::uint64_t bitstring) const;
+
+    /** Full distribution via 2^n amplitude contractions (tests only). */
+    std::vector<double> distribution(const Circuit& circuit) const;
+
+    /**
+     * Probability that the first `prefixLen` qubits measure the leading
+     * bits of `prefixBits` (doubled-network contraction).
+     */
+    double prefixProbability(const Circuit& circuit, std::uint64_t prefixBits,
+                             std::size_t prefixLen) const;
+
+    /** Sequential conditional sampling of full measurement outcomes. */
+    std::vector<std::uint64_t> sample(const Circuit& circuit,
+                                      std::size_t numSamples, Rng& rng) const;
+
+    struct Network {
+        std::vector<Tensor> tensors;
+        std::vector<int> outputEdges;  ///< per qubit
+        int nextEdge = 0;
+    };
+
+    /** Builds the single-layer (ket) network; conjugated if `conj`. */
+    static Network buildNetwork(const Circuit& circuit, bool conj);
+
+  private:
+    /** Greedy pairwise contraction to a scalar. */
+    static Complex contractToScalar(std::vector<Tensor> tensors);
+};
+
+/**
+ * Reusable tensor-network sampler: contraction plans for every prefix
+ * length are computed once at construction (structural, value-independent)
+ * and replayed per sample, so drawing many samples only pays contraction
+ * arithmetic — the qTorch-style sampling loop used by the Figure 8 bench.
+ */
+class TnSampler {
+  public:
+    explicit TnSampler(const Circuit& circuit);
+
+    /** P(first prefixLen qubits measure the low bits of prefixBits). */
+    double prefixProbability(std::uint64_t prefixBits, std::size_t prefixLen);
+
+    /** Draws measurement outcomes bit-by-bit from conditional marginals. */
+    std::vector<std::uint64_t> sample(std::size_t numSamples, Rng& rng);
+
+    /** Greedy structural contraction order over `tensors`. */
+    static std::vector<std::pair<std::size_t, std::size_t>> planContraction(
+        const std::vector<Tensor>& tensors);
+
+    /** Replays a contraction plan on concrete tensor values. */
+    static Complex executePlan(
+        std::vector<Tensor> tensors,
+        const std::vector<std::pair<std::size_t, std::size_t>>& plan);
+
+  private:
+    struct PrefixPlan {
+        std::vector<Tensor> tensors;
+        /** Per prefix qubit: (ket projector index, bra projector index). */
+        std::vector<std::pair<std::size_t, std::size_t>> projectors;
+        std::vector<std::pair<std::size_t, std::size_t>> plan;
+    };
+
+    std::size_t numQubits_;
+    std::vector<PrefixPlan> plans_;
+};
+
+} // namespace qkc
+
+#endif // QKC_TENSORNET_TENSORNET_SIMULATOR_H

@@ -1,0 +1,50 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace qkc {
+
+Cli::Cli(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg(argv[i]);
+        if (arg.substr(0, 2) != "--")
+            continue;
+        arg.remove_prefix(2);
+        auto eq = arg.find('=');
+        if (eq == std::string_view::npos)
+            args_[std::string(arg)] = "";
+        else
+            args_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+}
+
+bool
+Cli::has(const std::string& name) const
+{
+    return args_.count(name) > 0;
+}
+
+std::string
+Cli::getString(const std::string& name, const std::string& dflt) const
+{
+    auto it = args_.find(name);
+    return it == args_.end() ? dflt : it->second;
+}
+
+std::int64_t
+Cli::getInt(const std::string& name, std::int64_t dflt) const
+{
+    auto it = args_.find(name);
+    return it == args_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double
+Cli::getDouble(const std::string& name, double dflt) const
+{
+    auto it = args_.find(name);
+    return it == args_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+}
+
+} // namespace qkc

@@ -1,0 +1,94 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace qkc {
+
+std::vector<double>
+empiricalDistribution(const std::vector<std::uint64_t>& samples,
+                      std::size_t numOutcomes)
+{
+    std::vector<double> dist(numOutcomes, 0.0);
+    std::size_t counted = 0;
+    for (std::uint64_t s : samples) {
+        if (s < numOutcomes) {
+            dist[s] += 1.0;
+            ++counted;
+        }
+    }
+    if (counted > 0) {
+        for (double& d : dist)
+            d /= static_cast<double>(counted);
+    }
+    return dist;
+}
+
+double
+klDivergence(const std::vector<double>& p, const std::vector<double>& q,
+             double floor)
+{
+    assert(p.size() == q.size());
+    double kl = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (p[i] <= 0.0)
+            continue;
+        double qi = std::max(q[i], floor);
+        kl += p[i] * std::log(p[i] / qi);
+    }
+    return kl;
+}
+
+double
+totalVariation(const std::vector<double>& p, const std::vector<double>& q)
+{
+    assert(p.size() == q.size());
+    double tv = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+        tv += std::abs(p[i] - q[i]);
+    return 0.5 * tv;
+}
+
+void
+normalize(std::vector<double>& v)
+{
+    double total = std::accumulate(v.begin(), v.end(), 0.0);
+    if (total <= 0.0)
+        return;
+    for (double& x : v)
+        x /= total;
+}
+
+std::vector<std::size_t>
+rankByDescending(const std::vector<double>& v)
+{
+    std::vector<std::size_t> idx(v.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) { return v[a] > v[b]; });
+    return idx;
+}
+
+double
+mean(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double
+stddev(const std::vector<double>& v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    double m = mean(v);
+    double acc = 0.0;
+    for (double x : v)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+} // namespace qkc

@@ -1,0 +1,50 @@
+#ifndef QKC_UTIL_STATS_H
+#define QKC_UTIL_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace qkc {
+
+/**
+ * Distribution utilities used by the sampling-accuracy experiments
+ * (paper Figures 3 and 7).
+ */
+
+/**
+ * Builds an empirical probability distribution over [0, numOutcomes) from a
+ * list of observed outcomes. Outcomes outside the range are ignored.
+ */
+std::vector<double> empiricalDistribution(const std::vector<std::uint64_t>& samples,
+                                          std::size_t numOutcomes);
+
+/**
+ * Kullback-Leibler divergence D(p || q) in nats.
+ *
+ * Matches the paper's metric choice (Section 3.3.3): terms where p_i == 0
+ * contribute nothing, so outcomes never drawn from low-probability states do
+ * not blow up the score. Terms where p_i > 0 but q_i == 0 are clamped by
+ * flooring q_i at `floor` (the sampled distribution q is the one that may
+ * have zero mass on a true-support outcome).
+ */
+double klDivergence(const std::vector<double>& p, const std::vector<double>& q,
+                    double floor = 1e-12);
+
+/** Total variation distance (1/2) * sum |p_i - q_i|. */
+double totalVariation(const std::vector<double>& p, const std::vector<double>& q);
+
+/** Normalizes a non-negative vector in place to sum to one (no-op if all zero). */
+void normalize(std::vector<double>& v);
+
+/** Returns indices of v sorted by descending value (probability rank order). */
+std::vector<std::size_t> rankByDescending(const std::vector<double>& v);
+
+/** Arithmetic mean. Returns 0 for an empty input. */
+double mean(const std::vector<double>& v);
+
+/** Sample standard deviation. Returns 0 for fewer than two entries. */
+double stddev(const std::vector<double>& v);
+
+} // namespace qkc
+
+#endif // QKC_UTIL_STATS_H

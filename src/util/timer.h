@@ -1,0 +1,32 @@
+#ifndef QKC_UTIL_TIMER_H
+#define QKC_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace qkc {
+
+/** Simple monotonic wall-clock stopwatch used by the benchmark harnesses. */
+class Timer {
+  public:
+    Timer() { reset(); }
+
+    /** Restarts the stopwatch. */
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double seconds() const
+    {
+        auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+    /** Milliseconds elapsed since construction or the last reset(). */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace qkc
+
+#endif // QKC_UTIL_TIMER_H

@@ -1,0 +1,61 @@
+#include "vqa/backends.h"
+
+#include "densitymatrix/densitymatrix_simulator.h"
+#include "statevector/statevector_simulator.h"
+#include "tensornet/tensornet_simulator.h"
+
+namespace qkc {
+
+std::vector<std::uint64_t>
+StateVectorBackend::sample(const Circuit& circuit, std::size_t numSamples,
+                           Rng& rng)
+{
+    StateVectorSimulator sim;
+    if (circuit.noiseCount() == 0)
+        return sim.sample(circuit, numSamples, rng);
+    return sim.sampleNoisy(circuit, numSamples, rng);
+}
+
+std::vector<std::uint64_t>
+DensityMatrixBackend::sample(const Circuit& circuit, std::size_t numSamples,
+                             Rng& rng)
+{
+    DensityMatrixSimulator sim;
+    return sim.sample(circuit, numSamples, rng);
+}
+
+std::vector<std::uint64_t>
+TensorNetworkBackend::sample(const Circuit& circuit, std::size_t numSamples,
+                             Rng& rng)
+{
+    TnSampler sampler(circuit);
+    return sampler.sample(numSamples, rng);
+}
+
+KnowledgeCompilationBackend::KnowledgeCompilationBackend(
+    CompileOptions compileOptions, GibbsOptions gibbsOptions)
+    : compileOptions_(compileOptions), gibbsOptions_(gibbsOptions)
+{
+}
+
+std::vector<std::uint64_t>
+KnowledgeCompilationBackend::sample(const Circuit& circuit,
+                                    std::size_t numSamples, Rng& rng)
+{
+    if (!simulator_) {
+        simulator_ = std::make_unique<KcSimulator>(circuit, compileOptions_);
+        ++compileCount_;
+    } else {
+        try {
+            simulator_->refreshParams(circuit);
+        } catch (const std::invalid_argument&) {
+            // Different structure: compile from scratch.
+            simulator_ = std::make_unique<KcSimulator>(circuit,
+                                                       compileOptions_);
+            ++compileCount_;
+        }
+    }
+    return simulator_->sample(numSamples, rng, gibbsOptions_);
+}
+
+} // namespace qkc

@@ -1,0 +1,85 @@
+#ifndef QKC_VQA_BACKENDS_H
+#define QKC_VQA_BACKENDS_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ac/kc_simulator.h"
+#include "circuit/circuit.h"
+#include "util/rng.h"
+
+namespace qkc {
+
+/**
+ * A circuit-sampling backend: the quantum-computer stand-in that a
+ * variational loop queries for measurement samples. One implementation per
+ * simulator family the paper benchmarks (Figures 8 and 9).
+ */
+class SamplerBackend {
+  public:
+    virtual ~SamplerBackend() = default;
+
+    /** Draws measurement outcomes from the circuit's final wavefunction. */
+    virtual std::vector<std::uint64_t> sample(const Circuit& circuit,
+                                              std::size_t numSamples,
+                                              Rng& rng) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** qsim-style state-vector backend (trajectories when noise is present). */
+class StateVectorBackend : public SamplerBackend {
+  public:
+    std::vector<std::uint64_t> sample(const Circuit& circuit,
+                                      std::size_t numSamples, Rng& rng) override;
+    std::string name() const override { return "statevector"; }
+};
+
+/** Cirq-style density-matrix backend (handles all channels exactly). */
+class DensityMatrixBackend : public SamplerBackend {
+  public:
+    std::vector<std::uint64_t> sample(const Circuit& circuit,
+                                      std::size_t numSamples, Rng& rng) override;
+    std::string name() const override { return "densitymatrix"; }
+};
+
+/** qTorch-style tensor-network backend (ideal circuits only). */
+class TensorNetworkBackend : public SamplerBackend {
+  public:
+    std::vector<std::uint64_t> sample(const Circuit& circuit,
+                                      std::size_t numSamples, Rng& rng) override;
+    std::string name() const override { return "tensornetwork"; }
+};
+
+/**
+ * The knowledge-compilation backend (this paper's system). The first call
+ * compiles the circuit; later calls with the same structure only refresh
+ * parameter leaves — the variational reuse that headlines Section 3.2.
+ */
+class KnowledgeCompilationBackend : public SamplerBackend {
+  public:
+    explicit KnowledgeCompilationBackend(CompileOptions compileOptions = {},
+                                         GibbsOptions gibbsOptions = {});
+
+    std::vector<std::uint64_t> sample(const Circuit& circuit,
+                                      std::size_t numSamples, Rng& rng) override;
+    std::string name() const override { return "knowledgecompilation"; }
+
+    /** Number of full compilations performed (1 across a variational run). */
+    std::size_t compileCount() const { return compileCount_; }
+
+    /** The live simulator (null before the first sample call). */
+    KcSimulator* simulator() { return simulator_.get(); }
+
+  private:
+    CompileOptions compileOptions_;
+    GibbsOptions gibbsOptions_;
+    std::unique_ptr<KcSimulator> simulator_;
+    std::size_t compileCount_ = 0;
+};
+
+} // namespace qkc
+
+#endif // QKC_VQA_BACKENDS_H

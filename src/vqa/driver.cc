@@ -1,0 +1,75 @@
+#include "vqa/driver.h"
+
+#include "util/timer.h"
+
+namespace qkc {
+
+namespace {
+
+/** Shared loop body: builds circuits, samples, scores. */
+VqaResult
+runLoop(std::size_t numParams,
+        const std::function<Circuit(const std::vector<double>&)>& makeCircuit,
+        const std::function<double(const std::vector<std::uint64_t>&)>& score,
+        SamplerBackend& backend, const VqaOptions& options)
+{
+    VqaResult result;
+    Rng rng(options.seed);
+    Timer sampleTimer;
+    double sampleSeconds = 0.0;
+    std::size_t evaluations = 0;
+
+    auto objective = [&](const std::vector<double>& params) {
+        Circuit c = makeCircuit(params);
+        if (options.noisy)
+            c = c.withNoiseAfterEachGate(options.noiseKind,
+                                         options.noiseStrength);
+        ++evaluations;
+        sampleTimer.reset();
+        auto samples = backend.sample(c, options.samplesPerEvaluation, rng);
+        sampleSeconds += sampleTimer.seconds();
+        return score(samples);
+    };
+
+    std::vector<double> initial(numParams);
+    Rng initRng(options.seed ^ 0x5deece66dULL);
+    for (double& p : initial)
+        p = initRng.uniform(0.1, 1.0);
+
+    NelderMeadResult nm = nelderMead(objective, initial, options.optimizer);
+    result.bestParams = nm.best;
+    result.bestObjective = nm.value;
+    result.circuitEvaluations = evaluations;
+    result.sampleSeconds = sampleSeconds;
+    return result;
+}
+
+} // namespace
+
+VqaResult
+runQaoaMaxCut(const QaoaMaxCut& problem, SamplerBackend& backend,
+              const VqaOptions& options)
+{
+    return runLoop(
+        problem.numParams(),
+        [&](const std::vector<double>& p) { return problem.circuit(p); },
+        [&](const std::vector<std::uint64_t>& samples) {
+            return -problem.expectedCut(samples);
+        },
+        backend, options);
+}
+
+VqaResult
+runVqeIsing(const VqeIsing& problem, SamplerBackend& backend,
+            const VqaOptions& options)
+{
+    return runLoop(
+        problem.numParams(),
+        [&](const std::vector<double>& p) { return problem.circuit(p); },
+        [&](const std::vector<std::uint64_t>& samples) {
+            return problem.expectedEnergy(samples);
+        },
+        backend, options);
+}
+
+} // namespace qkc

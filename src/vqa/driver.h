@@ -1,0 +1,46 @@
+#ifndef QKC_VQA_DRIVER_H
+#define QKC_VQA_DRIVER_H
+
+#include <functional>
+
+#include "vqa/backends.h"
+#include "vqa/nelder_mead.h"
+#include "vqa/workloads.h"
+
+namespace qkc {
+
+/** Configuration of one hybrid quantum-classical run. */
+struct VqaOptions {
+    std::size_t samplesPerEvaluation = 256;
+    NelderMeadOptions optimizer{.maxIterations = 40, .initialStep = 0.4};
+    std::uint64_t seed = 1;
+    /** Optional noise inserted after every gate (paper Figure 9 setup). */
+    bool noisy = false;
+    NoiseKind noiseKind = NoiseKind::Depolarizing;
+    double noiseStrength = 0.005;
+};
+
+/** Outcome of a hybrid run. */
+struct VqaResult {
+    std::vector<double> bestParams;
+    double bestObjective = 0.0;     ///< minimized objective
+    std::size_t circuitEvaluations = 0;
+    double sampleSeconds = 0.0;     ///< total time inside the backend
+};
+
+/**
+ * Full hybrid loop for QAOA Max-Cut: Nelder-Mead proposes (gamma, beta)
+ * vectors, the backend samples the circuit, and the mean cut (negated)
+ * feeds back as the objective (paper Section 2.3). Returns the best
+ * parameters found; bestObjective is -E[cut].
+ */
+VqaResult runQaoaMaxCut(const QaoaMaxCut& problem, SamplerBackend& backend,
+                        const VqaOptions& options);
+
+/** Same loop for the VQE Ising workload; objective is E[energy]. */
+VqaResult runVqeIsing(const VqeIsing& problem, SamplerBackend& backend,
+                      const VqaOptions& options);
+
+} // namespace qkc
+
+#endif // QKC_VQA_DRIVER_H

@@ -1,0 +1,90 @@
+#include "vqa/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qkc {
+
+NelderMeadResult
+nelderMead(const std::function<double(const std::vector<double>&)>& objective,
+           std::vector<double> initial, const NelderMeadOptions& options)
+{
+    const std::size_t n = initial.size();
+    NelderMeadResult result;
+
+    // Standard coefficients: reflection, expansion, contraction, shrink.
+    const double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+
+    struct Vertex {
+        std::vector<double> x;
+        double f;
+    };
+    std::vector<Vertex> simplex;
+    simplex.reserve(n + 1);
+    auto eval = [&](const std::vector<double>& x) {
+        ++result.evaluations;
+        return objective(x);
+    };
+    simplex.push_back({initial, eval(initial)});
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> x = initial;
+        x[i] += options.initialStep;
+        simplex.push_back({x, eval(x)});
+    }
+
+    for (std::size_t it = 0; it < options.maxIterations; ++it) {
+        ++result.iterations;
+        std::sort(simplex.begin(), simplex.end(),
+                  [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+        if (simplex.back().f - simplex.front().f < options.tolerance)
+            break;
+
+        // Centroid of all but the worst vertex.
+        std::vector<double> centroid(n, 0.0);
+        for (std::size_t v = 0; v < n; ++v)
+            for (std::size_t i = 0; i < n; ++i)
+                centroid[i] += simplex[v].x[i] / static_cast<double>(n);
+
+        auto blend = [&](double t) {
+            std::vector<double> x(n);
+            for (std::size_t i = 0; i < n; ++i)
+                x[i] = centroid[i] + t * (simplex.back().x[i] - centroid[i]);
+            return x;
+        };
+
+        std::vector<double> reflected = blend(-alpha);
+        double fr = eval(reflected);
+        if (fr < simplex.front().f) {
+            std::vector<double> expanded = blend(-gamma);
+            double fe = eval(expanded);
+            simplex.back() = fe < fr ? Vertex{expanded, fe}
+                                     : Vertex{reflected, fr};
+            continue;
+        }
+        if (fr < simplex[n - 1].f) {
+            simplex.back() = {reflected, fr};
+            continue;
+        }
+        std::vector<double> contracted = blend(rho);
+        double fc = eval(contracted);
+        if (fc < simplex.back().f) {
+            simplex.back() = {contracted, fc};
+            continue;
+        }
+        // Shrink towards the best vertex.
+        for (std::size_t v = 1; v <= n; ++v) {
+            for (std::size_t i = 0; i < n; ++i)
+                simplex[v].x[i] = simplex[0].x[i] +
+                                  sigma * (simplex[v].x[i] - simplex[0].x[i]);
+            simplex[v].f = eval(simplex[v].x);
+        }
+    }
+
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+    result.best = simplex.front().x;
+    result.value = simplex.front().f;
+    return result;
+}
+
+} // namespace qkc

@@ -1,0 +1,37 @@
+#ifndef QKC_VQA_NELDER_MEAD_H
+#define QKC_VQA_NELDER_MEAD_H
+
+#include <functional>
+#include <vector>
+
+namespace qkc {
+
+/** Options for the Nelder-Mead downhill simplex optimizer. */
+struct NelderMeadOptions {
+    std::size_t maxIterations = 200;
+    /** Initial simplex offset added to each coordinate in turn. */
+    double initialStep = 0.5;
+    /** Stop when the simplex's value spread falls below this. */
+    double tolerance = 1e-8;
+};
+
+/** Result of a Nelder-Mead run. */
+struct NelderMeadResult {
+    std::vector<double> best;
+    double value = 0.0;
+    std::size_t evaluations = 0;
+    std::size_t iterations = 0;
+};
+
+/**
+ * Classic Nelder-Mead simplex minimization — the derivative-free classical
+ * optimizer the paper's variational loops use (Section 2.3). Deterministic
+ * given the initial point.
+ */
+NelderMeadResult nelderMead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    std::vector<double> initial, const NelderMeadOptions& options = {});
+
+} // namespace qkc
+
+#endif // QKC_VQA_NELDER_MEAD_H

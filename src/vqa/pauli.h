@@ -1,0 +1,65 @@
+#ifndef QKC_VQA_PAULI_H
+#define QKC_VQA_PAULI_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "vqa/backends.h"
+
+namespace qkc {
+
+/**
+ * A Pauli string observable, e.g. "XZIY": one Pauli per qubit (I for
+ * untouched qubits). Generalizes the diagonal Ising objectives the paper's
+ * VQE uses: non-diagonal terms are estimated by appending the standard
+ * basis-change gates (H for X, Sdg+H for Y) and measuring in the
+ * computational basis.
+ */
+class PauliString {
+  public:
+    /** Parses "XZIY"-style text (characters I, X, Y, Z). */
+    explicit PauliString(const std::string& text);
+
+    std::size_t numQubits() const { return paulis_.size(); }
+    const std::string& text() const { return text_; }
+
+    /** True if the string is all I/Z (directly measurable). */
+    bool isDiagonal() const;
+
+    /**
+     * Returns `circuit` extended with the basis-change gates that map this
+     * observable's eigenbasis onto the computational basis.
+     */
+    Circuit withMeasurementBasis(const Circuit& circuit) const;
+
+    /** Eigenvalue (+1/-1) of a post-rotation measurement outcome. */
+    int eigenvalue(std::uint64_t outcome) const;
+
+    /** Mean eigenvalue over post-rotation samples. */
+    double expectationFromSamples(
+        const std::vector<std::uint64_t>& samples) const;
+
+  private:
+    std::string text_;
+    std::vector<char> paulis_;
+};
+
+/**
+ * A weighted sum of Pauli strings H = sum_j c_j P_j — a general qubit
+ * Hamiltonian. Expectation under a circuit's output state is estimated term
+ * by term: each non-identity term gets its own measurement-basis circuit and
+ * `samplesPerTerm` shots from the backend.
+ */
+struct PauliHamiltonian {
+    std::vector<std::pair<double, PauliString>> terms;
+
+    /** <H> estimated from samples of `backend`. */
+    double expectation(const Circuit& circuit, SamplerBackend& backend,
+                       std::size_t samplesPerTerm, Rng& rng) const;
+};
+
+} // namespace qkc
+
+#endif // QKC_VQA_PAULI_H

@@ -1,0 +1,168 @@
+#include "vqa/workloads.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qkc {
+
+// ---------------------------------------------------------------------------
+// QaoaMaxCut
+// ---------------------------------------------------------------------------
+
+QaoaMaxCut::QaoaMaxCut(Graph graph, std::size_t iterations)
+    : graph_(std::move(graph)), iterations_(iterations)
+{
+    if (iterations_ == 0)
+        throw std::invalid_argument("QaoaMaxCut: iterations must be >= 1");
+}
+
+QaoaMaxCut
+QaoaMaxCut::randomRegular(std::size_t vertices, std::size_t degree,
+                          std::size_t iterations, Rng& rng)
+{
+    return QaoaMaxCut(randomRegularGraph(vertices, degree, rng), iterations);
+}
+
+Circuit
+QaoaMaxCut::circuit(const std::vector<double>& params) const
+{
+    if (params.size() != numParams())
+        throw std::invalid_argument("QaoaMaxCut::circuit: parameter count");
+    const std::size_t n = numQubits();
+    Circuit c(n);
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(q);
+    for (std::size_t layer = 0; layer < iterations_; ++layer) {
+        double gamma = params[2 * layer];
+        double beta = params[2 * layer + 1];
+        for (const auto& [u, v] : graph_.edges())
+            c.zz(u, v, gamma);
+        for (std::size_t q = 0; q < n; ++q)
+            c.rx(q, 2.0 * beta);
+    }
+    return c;
+}
+
+std::size_t
+QaoaMaxCut::cutOfOutcome(std::uint64_t outcome) const
+{
+    const std::size_t n = numQubits();
+    // Measurement outcomes use qubit 0 as MSB; cutValue() wants bit v to be
+    // vertex v's side.
+    std::uint64_t assignment = 0;
+    for (std::size_t v = 0; v < n; ++v)
+        if ((outcome >> (n - 1 - v)) & 1)
+            assignment |= std::uint64_t{1} << v;
+    return cutValue(graph_, assignment);
+}
+
+double
+QaoaMaxCut::expectedCut(const std::vector<std::uint64_t>& samples) const
+{
+    if (samples.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::uint64_t s : samples)
+        acc += static_cast<double>(cutOfOutcome(s));
+    return acc / static_cast<double>(samples.size());
+}
+
+double
+QaoaMaxCut::expectedCutExact(const std::vector<double>& distribution) const
+{
+    double acc = 0.0;
+    for (std::size_t x = 0; x < distribution.size(); ++x)
+        acc += distribution[x] * static_cast<double>(cutOfOutcome(x));
+    return acc;
+}
+
+// ---------------------------------------------------------------------------
+// VqeIsing
+// ---------------------------------------------------------------------------
+
+VqeIsing::VqeIsing(std::size_t rows, std::size_t cols, std::size_t iterations,
+                   Rng& rng)
+    : grid_(gridGraph(rows, cols)), iterations_(iterations)
+{
+    if (iterations_ == 0)
+        throw std::invalid_argument("VqeIsing: iterations must be >= 1");
+    couplings_.reserve(grid_.numEdges());
+    for (std::size_t e = 0; e < grid_.numEdges(); ++e)
+        couplings_.push_back(rng.bernoulli(0.5) ? 1.0 : -1.0);
+    fields_.reserve(grid_.numVertices());
+    for (std::size_t v = 0; v < grid_.numVertices(); ++v)
+        fields_.push_back(rng.uniform(-0.5, 0.5));
+}
+
+Circuit
+VqeIsing::circuit(const std::vector<double>& params) const
+{
+    if (params.size() != numParams())
+        throw std::invalid_argument("VqeIsing::circuit: parameter count");
+    const std::size_t n = numQubits();
+    Circuit c(n);
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(q);
+    for (std::size_t layer = 0; layer < iterations_; ++layer) {
+        double gamma = params[2 * layer];
+        double beta = params[2 * layer + 1];
+        const auto& edges = grid_.edges();
+        for (std::size_t e = 0; e < edges.size(); ++e)
+            c.zz(edges[e].first, edges[e].second, gamma * couplings_[e]);
+        for (std::size_t q = 0; q < n; ++q) {
+            if (fields_[q] != 0.0)
+                c.rz(q, 2.0 * gamma * fields_[q]);
+        }
+        for (std::size_t q = 0; q < n; ++q)
+            c.rx(q, 2.0 * beta);
+    }
+    return c;
+}
+
+double
+VqeIsing::energyOfOutcome(std::uint64_t outcome) const
+{
+    const std::size_t n = numQubits();
+    auto spin = [&](std::size_t v) {
+        return ((outcome >> (n - 1 - v)) & 1) ? -1.0 : 1.0;  // Z eigenvalue
+    };
+    double energy = 0.0;
+    const auto& edges = grid_.edges();
+    for (std::size_t e = 0; e < edges.size(); ++e)
+        energy += couplings_[e] * spin(edges[e].first) * spin(edges[e].second);
+    for (std::size_t v = 0; v < n; ++v)
+        energy += fields_[v] * spin(v);
+    return energy;
+}
+
+double
+VqeIsing::expectedEnergy(const std::vector<std::uint64_t>& samples) const
+{
+    if (samples.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::uint64_t s : samples)
+        acc += energyOfOutcome(s);
+    return acc / static_cast<double>(samples.size());
+}
+
+double
+VqeIsing::expectedEnergyExact(const std::vector<double>& distribution) const
+{
+    double acc = 0.0;
+    for (std::size_t x = 0; x < distribution.size(); ++x)
+        acc += distribution[x] * energyOfOutcome(x);
+    return acc;
+}
+
+double
+VqeIsing::groundStateEnergy() const
+{
+    assert(numQubits() <= 20);
+    double best = energyOfOutcome(0);
+    for (std::uint64_t x = 1; x < (std::uint64_t{1} << numQubits()); ++x)
+        best = std::min(best, energyOfOutcome(x));
+    return best;
+}
+
+} // namespace qkc

@@ -1,0 +1,86 @@
+#ifndef QKC_VQA_WORKLOADS_H
+#define QKC_VQA_WORKLOADS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "util/graph.h"
+#include "util/rng.h"
+
+namespace qkc {
+
+/**
+ * QAOA for Max-Cut on a random 3-regular graph — the paper's headline
+ * variational workload (Sections 2.3 and 4; Figures 3, 7, 8a/c, 9a/c).
+ * One qubit per vertex; each of the `iterations` layers applies a ZZ(gamma)
+ * phase separator per edge and an Rx(2 beta) mixer per qubit.
+ */
+class QaoaMaxCut {
+  public:
+    QaoaMaxCut(Graph graph, std::size_t iterations);
+
+    /** Random d-regular instance (paper: every vertex has three edges). */
+    static QaoaMaxCut randomRegular(std::size_t vertices, std::size_t degree,
+                                    std::size_t iterations, Rng& rng);
+
+    const Graph& graph() const { return graph_; }
+    std::size_t numQubits() const { return graph_.numVertices(); }
+    std::size_t iterations() const { return iterations_; }
+    std::size_t numParams() const { return 2 * iterations_; }
+
+    /** The circuit for parameters (gamma_1, beta_1, ..., gamma_p, beta_p). */
+    Circuit circuit(const std::vector<double>& params) const;
+
+    /** Cut value of one measurement outcome (qubit 0 = MSB). */
+    std::size_t cutOfOutcome(std::uint64_t outcome) const;
+
+    /** Mean cut over samples; the optimizer minimizes its negation. */
+    double expectedCut(const std::vector<std::uint64_t>& samples) const;
+
+    /** Exact expected cut under a full distribution (for tests/benches). */
+    double expectedCutExact(const std::vector<double>& distribution) const;
+
+  private:
+    Graph graph_;
+    std::size_t iterations_;
+};
+
+/**
+ * VQE for the minimum-energy configuration of a classical 2D Ising model
+ * (paper Figures 8b/d, 9b/d): H = sum_{<ij>} J_ij Z_i Z_j + sum_i h_i Z_i
+ * on a grid, one qubit per grid point. The ansatz is the QAOA-style
+ * alternating operator: per layer a ZZ(gamma J_ij) per coupling plus
+ * Rz(2 gamma h_i) per site, then an Rx(2 beta) mixer.
+ */
+class VqeIsing {
+  public:
+    VqeIsing(std::size_t rows, std::size_t cols, std::size_t iterations,
+             Rng& rng);
+
+    std::size_t numQubits() const { return grid_.numVertices(); }
+    std::size_t iterations() const { return iterations_; }
+    std::size_t numParams() const { return 2 * iterations_; }
+    const Graph& grid() const { return grid_; }
+
+    Circuit circuit(const std::vector<double>& params) const;
+
+    /** Classical Ising energy of a measurement outcome (spin = +-1). */
+    double energyOfOutcome(std::uint64_t outcome) const;
+
+    double expectedEnergy(const std::vector<std::uint64_t>& samples) const;
+    double expectedEnergyExact(const std::vector<double>& distribution) const;
+
+    /** Exact ground state energy by enumeration (tests; <= 20 qubits). */
+    double groundStateEnergy() const;
+
+  private:
+    Graph grid_;
+    std::vector<double> couplings_;  ///< per grid edge
+    std::vector<double> fields_;     ///< per site
+    std::size_t iterations_;
+};
+
+} // namespace qkc
+
+#endif // QKC_VQA_WORKLOADS_H

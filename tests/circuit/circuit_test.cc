@@ -1,0 +1,133 @@
+#include "circuit/circuit.h"
+
+#include <gtest/gtest.h>
+
+namespace qkc {
+namespace {
+
+TEST(CircuitTest, FluentBuilderCounts)
+{
+    Circuit c(3);
+    c.h(0).cnot(0, 1).cnot(1, 2).rz(2, 0.5);
+    EXPECT_EQ(c.numQubits(), 3u);
+    EXPECT_EQ(c.gateCount(), 4u);
+    EXPECT_EQ(c.noiseCount(), 0u);
+}
+
+TEST(CircuitTest, AppendNoiseCounts)
+{
+    Circuit c(2);
+    c.h(0);
+    c.append(NoiseChannel::depolarizing(0, 0.01));
+    c.cnot(0, 1);
+    EXPECT_EQ(c.gateCount(), 2u);
+    EXPECT_EQ(c.noiseCount(), 1u);
+    EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(CircuitTest, QubitRangeChecked)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.h(2), std::out_of_range);
+    EXPECT_THROW(c.cnot(0, 5), std::out_of_range);
+    EXPECT_THROW(c.append(NoiseChannel::bitFlip(9, 0.1)), std::out_of_range);
+}
+
+TEST(CircuitTest, InvalidQubitCount)
+{
+    EXPECT_THROW(Circuit(0), std::invalid_argument);
+    EXPECT_THROW(Circuit(64), std::invalid_argument);
+}
+
+TEST(CircuitTest, ExtendConcatenates)
+{
+    Circuit a(2), b(2);
+    a.h(0);
+    b.cnot(0, 1);
+    a.extend(b);
+    EXPECT_EQ(a.gateCount(), 2u);
+
+    Circuit wrong(3);
+    EXPECT_THROW(a.extend(wrong), std::invalid_argument);
+}
+
+TEST(CircuitTest, WithNoiseAfterEachGate)
+{
+    Circuit c(2);
+    c.h(0).cnot(0, 1);
+    Circuit noisy = c.withNoiseAfterEachGate(NoiseKind::Depolarizing, 0.005);
+    // H adds 1 channel; CNOT adds 2 (one per operand qubit).
+    EXPECT_EQ(noisy.gateCount(), 2u);
+    EXPECT_EQ(noisy.noiseCount(), 3u);
+    // Original untouched.
+    EXPECT_EQ(c.noiseCount(), 0u);
+}
+
+TEST(CircuitTest, NoiseOrderingFollowsGates)
+{
+    Circuit c(2);
+    c.h(0).cnot(0, 1);
+    Circuit noisy = c.withNoiseAfterEachGate(NoiseKind::BitFlip, 0.01);
+    ASSERT_EQ(noisy.size(), 5u);
+    EXPECT_TRUE(std::holds_alternative<Gate>(noisy.operations()[0]));
+    EXPECT_TRUE(std::holds_alternative<NoiseChannel>(noisy.operations()[1]));
+    EXPECT_TRUE(std::holds_alternative<Gate>(noisy.operations()[2]));
+    EXPECT_TRUE(std::holds_alternative<NoiseChannel>(noisy.operations()[3]));
+    EXPECT_TRUE(std::holds_alternative<NoiseChannel>(noisy.operations()[4]));
+}
+
+TEST(CircuitTest, ParameterizedGateIndices)
+{
+    Circuit c(2);
+    c.h(0).rz(0, 0.1).cnot(0, 1).zz(0, 1, 0.2);
+    auto idx = c.parameterizedGateIndices();
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 1u);
+    EXPECT_EQ(idx[1], 3u);
+}
+
+TEST(CircuitTest, SetGateParam)
+{
+    Circuit c(2);
+    c.rz(0, 0.1);
+    c.setGateParam(0, 0.9);
+    const Gate& g = std::get<Gate>(c.operations()[0]);
+    EXPECT_DOUBLE_EQ(g.param(), 0.9);
+
+    Circuit d(2);
+    d.h(0);
+    EXPECT_THROW(d.setGateParam(0, 1.0), std::invalid_argument);
+}
+
+TEST(CircuitTest, BasisIndexRoundTrip)
+{
+    // Qubit 0 is the most significant bit.
+    EXPECT_EQ(basisIndex({1, 0, 0}), 4u);
+    EXPECT_EQ(basisIndex({0, 1, 1}), 3u);
+    auto bits = basisBits(5, 3);  // 101
+    EXPECT_EQ(bits[0], 1);
+    EXPECT_EQ(bits[1], 0);
+    EXPECT_EQ(bits[2], 1);
+    for (std::uint64_t v = 0; v < 16; ++v)
+        EXPECT_EQ(basisIndex(basisBits(v, 4)), v);
+}
+
+TEST(CircuitTest, BasisKetFormat)
+{
+    EXPECT_EQ(basisKet(5, 4), "|0101>");
+    EXPECT_EQ(basisKet(0, 2), "|00>");
+}
+
+TEST(CircuitTest, ToStringMentionsOps)
+{
+    Circuit c(2);
+    c.h(0).cnot(0, 1);
+    c.append(NoiseChannel::phaseDamping(1, 0.36));
+    std::string s = c.toString();
+    EXPECT_NE(s.find("H"), std::string::npos);
+    EXPECT_NE(s.find("CNOT"), std::string::npos);
+    EXPECT_NE(s.find("PhaseDamp"), std::string::npos);
+}
+
+} // namespace
+} // namespace qkc

@@ -1,0 +1,96 @@
+#include "circuit/noise.h"
+
+#include <gtest/gtest.h>
+
+namespace qkc {
+namespace {
+
+/** Completeness: sum_k E_k^dagger E_k == I for every channel. */
+void
+expectComplete(const NoiseChannel& ch)
+{
+    Matrix acc = Matrix::zero(2, 2);
+    for (const Matrix& e : ch.krausOperators())
+        acc = acc + e.adjoint() * e;
+    EXPECT_TRUE(acc.approxEqual(Matrix::identity(2), 1e-9)) << ch.name();
+}
+
+class NoiseCompletenessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseCompletenessTest, AllChannelsComplete)
+{
+    double p = GetParam();
+    expectComplete(NoiseChannel::bitFlip(0, p));
+    expectComplete(NoiseChannel::phaseFlip(0, p));
+    expectComplete(NoiseChannel::depolarizing(0, p));
+    expectComplete(NoiseChannel::asymmetricDepolarizing(0, p / 3, p / 4, p / 5));
+    expectComplete(NoiseChannel::amplitudeDamping(0, p));
+    expectComplete(NoiseChannel::phaseDamping(0, p));
+    expectComplete(NoiseChannel::generalizedAmplitudeDamping(0, p, 0.3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strengths, NoiseCompletenessTest,
+                         ::testing::Values(0.0, 0.005, 0.05, 0.36, 0.5, 1.0));
+
+TEST(NoiseTest, MixtureClassification)
+{
+    // Table 1: Pauli-type noises are mixtures; damping channels are not.
+    EXPECT_TRUE(NoiseChannel::bitFlip(0, 0.1).isMixture());
+    EXPECT_TRUE(NoiseChannel::phaseFlip(0, 0.1).isMixture());
+    EXPECT_TRUE(NoiseChannel::depolarizing(0, 0.1).isMixture());
+    EXPECT_TRUE(NoiseChannel::asymmetricDepolarizing(0, 0.1, 0.05, 0.02).isMixture());
+    EXPECT_FALSE(NoiseChannel::amplitudeDamping(0, 0.36).isMixture());
+    EXPECT_FALSE(NoiseChannel::phaseDamping(0, 0.36).isMixture());
+    EXPECT_FALSE(
+        NoiseChannel::generalizedAmplitudeDamping(0, 0.36, 0.3).isMixture());
+}
+
+TEST(NoiseTest, PhaseDampingKrausEntries)
+{
+    // Section 2.2.2's example: gamma = 0.36 gives sqrt(1-gamma) = 0.8.
+    auto ch = NoiseChannel::phaseDamping(0, 0.36);
+    const auto& kraus = ch.krausOperators();
+    ASSERT_EQ(kraus.size(), 2u);
+    EXPECT_TRUE(approxEqual(kraus[0](0, 0), Complex{1.0}));
+    EXPECT_TRUE(approxEqual(kraus[0](1, 1), Complex{0.8}));
+    EXPECT_TRUE(approxEqual(kraus[1](1, 1), Complex{0.6}));
+    EXPECT_TRUE(approxEqual(kraus[1](0, 0), Complex{0.0}));
+}
+
+TEST(NoiseTest, AmplitudeDampingMapsOneToZero)
+{
+    auto ch = NoiseChannel::amplitudeDamping(0, 1.0);
+    // With gamma = 1, E1 maps |1> -> |0> with certainty.
+    const auto& kraus = ch.krausOperators();
+    EXPECT_TRUE(approxEqual(kraus[1](0, 1), Complex{1.0}));
+    EXPECT_TRUE(approxEqual(kraus[0](1, 1), Complex{0.0}));
+}
+
+TEST(NoiseTest, DepolarizingKrausCount)
+{
+    EXPECT_EQ(NoiseChannel::depolarizing(0, 0.1).krausOperators().size(), 4u);
+    EXPECT_EQ(NoiseChannel::bitFlip(0, 0.1).krausOperators().size(), 2u);
+    EXPECT_EQ(NoiseChannel::generalizedAmplitudeDamping(0, 0.1, 0.5)
+                  .krausOperators()
+                  .size(),
+              4u);
+}
+
+TEST(NoiseTest, RejectsInvalidProbabilities)
+{
+    EXPECT_THROW(NoiseChannel::bitFlip(0, -0.1), std::invalid_argument);
+    EXPECT_THROW(NoiseChannel::bitFlip(0, 1.1), std::invalid_argument);
+    EXPECT_THROW(NoiseChannel::asymmetricDepolarizing(0, 0.5, 0.4, 0.3),
+                 std::invalid_argument);
+}
+
+TEST(NoiseTest, QubitAndKindAccessors)
+{
+    auto ch = NoiseChannel::depolarizing(3, 0.05);
+    EXPECT_EQ(ch.qubit(), 3u);
+    EXPECT_EQ(ch.kind(), NoiseKind::Depolarizing);
+    EXPECT_EQ(ch.name(), "Depol(0.05)");
+}
+
+} // namespace
+} // namespace qkc

@@ -1,0 +1,78 @@
+#include "densitymatrix/densitymatrix_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "statevector/statevector_simulator.h"
+#include "util/stats.h"
+
+namespace qkc {
+namespace {
+
+TEST(DensityMatrixSimulatorTest, IdealCircuitMatchesStateVector)
+{
+    // For noise-free circuits, diag(rho) must equal |psi|^2 elementwise.
+    StateVectorSimulator svSim;
+    DensityMatrixSimulator dmSim;
+    std::vector<Circuit> circuits{bellCircuit(), ghzCircuit(4)};
+    for (const Circuit& c : circuits) {
+        auto svProbs = svSim.simulate(c).probabilities();
+        auto dmProbs = dmSim.distribution(c);
+        ASSERT_EQ(svProbs.size(), dmProbs.size());
+        for (std::size_t i = 0; i < svProbs.size(); ++i)
+            EXPECT_NEAR(svProbs[i], dmProbs[i], 1e-10);
+    }
+}
+
+TEST(DensityMatrixSimulatorTest, MatchesExhaustiveEnumeration)
+{
+    // Density-matrix evolution and exhaustive Kraus enumeration are both
+    // exact; they must agree on arbitrary noisy circuits.
+    Circuit c = ghzCircuit(3).withNoiseAfterEachGate(NoiseKind::Depolarizing,
+                                                     0.05);
+    StateVectorSimulator svSim;
+    DensityMatrixSimulator dmSim;
+    auto enumerated = svSim.noisyDistributionExhaustive(c);
+    auto viaRho = dmSim.distribution(c);
+    for (std::size_t i = 0; i < enumerated.size(); ++i)
+        EXPECT_NEAR(enumerated[i], viaRho[i], 1e-9);
+}
+
+TEST(DensityMatrixSimulatorTest, MatchesEnumerationOnDampingChannels)
+{
+    Circuit c(2);
+    c.h(0);
+    c.append(NoiseChannel::amplitudeDamping(0, 0.3));
+    c.cnot(0, 1);
+    c.append(NoiseChannel::phaseDamping(1, 0.2));
+    c.rx(1, 0.6);
+
+    StateVectorSimulator svSim;
+    DensityMatrixSimulator dmSim;
+    auto enumerated = svSim.noisyDistributionExhaustive(c);
+    auto viaRho = dmSim.distribution(c);
+    for (std::size_t i = 0; i < enumerated.size(); ++i)
+        EXPECT_NEAR(enumerated[i], viaRho[i], 1e-9);
+}
+
+TEST(DensityMatrixSimulatorTest, TraceStaysOneThroughDeepNoisyCircuit)
+{
+    Circuit c = ghzCircuit(4).withNoiseAfterEachGate(NoiseKind::BitFlip, 0.02);
+    DensityMatrixSimulator sim;
+    auto rho = sim.simulate(c);
+    EXPECT_TRUE(approxEqual(rho.trace(), Complex{1.0}, 1e-9));
+}
+
+TEST(DensityMatrixSimulatorTest, SamplesFollowDiagonal)
+{
+    DensityMatrixSimulator sim;
+    Rng rng(55);
+    Circuit c = noisyBellCircuit(0.36);
+    auto samples = sim.sample(c, 20000, rng);
+    auto emp = empiricalDistribution(samples, 4);
+    EXPECT_NEAR(emp[0], 0.5, 0.02);
+    EXPECT_NEAR(emp[3], 0.5, 0.02);
+}
+
+} // namespace
+} // namespace qkc

@@ -1,0 +1,193 @@
+/**
+ * Direct tests of the d-DNNF compiler on hand-built CNFs (independent of
+ * the quantum pipeline): weighted model counts against brute force, UNSAT
+ * handling, free-variable smoothing, and evidence semantics.
+ */
+#include <gtest/gtest.h>
+
+#include "ac/evaluator.h"
+#include "cnf/cnf.h"
+#include "knowledge/compiler.h"
+#include "util/rng.h"
+
+namespace qkc {
+namespace {
+
+/** Builds a CNF whose variables are all binary query indicators. */
+Cnf
+indicatorCnf(std::size_t numVars, std::vector<Clause> clauses)
+{
+    Cnf cnf;
+    cnf.bnVarIndicators.resize(numVars);
+    for (std::size_t v = 0; v < numVars; ++v) {
+        CnfVariable cv;
+        cv.kind = CnfVarKind::BinaryIndicator;
+        cv.bnVar = static_cast<BnVarId>(v);
+        cv.query = true;
+        cnf.vars.push_back(cv);
+        cnf.bnVarIndicators[v] = {static_cast<int>(v + 1)};
+    }
+    cnf.clauses = std::move(clauses);
+    return cnf;
+}
+
+/** Model count of `cnf` under evidence (-1 = free) by enumeration. */
+double
+bruteForceCount(const Cnf& cnf, const std::vector<int>& evidence)
+{
+    const std::size_t n = cnf.numVars();
+    double count = 0.0;
+    for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+        auto truth = [&](int var) { return ((bits >> (var - 1)) & 1) != 0; };
+        bool ok = true;
+        for (const Clause& c : cnf.clauses) {
+            bool sat = false;
+            for (int lit : c)
+                sat = sat || (lit > 0 ? truth(lit) : !truth(-lit));
+            ok = ok && sat;
+        }
+        if (!ok)
+            continue;
+        bool matches = true;
+        for (std::size_t v = 0; v < n; ++v) {
+            int ev = evidence[v];
+            if (ev != -1 && ev != (truth(static_cast<int>(v + 1)) ? 1 : 0))
+                matches = false;
+        }
+        count += matches ? 1.0 : 0.0;
+    }
+    return count;
+}
+
+AcEvaluator
+makeEvaluator(const ArithmeticCircuit& ac, std::size_t numVars)
+{
+    return AcEvaluator(ac, std::vector<std::size_t>(numVars, 2), {});
+}
+
+TEST(CompilerCnfTest, UnsatGivesZero)
+{
+    Cnf cnf = indicatorCnf(2, {{1}, {-1}});
+    KnowledgeCompiler compiler;
+    auto ac = compiler.compile(cnf);
+    auto eval = makeEvaluator(ac, 2);
+    EXPECT_TRUE(approxEqual(eval.evaluate(), Complex{}));
+}
+
+TEST(CompilerCnfTest, TautologyCountsAllAssignments)
+{
+    // No clauses: every variable free, count = 2^n.
+    Cnf cnf = indicatorCnf(3, {});
+    KnowledgeCompiler compiler;
+    auto ac = compiler.compile(cnf);
+    auto eval = makeEvaluator(ac, 3);
+    EXPECT_TRUE(approxEqual(eval.evaluate(), Complex{8.0}));
+    // Evidence pins variables one at a time.
+    eval.setEvidence(0, 1);
+    EXPECT_TRUE(approxEqual(eval.evaluate(), Complex{4.0}));
+    eval.setEvidence(1, 0);
+    EXPECT_TRUE(approxEqual(eval.evaluate(), Complex{2.0}));
+}
+
+TEST(CompilerCnfTest, XorFormula)
+{
+    // x XOR y: clauses (x | y) & (~x | ~y): 2 models.
+    Cnf cnf = indicatorCnf(2, {{1, 2}, {-1, -2}});
+    KnowledgeCompiler compiler;
+    auto ac = compiler.compile(cnf);
+    auto eval = makeEvaluator(ac, 2);
+    EXPECT_TRUE(approxEqual(eval.evaluate(), Complex{2.0}));
+    eval.setEvidence(0, 1);
+    EXPECT_TRUE(approxEqual(eval.evaluate(), Complex{1.0}));
+    eval.setEvidence(1, 1);
+    EXPECT_TRUE(approxEqual(eval.evaluate(), Complex{0.0}));
+}
+
+class RandomCnfTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCnfTest, ModelCountsMatchBruteForce)
+{
+    Rng rng(8000 + GetParam());
+    const std::size_t n = 8;
+    // Random 3-CNF at a satisfiable-ish density.
+    std::vector<Clause> clauses;
+    for (int c = 0; c < 14; ++c) {
+        Clause clause;
+        for (int l = 0; l < 3; ++l) {
+            int var = static_cast<int>(rng.below(n)) + 1;
+            int lit = rng.bernoulli(0.5) ? var : -var;
+            if (std::find(clause.begin(), clause.end(), lit) == clause.end() &&
+                std::find(clause.begin(), clause.end(), -lit) == clause.end())
+                clause.push_back(lit);
+        }
+        if (!clause.empty())
+            clauses.push_back(std::move(clause));
+    }
+    Cnf cnf = indicatorCnf(n, clauses);
+
+    for (auto heuristic :
+         {DecisionHeuristic::Lexicographic, DecisionHeuristic::MinFill,
+          DecisionHeuristic::Dynamic}) {
+        CompileOptions options;
+        options.heuristic = heuristic;
+        KnowledgeCompiler compiler(options);
+        auto ac = compiler.compile(cnf);
+        auto eval = makeEvaluator(ac, n);
+
+        // Unconditioned count plus several random evidence settings.
+        for (int trial = 0; trial < 6; ++trial) {
+            std::vector<int> evidence(n, -1);
+            if (trial > 0) {
+                for (std::size_t v = 0; v < n; ++v) {
+                    switch (rng.below(3)) {
+                      case 0: evidence[v] = 0; break;
+                      case 1: evidence[v] = 1; break;
+                      default: evidence[v] = -1; break;
+                    }
+                }
+            }
+            for (std::size_t v = 0; v < n; ++v)
+                eval.setEvidence(static_cast<BnVarId>(v), evidence[v]);
+            double expected = bruteForceCount(cnf, evidence);
+            EXPECT_TRUE(approxEqual(eval.evaluate(), Complex{expected}, 1e-9))
+                << "heuristic=" << static_cast<int>(heuristic)
+                << " trial=" << trial << " expected=" << expected
+                << " got=" << eval.evaluate();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnfTest, ::testing::Range(0, 10));
+
+TEST(CompilerCnfTest, DnnfIsDecomposable)
+{
+    // Structural property check: the children of every Mul node mention
+    // disjoint sets of query variables (decomposability).
+    Rng rng(9001);
+    Cnf cnf = indicatorCnf(
+        6, {{1, 2}, {-2, 3}, {3, 4, 5}, {-5, -6}, {1, -4}});
+    KnowledgeCompiler compiler;
+    auto ac = compiler.compile(cnf);
+
+    // varsBelow[node] = bitmask of BN vars with indicator leaves below it.
+    std::vector<std::uint64_t> varsBelow(ac.numNodes(), 0);
+    for (AcNodeId id = 0; id < ac.numNodes(); ++id) {
+        const AcNode& node = ac.node(id);
+        if (node.kind == AcNodeKind::Indicator) {
+            varsBelow[id] = std::uint64_t{1} << node.var;
+            continue;
+        }
+        std::uint64_t acc = 0;
+        for (AcNodeId child : ac.children(id)) {
+            if (node.kind == AcNodeKind::Mul) {
+                EXPECT_EQ(acc & varsBelow[child], 0u)
+                    << "Mul node " << id << " shares variables";
+            }
+            acc |= varsBelow[child];
+        }
+        varsBelow[id] = acc;
+    }
+}
+
+} // namespace
+} // namespace qkc

@@ -1,0 +1,116 @@
+#include "statevector/statevector_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/algorithms.h"
+#include "util/stats.h"
+
+namespace qkc {
+namespace {
+
+TEST(StateVectorSimulatorTest, BellDistribution)
+{
+    StateVectorSimulator sim;
+    auto sv = sim.simulate(bellCircuit());
+    auto probs = sv.probabilities();
+    EXPECT_NEAR(probs[0], 0.5, 1e-12);
+    EXPECT_NEAR(probs[3], 0.5, 1e-12);
+    EXPECT_NEAR(probs[1], 0.0, 1e-12);
+    EXPECT_NEAR(probs[2], 0.0, 1e-12);
+}
+
+TEST(StateVectorSimulatorTest, RejectsNoisyCircuit)
+{
+    StateVectorSimulator sim;
+    EXPECT_THROW(sim.simulate(noisyBellCircuit()), std::invalid_argument);
+}
+
+TEST(StateVectorSimulatorTest, SamplingMatchesDistribution)
+{
+    StateVectorSimulator sim;
+    Rng rng(99);
+    auto samples = sim.sample(bellCircuit(), 20000, rng);
+    auto emp = empiricalDistribution(samples, 4);
+    EXPECT_NEAR(emp[0], 0.5, 0.02);
+    EXPECT_NEAR(emp[3], 0.5, 0.02);
+    EXPECT_NEAR(emp[1] + emp[2], 0.0, 1e-12);
+}
+
+TEST(StateVectorSimulatorTest, TrajectoryPreservesNorm)
+{
+    StateVectorSimulator sim;
+    Rng rng(5);
+    Circuit c = bellCircuit().withNoiseAfterEachGate(NoiseKind::Depolarizing,
+                                                     0.2);
+    for (int i = 0; i < 20; ++i) {
+        auto sv = sim.simulateTrajectory(c, rng);
+        EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+    }
+}
+
+TEST(StateVectorSimulatorTest, TrajectoryAveragesToChannelResult)
+{
+    // Bit flip with p = 0.3 after X: qubit ends in |1> w.p. 0.7.
+    Circuit c(1);
+    c.x(0);
+    c.append(NoiseChannel::bitFlip(0, 0.3));
+
+    StateVectorSimulator sim;
+    Rng rng(123);
+    auto samples = sim.sampleNoisy(c, 20000, rng);
+    auto emp = empiricalDistribution(samples, 2);
+    EXPECT_NEAR(emp[1], 0.7, 0.02);
+}
+
+TEST(StateVectorSimulatorTest, ExhaustiveNoisyDistributionBell)
+{
+    // The paper's noisy Bell example keeps outcome probabilities 1/2, 1/2
+    // (phase damping does not change populations).
+    StateVectorSimulator sim;
+    auto dist = sim.noisyDistributionExhaustive(noisyBellCircuit(0.36));
+    EXPECT_NEAR(dist[0], 0.5, 1e-12);
+    EXPECT_NEAR(dist[3], 0.5, 1e-12);
+    EXPECT_NEAR(dist[1], 0.0, 1e-12);
+}
+
+TEST(StateVectorSimulatorTest, ExhaustiveMatchesTrajectoriesOnAmplitudeDamping)
+{
+    Circuit c(1);
+    c.h(0);
+    c.append(NoiseChannel::amplitudeDamping(0, 0.4));
+
+    StateVectorSimulator sim;
+    auto exact = sim.noisyDistributionExhaustive(c);
+
+    Rng rng(7);
+    auto samples = sim.sampleNoisy(c, 30000, rng);
+    auto emp = empiricalDistribution(samples, 2);
+    EXPECT_NEAR(emp[0], exact[0], 0.02);
+    EXPECT_NEAR(emp[1], exact[1], 0.02);
+}
+
+TEST(StateVectorSimulatorTest, ExhaustiveDistributionSumsToOne)
+{
+    Circuit c = ghzCircuit(3).withNoiseAfterEachGate(NoiseKind::Depolarizing,
+                                                     0.05);
+    StateVectorSimulator sim;
+    auto dist = sim.noisyDistributionExhaustive(c);
+    double total = 0.0;
+    for (double p : dist)
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(StateVectorSimulatorTest, SampleFromDistributionEdgeCases)
+{
+    Rng rng(1);
+    std::vector<double> point{0.0, 1.0, 0.0};
+    auto s = StateVectorSimulator::sampleFromDistribution(point, 100, rng);
+    for (auto v : s)
+        EXPECT_EQ(v, 1u);
+}
+
+} // namespace
+} // namespace qkc

@@ -1,0 +1,85 @@
+#include "tensornet/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/gate.h"
+
+namespace qkc {
+namespace {
+
+TEST(TensorTest, VecConstruction)
+{
+    Tensor t = Tensor::vec(5, 0.6, Complex{0.0, 0.8});
+    EXPECT_EQ(t.rank(), 1u);
+    EXPECT_EQ(t.edges[0], 5);
+    EXPECT_TRUE(approxEqual(t.data[1], Complex(0.0, 0.8)));
+}
+
+TEST(TensorTest, InnerProduct)
+{
+    // <a|b> with shared edge: contraction to scalar.
+    Tensor a = Tensor::vec(0, 3.0, 4.0);
+    Tensor b = Tensor::vec(0, 1.0, 2.0);
+    Tensor s = contractPair(a, b);
+    EXPECT_EQ(s.rank(), 0u);
+    EXPECT_TRUE(approxEqual(s.data[0], Complex{11.0}));
+}
+
+TEST(TensorTest, OuterProduct)
+{
+    Tensor a = Tensor::vec(0, 1.0, 2.0);
+    Tensor b = Tensor::vec(1, 3.0, 5.0);
+    Tensor o = contractPair(a, b);
+    EXPECT_EQ(o.rank(), 2u);
+    // data index: edge0 is MSB.
+    EXPECT_TRUE(approxEqual(o.data[0], Complex{3.0}));   // (0,0)
+    EXPECT_TRUE(approxEqual(o.data[1], Complex{5.0}));   // (0,1)
+    EXPECT_TRUE(approxEqual(o.data[2], Complex{6.0}));   // (1,0)
+    EXPECT_TRUE(approxEqual(o.data[3], Complex{10.0}));  // (1,1)
+}
+
+TEST(TensorTest, MatrixVectorViaContraction)
+{
+    // H applied to |0> via tensor contraction equals H's first column.
+    Matrix h = Gate(GateKind::H, {0}).unitary();
+    Tensor gate;
+    gate.edges = {1, 0};  // out, in
+    gate.data = {h(0, 0), h(0, 1), h(1, 0), h(1, 1)};
+    Tensor ket = Tensor::vec(0, 1.0, 0.0);
+    Tensor out = contractPair(gate, ket);
+    ASSERT_EQ(out.rank(), 1u);
+    EXPECT_EQ(out.edges[0], 1);
+    EXPECT_TRUE(approxEqual(out.data[0], h(0, 0)));
+    EXPECT_TRUE(approxEqual(out.data[1], h(1, 0)));
+}
+
+TEST(TensorTest, SharedEdgeOrderIrrelevant)
+{
+    Tensor a;
+    a.edges = {0, 1};
+    a.data = {1.0, 2.0, 3.0, 4.0};
+    Tensor b;
+    b.edges = {1, 0};
+    b.data = {1.0, 10.0, 100.0, 1000.0};
+    // Full contraction: sum over (i,j) a[i,j] * b[j,i].
+    Tensor s = contractPair(a, b);
+    ASSERT_EQ(s.rank(), 0u);
+    // a00*b00 + a01*b10 + a10*b01 + a11*b11 = 1 + 200 + 30 + 4000.
+    EXPECT_TRUE(approxEqual(s.data[0], Complex{4231.0}));
+}
+
+TEST(TensorTest, PartialContractionKeepsFreeEdges)
+{
+    Tensor a;
+    a.edges = {0, 1};
+    a.data = {1.0, 2.0, 3.0, 4.0};
+    Tensor b = Tensor::vec(1, 1.0, -1.0);
+    Tensor out = contractPair(a, b);
+    ASSERT_EQ(out.rank(), 1u);
+    EXPECT_EQ(out.edges[0], 0);
+    EXPECT_TRUE(approxEqual(out.data[0], Complex{-1.0}));  // 1 - 2
+    EXPECT_TRUE(approxEqual(out.data[1], Complex{-1.0}));  // 3 - 4
+}
+
+} // namespace
+} // namespace qkc

@@ -1,0 +1,55 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace qkc {
+namespace {
+
+Cli
+makeCli(std::vector<const char*> args)
+{
+    args.insert(args.begin(), "prog");
+    return Cli(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(CliTest, ParsesKeyValue)
+{
+    auto cli = makeCli({"--qubits=12", "--noise=0.005", "--mode=fast"});
+    EXPECT_EQ(cli.getInt("qubits", 0), 12);
+    EXPECT_DOUBLE_EQ(cli.getDouble("noise", 0.0), 0.005);
+    EXPECT_EQ(cli.getString("mode", ""), "fast");
+}
+
+TEST(CliTest, DefaultsWhenMissing)
+{
+    auto cli = makeCli({});
+    EXPECT_EQ(cli.getInt("qubits", 7), 7);
+    EXPECT_DOUBLE_EQ(cli.getDouble("noise", 0.25), 0.25);
+    EXPECT_EQ(cli.getString("mode", "slow"), "slow");
+    EXPECT_FALSE(cli.has("qubits"));
+}
+
+TEST(CliTest, BareFlag)
+{
+    auto cli = makeCli({"--verbose"});
+    EXPECT_TRUE(cli.has("verbose"));
+    EXPECT_EQ(cli.getString("verbose", "x"), "");
+}
+
+TEST(CliTest, IgnoresPositional)
+{
+    auto cli = makeCli({"positional", "--x=1"});
+    EXPECT_FALSE(cli.has("positional"));
+    EXPECT_EQ(cli.getInt("x", 0), 1);
+}
+
+TEST(CliTest, NegativeNumbers)
+{
+    auto cli = makeCli({"--shift=-4", "--gamma=-0.5"});
+    EXPECT_EQ(cli.getInt("shift", 0), -4);
+    EXPECT_DOUBLE_EQ(cli.getDouble("gamma", 0.0), -0.5);
+}
+
+} // namespace
+} // namespace qkc

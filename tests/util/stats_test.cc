@@ -1,0 +1,131 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qkc {
+namespace {
+
+TEST(StatsTest, EmpiricalDistributionCounts)
+{
+    std::vector<std::uint64_t> samples{0, 0, 1, 3, 3, 3, 3, 1};
+    auto dist = empiricalDistribution(samples, 4);
+    EXPECT_DOUBLE_EQ(dist[0], 0.25);
+    EXPECT_DOUBLE_EQ(dist[1], 0.25);
+    EXPECT_DOUBLE_EQ(dist[2], 0.0);
+    EXPECT_DOUBLE_EQ(dist[3], 0.5);
+}
+
+TEST(StatsTest, EmpiricalDistributionIgnoresOutOfRange)
+{
+    std::vector<std::uint64_t> samples{0, 9, 1};
+    auto dist = empiricalDistribution(samples, 2);
+    EXPECT_DOUBLE_EQ(dist[0], 0.5);
+    EXPECT_DOUBLE_EQ(dist[1], 0.5);
+}
+
+TEST(StatsTest, EmpiricalDistributionEmptyIsZero)
+{
+    auto dist = empiricalDistribution({}, 3);
+    for (double d : dist)
+        EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(StatsTest, KlOfIdenticalIsZero)
+{
+    std::vector<double> p{0.25, 0.25, 0.5};
+    EXPECT_NEAR(klDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(StatsTest, KlIsPositiveForDifferent)
+{
+    std::vector<double> p{0.9, 0.1};
+    std::vector<double> q{0.5, 0.5};
+    EXPECT_GT(klDivergence(p, q), 0.0);
+}
+
+TEST(StatsTest, KlKnownValue)
+{
+    std::vector<double> p{0.5, 0.5};
+    std::vector<double> q{0.25, 0.75};
+    double expected = 0.5 * std::log(2.0) + 0.5 * std::log(2.0 / 3.0);
+    EXPECT_NEAR(klDivergence(p, q), expected, 1e-12);
+}
+
+TEST(StatsTest, KlDiscountsZeroTrueProbability)
+{
+    // p has zero mass on outcome 1; q's mass there should not matter.
+    std::vector<double> p{1.0, 0.0};
+    std::vector<double> q{1.0, 0.0};
+    std::vector<double> q2{0.999, 0.001};
+    EXPECT_NEAR(klDivergence(p, q), 0.0, 1e-12);
+    EXPECT_LT(klDivergence(p, q2), 0.01);
+}
+
+TEST(StatsTest, KlFloorsSampledZeros)
+{
+    std::vector<double> p{0.5, 0.5};
+    std::vector<double> q{1.0, 0.0};
+    double kl = klDivergence(p, q);
+    EXPECT_TRUE(std::isfinite(kl));
+    EXPECT_GT(kl, 1.0);
+}
+
+TEST(StatsTest, TotalVariationBounds)
+{
+    std::vector<double> p{1.0, 0.0};
+    std::vector<double> q{0.0, 1.0};
+    EXPECT_DOUBLE_EQ(totalVariation(p, q), 1.0);
+    EXPECT_DOUBLE_EQ(totalVariation(p, p), 0.0);
+}
+
+TEST(StatsTest, NormalizeSumsToOne)
+{
+    std::vector<double> v{1.0, 2.0, 5.0};
+    normalize(v);
+    EXPECT_NEAR(v[0] + v[1] + v[2], 1.0, 1e-12);
+    EXPECT_NEAR(v[2], 0.625, 1e-12);
+}
+
+TEST(StatsTest, NormalizeAllZeroIsNoop)
+{
+    std::vector<double> v{0.0, 0.0};
+    normalize(v);
+    EXPECT_DOUBLE_EQ(v[0], 0.0);
+    EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(StatsTest, RankByDescending)
+{
+    std::vector<double> v{0.1, 0.7, 0.2};
+    auto rank = rankByDescending(v);
+    EXPECT_EQ(rank[0], 1u);
+    EXPECT_EQ(rank[1], 2u);
+    EXPECT_EQ(rank[2], 0u);
+}
+
+TEST(StatsTest, RankIsStableForTies)
+{
+    std::vector<double> v{0.5, 0.5, 0.5};
+    auto rank = rankByDescending(v);
+    EXPECT_EQ(rank[0], 0u);
+    EXPECT_EQ(rank[1], 1u);
+    EXPECT_EQ(rank[2], 2u);
+}
+
+TEST(StatsTest, MeanAndStddev)
+{
+    std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, MeanEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+} // namespace
+} // namespace qkc

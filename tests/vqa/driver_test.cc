@@ -1,0 +1,94 @@
+#include "vqa/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "util/graph.h"
+
+namespace qkc {
+namespace {
+
+VqaOptions
+smallRun(std::uint64_t seed)
+{
+    VqaOptions options;
+    options.samplesPerEvaluation = 128;
+    options.optimizer.maxIterations = 15;
+    options.seed = seed;
+    return options;
+}
+
+TEST(VqaDriverTest, QaoaImprovesOverUniformWithKc)
+{
+    Rng rng(3);
+    auto problem = QaoaMaxCut::randomRegular(6, 3, 1, rng);
+    KnowledgeCompilationBackend backend;
+    auto result = runQaoaMaxCut(problem, backend, smallRun(5));
+    // Uniform superposition cuts half the edges on average.
+    double uniform = problem.graph().numEdges() / 2.0;
+    EXPECT_LT(result.bestObjective, -(uniform + 0.1));
+    EXPECT_GT(result.circuitEvaluations, 10u);
+}
+
+TEST(VqaDriverTest, KcBackendCompilesOnce)
+{
+    // Every Nelder-Mead evaluation uses the same circuit structure, so the
+    // KC backend must compile exactly once and only refresh weights — the
+    // paper's central reuse claim.
+    Rng rng(7);
+    auto problem = QaoaMaxCut::randomRegular(6, 3, 1, rng);
+    KnowledgeCompilationBackend backend;
+    auto result = runQaoaMaxCut(problem, backend, smallRun(9));
+    EXPECT_EQ(backend.compileCount(), 1u);
+    EXPECT_GT(result.circuitEvaluations, 10u);
+}
+
+TEST(VqaDriverTest, StateVectorAndKcFindSimilarOptima)
+{
+    Rng rng(11);
+    auto problem = QaoaMaxCut::randomRegular(6, 3, 1, rng);
+    KnowledgeCompilationBackend kc;
+    StateVectorBackend sv;
+    auto rKc = runQaoaMaxCut(problem, kc, smallRun(13));
+    auto rSv = runQaoaMaxCut(problem, sv, smallRun(13));
+    EXPECT_NEAR(rKc.bestObjective, rSv.bestObjective, 0.8);
+}
+
+TEST(VqaDriverTest, VqeLowersEnergy)
+{
+    Rng rng(17);
+    VqeIsing problem(2, 2, 1, rng);
+    KnowledgeCompilationBackend backend;
+    auto result = runVqeIsing(problem, backend, smallRun(19));
+    // The uniform superposition has expected energy ~0 (random signs);
+    // the optimizer should find something decidedly below it and above the
+    // ground state.
+    EXPECT_LT(result.bestObjective, -0.2);
+    EXPECT_GE(result.bestObjective, problem.groundStateEnergy() - 1e-9);
+}
+
+TEST(VqaDriverTest, NoisyRunUsesChannels)
+{
+    Rng rng(23);
+    auto problem = QaoaMaxCut::randomRegular(4, 3, 1, rng);
+    VqaOptions options = smallRun(29);
+    options.noisy = true;
+    options.noiseStrength = 0.01;
+    options.optimizer.maxIterations = 6;
+    options.samplesPerEvaluation = 64;
+
+    DensityMatrixBackend backend;
+    auto result = runQaoaMaxCut(problem, backend, options);
+    EXPECT_GT(result.circuitEvaluations, 4u);
+    EXPECT_GT(result.sampleSeconds, 0.0);
+}
+
+TEST(VqaDriverTest, BackendNames)
+{
+    EXPECT_EQ(StateVectorBackend().name(), "statevector");
+    EXPECT_EQ(DensityMatrixBackend().name(), "densitymatrix");
+    EXPECT_EQ(TensorNetworkBackend().name(), "tensornetwork");
+    EXPECT_EQ(KnowledgeCompilationBackend().name(), "knowledgecompilation");
+}
+
+} // namespace
+} // namespace qkc

@@ -1,0 +1,78 @@
+#include "vqa/nelder_mead.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qkc {
+namespace {
+
+TEST(NelderMeadTest, MinimizesQuadratic)
+{
+    auto f = [](const std::vector<double>& x) {
+        return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 1.0) * (x[1] + 1.0);
+    };
+    NelderMeadOptions options;
+    options.maxIterations = 400;
+    auto result = nelderMead(f, {0.0, 0.0}, options);
+    EXPECT_NEAR(result.best[0], 3.0, 1e-3);
+    EXPECT_NEAR(result.best[1], -1.0, 1e-3);
+    EXPECT_NEAR(result.value, 0.0, 1e-5);
+}
+
+TEST(NelderMeadTest, MinimizesRosenbrock)
+{
+    auto f = [](const std::vector<double>& x) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    NelderMeadOptions options;
+    options.maxIterations = 3000;
+    options.tolerance = 1e-14;
+    auto result = nelderMead(f, {-1.2, 1.0}, options);
+    EXPECT_NEAR(result.best[0], 1.0, 1e-2);
+    EXPECT_NEAR(result.best[1], 1.0, 1e-2);
+}
+
+TEST(NelderMeadTest, OneDimensional)
+{
+    auto f = [](const std::vector<double>& x) {
+        return std::cos(x[0]);  // minimum at pi
+    };
+    NelderMeadOptions options;
+    options.maxIterations = 200;
+    auto result = nelderMead(f, {2.0}, options);
+    EXPECT_NEAR(result.best[0], M_PI, 1e-3);
+    EXPECT_NEAR(result.value, -1.0, 1e-6);
+}
+
+TEST(NelderMeadTest, ReportsEvaluationCount)
+{
+    auto f = [](const std::vector<double>& x) { return x[0] * x[0]; };
+    auto result = nelderMead(f, {5.0}, {.maxIterations = 50});
+    EXPECT_GT(result.evaluations, 10u);
+    EXPECT_LE(result.iterations, 50u);
+}
+
+TEST(NelderMeadTest, RespectsIterationBudget)
+{
+    std::size_t calls = 0;
+    auto f = [&](const std::vector<double>& x) {
+        ++calls;
+        return std::sin(x[0]) + x[1] * x[1];
+    };
+    auto result = nelderMead(f, {0.0, 4.0}, {.maxIterations = 5});
+    EXPECT_LE(result.iterations, 5u);
+    EXPECT_EQ(calls, result.evaluations);
+}
+
+TEST(NelderMeadTest, ToleranceStopsEarly)
+{
+    auto f = [](const std::vector<double>&) { return 1.0; };  // flat
+    auto result = nelderMead(f, {0.0, 0.0}, {.maxIterations = 1000});
+    EXPECT_LT(result.iterations, 3u);
+}
+
+} // namespace
+} // namespace qkc

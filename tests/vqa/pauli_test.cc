@@ -1,0 +1,106 @@
+#include "vqa/pauli.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/algorithms.h"
+#include "statevector/statevector_simulator.h"
+
+namespace qkc {
+namespace {
+
+TEST(PauliStringTest, ParseAndClassify)
+{
+    PauliString zz("ZZ");
+    EXPECT_TRUE(zz.isDiagonal());
+    PauliString xy("XIY");
+    EXPECT_FALSE(xy.isDiagonal());
+    EXPECT_EQ(xy.numQubits(), 3u);
+    EXPECT_THROW(PauliString(""), std::invalid_argument);
+    EXPECT_THROW(PauliString("XQ"), std::invalid_argument);
+}
+
+TEST(PauliStringTest, EigenvalueParity)
+{
+    PauliString zz("ZZ");
+    EXPECT_EQ(zz.eigenvalue(0b00), 1);
+    EXPECT_EQ(zz.eigenvalue(0b01), -1);
+    EXPECT_EQ(zz.eigenvalue(0b10), -1);
+    EXPECT_EQ(zz.eigenvalue(0b11), 1);
+
+    PauliString zi("ZI");
+    EXPECT_EQ(zi.eigenvalue(0b01), 1);   // identity qubit ignored
+    EXPECT_EQ(zi.eigenvalue(0b10), -1);
+}
+
+/** Exact <P> on a circuit's output state via the rotated distribution. */
+double
+exactExpectation(const Circuit& c, const PauliString& p)
+{
+    StateVectorSimulator sv;
+    auto probs = sv.simulate(p.withMeasurementBasis(c)).probabilities();
+    double e = 0.0;
+    for (std::uint64_t x = 0; x < probs.size(); ++x)
+        e += probs[x] * p.eigenvalue(x);
+    return e;
+}
+
+TEST(PauliStringTest, BellStateStabilizers)
+{
+    // |Phi+> is stabilized by XX and ZZ, and <XZ> = <ZX> = 0, <YY> = -1.
+    Circuit bell = bellCircuit();
+    EXPECT_NEAR(exactExpectation(bell, PauliString("XX")), 1.0, 1e-9);
+    EXPECT_NEAR(exactExpectation(bell, PauliString("ZZ")), 1.0, 1e-9);
+    EXPECT_NEAR(exactExpectation(bell, PauliString("YY")), -1.0, 1e-9);
+    EXPECT_NEAR(exactExpectation(bell, PauliString("XZ")), 0.0, 1e-9);
+    EXPECT_NEAR(exactExpectation(bell, PauliString("ZI")), 0.0, 1e-9);
+}
+
+TEST(PauliStringTest, SingleQubitRotationExpectations)
+{
+    // Ry(theta)|0>: <Z> = cos(theta), <X> = sin(theta).
+    double theta = 0.8;
+    Circuit c(1);
+    c.ry(0, theta);
+    EXPECT_NEAR(exactExpectation(c, PauliString("Z")), std::cos(theta), 1e-9);
+    EXPECT_NEAR(exactExpectation(c, PauliString("X")), std::sin(theta), 1e-9);
+    EXPECT_NEAR(exactExpectation(c, PauliString("Y")), 0.0, 1e-9);
+}
+
+TEST(PauliHamiltonianTest, SampledExpectationMatchesExact)
+{
+    // H = 0.5 XX + 0.25 ZZ - 0.75 YY + 1.5 I on the Bell state:
+    // 0.5 + 0.25 + 0.75 + 1.5 = 3.0.
+    PauliHamiltonian h;
+    h.terms = {{0.5, PauliString("XX")},
+               {0.25, PauliString("ZZ")},
+               {-0.75, PauliString("YY")},
+               {1.5, PauliString("II")}};
+
+    StateVectorBackend backend;
+    Rng rng(3);
+    double estimate = h.expectation(bellCircuit(), backend, 20000, rng);
+    EXPECT_NEAR(estimate, 3.0, 0.05);
+}
+
+TEST(PauliHamiltonianTest, KcBackendAgrees)
+{
+    PauliHamiltonian h;
+    h.terms = {{1.0, PauliString("XX")}, {1.0, PauliString("ZZ")}};
+    KnowledgeCompilationBackend kc;
+    Rng rng(5);
+    double estimate = h.expectation(bellCircuit(), kc, 6000, rng);
+    EXPECT_NEAR(estimate, 2.0, 0.1);
+    // Two differently-rotated circuits were sampled: two compilations.
+    EXPECT_EQ(kc.compileCount(), 2u);
+}
+
+TEST(PauliStringTest, QubitCountMismatchThrows)
+{
+    EXPECT_THROW(PauliString("X").withMeasurementBasis(bellCircuit()),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace qkc
