@@ -1,0 +1,81 @@
+/**
+ * Determinism and distribution-quality smoke tests for the Gibbs sampler:
+ * identically-seeded runs must reproduce the exact sample stream, and a
+ * Bell-state chain must pass a chi-square goodness-of-fit check against the
+ * exact 50/50 distribution on {|00>, |11>}.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ac/kc_simulator.h"
+#include "testing/test_circuits.h"
+
+namespace qkc {
+namespace {
+
+Circuit bellCircuit()
+{
+    Circuit c(2);
+    c.h(0).cnot(0, 1);
+    return c;
+}
+
+TEST(GibbsDeterminismTest, IdenticalSeedsYieldIdenticalSampleStreams)
+{
+    Rng circuitRng(301);
+    Circuit c = testing::randomCircuit(3, 10, circuitRng);
+    KcSimulator kc(c);
+
+    Rng a(555), b(555);
+    auto samplesA = kc.sample(400, a);
+    auto samplesB = kc.sample(400, b);
+    ASSERT_EQ(samplesA.size(), samplesB.size());
+    EXPECT_EQ(samplesA, samplesB);
+}
+
+TEST(GibbsDeterminismTest, DifferentSeedsYieldDifferentStreams)
+{
+    KcSimulator kc(bellCircuit());
+    Rng a(1), b(2);
+    auto samplesA = kc.sample(256, a);
+    auto samplesB = kc.sample(256, b);
+    EXPECT_NE(samplesA, samplesB);
+}
+
+TEST(GibbsDeterminismTest, BellStateChiSquareSmoke)
+{
+    KcSimulator kc(bellCircuit());
+
+    Rng rng(2026);
+    GibbsOptions options;
+    options.burnIn = 128;
+    const std::size_t n = 4000;
+    auto samples = kc.sample(n, rng, options);
+    ASSERT_EQ(samples.size(), n);
+
+    std::vector<std::size_t> counts(4, 0);
+    for (std::uint64_t s : samples) {
+        ASSERT_LT(s, 4u);
+        ++counts[s];
+    }
+
+    // The Bell state has zero amplitude on |01> and |10>.
+    EXPECT_EQ(counts[0b01], 0u);
+    EXPECT_EQ(counts[0b10], 0u);
+
+    // Chi-square against the exact 50/50 split over the support. One degree
+    // of freedom; 10.83 is the 99.9th percentile, and MCMC autocorrelation
+    // only tightens (never widens) a fixed-seed check.
+    double expected = static_cast<double>(n) / 2.0;
+    double chi2 = 0.0;
+    for (std::uint64_t s : {std::uint64_t{0b00}, std::uint64_t{0b11}}) {
+        double diff = static_cast<double>(counts[s]) - expected;
+        chi2 += diff * diff / expected;
+    }
+    EXPECT_LT(chi2, 10.83) << "counts: 00=" << counts[0] << " 11=" << counts[3];
+}
+
+} // namespace
+} // namespace qkc

@@ -1,0 +1,91 @@
+/**
+ * Cross-backend equivalence: the knowledge-compilation simulator, the state
+ * vector simulator, the density matrix simulator, and the tensor network
+ * simulator must agree on amplitudes and outcome probabilities for random
+ * circuits drawn with fixed seeds.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ac/kc_simulator.h"
+#include "densitymatrix/densitymatrix_simulator.h"
+#include "statevector/statevector_simulator.h"
+#include "tensornet/tensornet_simulator.h"
+#include "testing/test_circuits.h"
+
+namespace qkc {
+namespace {
+
+struct EquivalenceCase {
+    std::uint64_t seed;
+    std::size_t numQubits;
+    std::size_t numGates;
+    bool threeQubit;
+};
+
+class BackendEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(BackendEquivalenceTest, AmplitudesAgreeAcrossBackends)
+{
+    const EquivalenceCase& p = GetParam();
+    Rng rng(p.seed);
+    Circuit c =
+        testing::randomCircuit(p.numQubits, p.numGates, rng, p.threeQubit);
+
+    StateVectorSimulator sv;
+    StateVector exact = sv.simulate(c);
+
+    KcSimulator kc(c);
+    TensorNetworkSimulator tn;
+
+    for (std::uint64_t x = 0; x < exact.dimension(); ++x) {
+        const Complex& ref = exact.amplitude(x);
+        EXPECT_TRUE(approxEqual(kc.amplitude(x), ref, 1e-9))
+            << "kc amplitude mismatch at x=" << x;
+        EXPECT_TRUE(approxEqual(tn.amplitude(c, x), ref, 1e-9))
+            << "tn amplitude mismatch at x=" << x;
+    }
+}
+
+TEST_P(BackendEquivalenceTest, ProbabilitiesAgreeAcrossBackends)
+{
+    const EquivalenceCase& p = GetParam();
+    Rng rng(p.seed);
+    Circuit c =
+        testing::randomCircuit(p.numQubits, p.numGates, rng, p.threeQubit);
+
+    StateVectorSimulator sv;
+    auto exact = sv.simulate(c).probabilities();
+
+    KcSimulator kc(c);
+    auto kcDist = kc.outcomeDistribution();
+
+    DensityMatrixSimulator dm;
+    auto dmDist = dm.distribution(c);
+
+    TensorNetworkSimulator tn;
+    auto tnDist = tn.distribution(c);
+
+    ASSERT_EQ(kcDist.size(), exact.size());
+    ASSERT_EQ(dmDist.size(), exact.size());
+    ASSERT_EQ(tnDist.size(), exact.size());
+    for (std::uint64_t x = 0; x < exact.size(); ++x) {
+        EXPECT_NEAR(kcDist[x], exact[x], 1e-9) << "kc x=" << x;
+        EXPECT_NEAR(dmDist[x], exact[x], 1e-9) << "dm x=" << x;
+        EXPECT_NEAR(tnDist[x], exact[x], 1e-9) << "tn x=" << x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FixedSeeds, BackendEquivalenceTest,
+    ::testing::Values(EquivalenceCase{101, 2, 8, false},
+                      EquivalenceCase{102, 3, 10, true},
+                      EquivalenceCase{103, 3, 14, false},
+                      EquivalenceCase{104, 4, 12, true},
+                      EquivalenceCase{105, 4, 16, true},
+                      EquivalenceCase{106, 5, 10, false}));
+
+} // namespace
+} // namespace qkc
