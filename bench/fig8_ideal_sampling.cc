@@ -1,10 +1,10 @@
 /**
  * Regenerates Figure 8 (a-d): time to draw samples from ideal (noise-free)
- * QAOA Max-Cut and VQE Ising circuits versus qubit count, for the three
+ * QAOA Max-Cut and VQE Ising circuits versus qubit count, for the four
  * simulator families: state vector (qsim-style), tensor network
- * (qTorch-style), and knowledge compilation (this paper). For KC the
- * compile time is reported separately — it is paid once per variational
- * run and amortized over every optimizer iteration.
+ * (qTorch-style), decision diagram (DDSIM-style), and knowledge compilation
+ * (this paper). For KC the compile time is reported separately — it is paid
+ * once per variational run and amortized over every optimizer iteration.
  *
  * Defaults are reduced (200 samples, <= 24 qubits) for a single core; use
  * --samples=1000 --max-qubits=32 to approach the paper's setting.
@@ -14,10 +14,10 @@
 
 #include "ac/kc_simulator.h"
 #include "bench_common.h"
-#include "statevector/statevector_simulator.h"
 #include "tensornet/tensornet_simulator.h"
 #include "util/cli.h"
 #include "util/timer.h"
+#include "vqa/backends.h"
 
 using namespace qkc;
 
@@ -31,7 +31,8 @@ struct Row {
 
 void
 runRow(const Row& row, const Circuit& circuit, std::size_t samples,
-       std::size_t svMax, std::size_t tnMax, std::size_t kcP2Max)
+       std::size_t svMax, std::size_t tnMax, std::size_t ddMax,
+       std::size_t kcP2Max)
 {
     auto print = [&](const char* backend, double seconds, double extra) {
         std::printf("%-6s %2zu %4zu %-20s %10.4f %10.4f\n", row.workload,
@@ -40,11 +41,21 @@ runRow(const Row& row, const Circuit& circuit, std::size_t samples,
     };
 
     if (row.qubits <= svMax) {
-        StateVectorSimulator sv;
+        auto sv = makeBackend("statevector");
         Rng rng(1);
         Timer t;
-        sv.sample(circuit, samples, rng);
+        sv->sample(circuit, samples, rng);
         print("statevector", t.seconds(), 0.0);
+    }
+
+    // Diagram size tracks state structure: QAOA on expander graphs loses
+    // its compactness as depth grows, so the DD row gets its own cap.
+    if (row.qubits <= ddMax) {
+        auto dd = makeBackend("decisiondiagram");
+        Rng rng(4);
+        Timer t;
+        dd->sample(circuit, samples, rng);
+        print("decisiondiagram", t.seconds(), 0.0);
     }
 
     // The doubled-network contraction blows past the rank limit (or takes
@@ -93,6 +104,8 @@ main(int argc, char** argv)
         static_cast<std::size_t>(cli.getInt("sv-max-qubits", 22));
     const std::size_t tnMax =
         static_cast<std::size_t>(cli.getInt("tn-max-qubits", 12));
+    const std::size_t ddMax =
+        static_cast<std::size_t>(cli.getInt("dd-max-qubits", 16));
     const std::size_t kcP2Max =
         static_cast<std::size_t>(cli.getInt("kc-p2-max-qubits", 20));
     const std::size_t maxIterations =
@@ -107,14 +120,14 @@ main(int argc, char** argv)
         for (std::size_t n = 4; n <= maxQubits; n += 4) {
             Row row{"qaoa", p, n};
             runRow(row, bench::qaoaCircuit(n, p, 19), samples, svMax, tnMax,
-                   kcP2Max);
+                   ddMax, kcP2Max);
         }
         for (std::size_t n : {4, 6, 9, 12, 16, 20}) {
             if (n > maxQubits)
                 break;
             Row row{"vqe", p, n};
             runRow(row, bench::vqeCircuit(n, p, 19), samples, svMax, tnMax,
-                   kcP2Max);
+                   ddMax, kcP2Max);
         }
     }
     return 0;

@@ -1,10 +1,12 @@
 /**
  * Regenerates Figure 9 (a-d): time to draw samples from noisy QAOA / VQE
  * circuits (0.5% symmetric depolarizing after every gate) versus qubit
- * count, comparing the Cirq-style density-matrix baseline against
- * knowledge compilation. The density matrix pays 4^n storage and
- * matrix-matrix updates; the compiled AC pays its (noise-enlarged) circuit
- * size, which is why KC breaks even at fewer qubits than the ideal case.
+ * count, comparing the Cirq-style density-matrix baseline and the
+ * DDSIM-style decision-diagram trajectory sampler against knowledge
+ * compilation. The density matrix pays 4^n storage and matrix-matrix
+ * updates; DD trajectories pay one diagram rebuild per sample; the
+ * compiled AC pays its (noise-enlarged) circuit size, which is why KC
+ * breaks even at fewer qubits than the ideal case.
  *
  * Defaults reduced for one core; --samples=1000 --max-qubits=12 approaches
  * the paper's setting.
@@ -13,9 +15,9 @@
 
 #include "ac/kc_simulator.h"
 #include "bench_common.h"
-#include "densitymatrix/densitymatrix_simulator.h"
 #include "util/cli.h"
 #include "util/timer.h"
+#include "vqa/backends.h"
 
 using namespace qkc;
 
@@ -23,7 +25,8 @@ namespace {
 
 void
 runRow(const char* workload, std::size_t p, std::size_t qubits,
-       const Circuit& noisy, std::size_t samples, std::size_t dmMax)
+       const Circuit& noisy, std::size_t samples, std::size_t dmMax,
+       std::size_t ddMax)
 {
     auto print = [&](const char* backend, double seconds, double extra) {
         std::printf("%-6s %2zu %4zu %-20s %10.4f %10.4f\n", workload, p,
@@ -32,11 +35,21 @@ runRow(const char* workload, std::size_t p, std::size_t qubits,
     };
 
     if (qubits <= dmMax) {
-        DensityMatrixSimulator dm;
+        auto dm = makeBackend("densitymatrix");
         Rng rng(1);
         Timer t;
-        dm.sample(noisy, samples, rng);
+        dm->sample(noisy, samples, rng);
         print("densitymatrix", t.seconds(), 0.0);
+    }
+
+    // Trajectory cost is one diagram rebuild per sample, and deep/noisy QAOA
+    // diagrams lose their compactness — cap the row like the others.
+    if (qubits <= ddMax) {
+        auto dd = makeBackend("decisiondiagram");
+        Rng rng(3);
+        Timer t;
+        dd->sample(noisy, samples, rng);
+        print("decisiondiagram", t.seconds(), 0.0);
     }
 
     Timer compile;
@@ -62,6 +75,8 @@ main(int argc, char** argv)
         static_cast<std::size_t>(cli.getInt("max-qubits", 10));
     const std::size_t dmMax =
         static_cast<std::size_t>(cli.getInt("dm-max-qubits", 10));
+    const std::size_t ddMax =
+        static_cast<std::size_t>(cli.getInt("dd-max-qubits", 12));
     const std::size_t maxIterations =
         static_cast<std::size_t>(cli.getInt("max-iterations", 2));
     const double noise = cli.getDouble("noise", 0.005);
@@ -76,14 +91,14 @@ main(int argc, char** argv)
         for (std::size_t n = 4; n <= maxQubits; n += 2) {
             Circuit noisy = bench::qaoaCircuit(n, p, 19).withNoiseAfterEachGate(
                 NoiseKind::Depolarizing, noise);
-            runRow("qaoa", p, n, noisy, samples, dmMax);
+            runRow("qaoa", p, n, noisy, samples, dmMax, ddMax);
         }
         for (std::size_t n : {4, 6, 9}) {
             if (n > maxQubits)
                 break;
             Circuit noisy = bench::vqeCircuit(n, p, 19).withNoiseAfterEachGate(
                 NoiseKind::Depolarizing, noise);
-            runRow("vqe", p, n, noisy, samples, dmMax);
+            runRow("vqe", p, n, noisy, samples, dmMax, ddMax);
         }
     }
     return 0;

@@ -9,11 +9,14 @@
  *   --mode=amplitude print the amplitude of --outcome=BITSTRING
  *                    (noise events all pinned to "no event")
  *   --mode=dist      print the exact outcome distribution (small circuits)
- *   --mode=sample    Gibbs-sample --samples=N outcomes (--seed=S)
+ *   --mode=sample    draw --samples=N outcomes (--seed=S) from any
+ *                    registered backend: --backend=kc|sv|dm|tn|dd (or the
+ *                    long names; default knowledgecompilation)
  *   --mode=mpe       most probable explanation for --outcome=BITSTRING
  *
  * Example:
  *   ./build/examples/qkc_cli --qasm=bell.qasm --mode=sample --samples=100
+ *   ./build/examples/qkc_cli --qasm=bell.qasm --mode=sample --backend=dd
  */
 #include <cstdio>
 #include <fstream>
@@ -26,6 +29,7 @@
 #include "circuit/qasm.h"
 #include "util/cli.h"
 #include "util/stats.h"
+#include "vqa/backends.h"
 
 using namespace qkc;
 
@@ -64,8 +68,27 @@ main(int argc, char** argv)
         return parseQasm(in);
     }();
 
-    KcSimulator sim(circuit);
     const std::size_t n = circuit.numQubits();
+
+    if (mode == "sample") {
+        // Sampling goes through the backend registry, so any simulator
+        // family can serve shots; only the default pays a KC compile.
+        std::size_t numSamples =
+            static_cast<std::size_t>(cli.getInt("samples", 100));
+        Rng rng(static_cast<std::uint64_t>(cli.getInt("seed", 1)));
+        auto backend = makeBackend(
+            cli.getString("backend", "knowledgecompilation"));
+        auto samples = backend->sample(circuit, numSamples, rng);
+        std::map<std::uint64_t, std::size_t> counts;
+        for (auto s : samples)
+            ++counts[s];
+        std::printf("# backend %s\n", backend->name().c_str());
+        for (const auto& [outcome, count] : counts)
+            std::printf("%s  %zu\n", basisKet(outcome, n).c_str(), count);
+        return 0;
+    }
+
+    KcSimulator sim(circuit);
 
     if (mode == "compile") {
         auto m = sim.metrics();
@@ -116,19 +139,6 @@ main(int argc, char** argv)
             if (dist[x] > 1e-12)
                 std::printf("%s  %.8f\n", basisKet(x, n).c_str(), dist[x]);
         }
-        return 0;
-    }
-
-    if (mode == "sample") {
-        std::size_t numSamples =
-            static_cast<std::size_t>(cli.getInt("samples", 100));
-        Rng rng(static_cast<std::uint64_t>(cli.getInt("seed", 1)));
-        auto samples = sim.sample(numSamples, rng);
-        std::map<std::uint64_t, std::size_t> counts;
-        for (auto s : samples)
-            ++counts[s];
-        for (const auto& [outcome, count] : counts)
-            std::printf("%s  %zu\n", basisKet(outcome, n).c_str(), count);
         return 0;
     }
 

@@ -1,0 +1,434 @@
+#include "dd/dd_package.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace qkc {
+
+namespace {
+
+/**
+ * Magnitudes below this are flushed to exact zero so that destructive
+ * interference produces the canonical zero edge instead of a full-depth
+ * diagram of ~1e-16 residues. The introduced error is orders of magnitude
+ * below the library-wide kAmpEps = 1e-9.
+ */
+constexpr double kFlushNorm2 = 1e-26;
+
+VEdge
+zeroV()
+{
+    return VEdge{};
+}
+
+MEdge
+zeroM()
+{
+    return MEdge{};
+}
+
+bool
+negligible(const Complex& w)
+{
+    return norm2(w) < kFlushNorm2;
+}
+
+} // namespace
+
+DdPackage::DdPackage(std::size_t numQubits) : numQubits_(numQubits)
+{
+    if (numQubits == 0)
+        throw std::invalid_argument("DdPackage: need at least one qubit");
+}
+
+std::size_t
+DdPackage::VKeyHash::operator()(const VKey& k) const
+{
+    std::uint64_t h = k.level;
+    for (std::size_t i = 0; i < 2; ++i) {
+        h = ddHashMix(h, reinterpret_cast<std::uintptr_t>(k.nodes[i]));
+        h = ddHashMix(h, static_cast<std::uint64_t>(k.weights[i].re));
+        h = ddHashMix(h, static_cast<std::uint64_t>(k.weights[i].im));
+    }
+    return static_cast<std::size_t>(h);
+}
+
+std::size_t
+DdPackage::MKeyHash::operator()(const MKey& k) const
+{
+    std::uint64_t h = k.level;
+    for (std::size_t i = 0; i < 4; ++i) {
+        h = ddHashMix(h, reinterpret_cast<std::uintptr_t>(k.nodes[i]));
+        h = ddHashMix(h, static_cast<std::uint64_t>(k.weights[i].re));
+        h = ddHashMix(h, static_cast<std::uint64_t>(k.weights[i].im));
+    }
+    return static_cast<std::size_t>(h);
+}
+
+std::size_t
+DdPackage::ApplyKeyHash::operator()(const ApplyKey& k) const
+{
+    std::uint64_t h = ddHashMix(0x517cc1b727220a95ULL,
+                                reinterpret_cast<std::uintptr_t>(k.m));
+    return static_cast<std::size_t>(
+        ddHashMix(h, reinterpret_cast<std::uintptr_t>(k.v)));
+}
+
+std::size_t
+DdPackage::AddKeyHash::operator()(const AddKey& k) const
+{
+    std::uint64_t h = ddHashMix(0x2545f4914f6cdd1dULL,
+                                reinterpret_cast<std::uintptr_t>(k.a));
+    h = ddHashMix(h, reinterpret_cast<std::uintptr_t>(k.b));
+    h = ddHashMix(h, static_cast<std::uint64_t>(k.ratio.re));
+    return static_cast<std::size_t>(
+        ddHashMix(h, static_cast<std::uint64_t>(k.ratio.im)));
+}
+
+VEdge
+DdPackage::makeVNode(std::size_t level, const VEdge& e0, const VEdge& e1)
+{
+    VEdge c0 = negligible(e0.weight) ? zeroV() : e0;
+    VEdge c1 = negligible(e1.weight) ? zeroV() : e1;
+
+    const double n0 = norm2(c0.weight);
+    const double n1 = norm2(c1.weight);
+    const double total = n0 + n1;
+    if (total < kFlushNorm2)
+        return zeroV();
+
+    const double mag = std::sqrt(total);
+    const Complex lead = n0 > 0.0 ? c0.weight : c1.weight;
+    const double leadMag = std::abs(lead);
+    const Complex factor = lead * (mag / leadMag);
+
+    c0.weight = c0.weight / factor;
+    c1.weight = c1.weight / factor;
+    // The leading child weight is real by construction; make it exact.
+    if (n0 > 0.0)
+        c0.weight = Complex(std::sqrt(n0) / mag, 0.0);
+    else
+        c1.weight = Complex(std::sqrt(n1) / mag, 0.0);
+
+    VKey key{level,
+             {c0.node, c1.node},
+             {ddQuantize(c0.weight), ddQuantize(c1.weight)}};
+    auto it = vUnique_.find(key);
+    if (it != vUnique_.end()) {
+        ++stats_.vHits;
+        return VEdge{it->second, factor};
+    }
+    vArena_.push_back(VNode{{c0, c1}, level, nullptr});
+    VNode* node = &vArena_.back();
+    vUnique_.emplace(key, node);
+    ++stats_.uniqueVNodes;
+    return VEdge{node, factor};
+}
+
+MEdge
+DdPackage::makeMNode(std::size_t level, const std::array<MEdge, 4>& children)
+{
+    std::array<MEdge, 4> c = children;
+    std::size_t argmax = 4;
+    double maxNorm = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (negligible(c[i].weight))
+            c[i] = zeroM();
+        const double n = norm2(c[i].weight);
+        if (n > maxNorm) {
+            maxNorm = n;
+            argmax = i;
+        }
+    }
+    if (argmax == 4)
+        return zeroM();
+
+    const Complex factor = c[argmax].weight;
+    for (auto& ch : c)
+        ch.weight = ch.weight / factor;
+    c[argmax].weight = Complex(1.0, 0.0);
+
+    MKey key{level,
+             {c[0].node, c[1].node, c[2].node, c[3].node},
+             {ddQuantize(c[0].weight), ddQuantize(c[1].weight),
+              ddQuantize(c[2].weight), ddQuantize(c[3].weight)}};
+    auto it = mUnique_.find(key);
+    if (it != mUnique_.end()) {
+        ++stats_.mHits;
+        return MEdge{it->second, factor};
+    }
+    mArena_.push_back(MNode{c, level, nullptr});
+    MNode* node = &mArena_.back();
+    mUnique_.emplace(key, node);
+    ++stats_.uniqueMNodes;
+    return MEdge{node, factor};
+}
+
+VEdge
+DdPackage::makeZeroState()
+{
+    return makeBasisState(0);
+}
+
+VEdge
+DdPackage::makeBasisState(std::uint64_t basis)
+{
+    VEdge e{nullptr, Complex(1.0, 0.0)};
+    for (std::size_t l = numQubits_; l-- > 0;) {
+        const bool bit = (basis >> (numQubits_ - 1 - l)) & 1u;
+        e = bit ? makeVNode(l, zeroV(), e) : makeVNode(l, e, zeroV());
+    }
+    return e;
+}
+
+MEdge
+DdPackage::buildGateLevel(const Matrix& u,
+                          const std::vector<std::size_t>& qubits,
+                          std::size_t level, std::size_t row, std::size_t col)
+{
+    if (level == numQubits_) {
+        const Complex& w = u(row, col);
+        return negligible(w) ? zeroM() : MEdge{nullptr, w};
+    }
+
+    std::size_t local = qubits.size();
+    for (std::size_t j = 0; j < qubits.size(); ++j) {
+        if (qubits[j] == level) {
+            local = j;
+            break;
+        }
+    }
+
+    if (local == qubits.size()) {
+        // Uninvolved qubit: identity block structure.
+        MEdge sub = buildGateLevel(u, qubits, level + 1, row, col);
+        return makeMNode(level, {sub, zeroM(), zeroM(), sub});
+    }
+
+    // qubits[0] is the MSB of the gate's local basis index.
+    const std::size_t bitPos = qubits.size() - 1 - local;
+    std::array<MEdge, 4> c;
+    for (std::size_t rb = 0; rb < 2; ++rb) {
+        for (std::size_t cb = 0; cb < 2; ++cb) {
+            c[2 * rb + cb] =
+                buildGateLevel(u, qubits, level + 1, row | (rb << bitPos),
+                               col | (cb << bitPos));
+        }
+    }
+    return makeMNode(level, c);
+}
+
+MEdge
+DdPackage::makeGateDd(const Matrix& u, const std::vector<std::size_t>& qubits)
+{
+    const std::size_t dim = std::size_t{1} << qubits.size();
+    if (u.rows() != dim || u.cols() != dim)
+        throw std::invalid_argument("DdPackage::makeGateDd: matrix/qubit "
+                                    "arity mismatch");
+    for (std::size_t q : qubits) {
+        if (q >= numQubits_)
+            throw std::invalid_argument("DdPackage::makeGateDd: qubit index "
+                                        "out of range");
+    }
+    return buildGateLevel(u, qubits, 0, 0, 0);
+}
+
+VEdge
+DdPackage::addNodes(VNode* a, VNode* b, const Complex& ratio)
+{
+    // Ratios beyond the quantization grid's exact range would alias under
+    // ddQuantize's clamp and could serve a memoized result for a genuinely
+    // different ratio — skip the cache for those (rare) calls.
+    const bool cacheable = std::abs(ratio.real()) <= 1e6 &&
+                           std::abs(ratio.imag()) <= 1e6;
+    AddKey key{a, b, ddQuantize(ratio)};
+    if (cacheable) {
+        auto it = addCache_.find(key);
+        if (it != addCache_.end()) {
+            ++stats_.addHits;
+            return it->second;
+        }
+    }
+    ++stats_.addMisses;
+
+    std::array<VEdge, 2> c;
+    for (std::size_t i = 0; i < 2; ++i) {
+        const VEdge& ca = a->children[i];
+        VEdge cb = b->children[i];
+        cb.weight = cb.weight * ratio;
+        c[i] = add(ca, cb);
+    }
+    VEdge result = makeVNode(a->level, c[0], c[1]);
+    if (cacheable)
+        addCache_.emplace(key, result);
+    return result;
+}
+
+VEdge
+DdPackage::add(const VEdge& a, const VEdge& b)
+{
+    if (a.isZero() || negligible(a.weight))
+        return negligible(b.weight) ? zeroV() : b;
+    if (b.isZero() || negligible(b.weight))
+        return a;
+
+    if (a.node == b.node) {
+        // Identical subtrees (or both terminal): weights add directly.
+        const Complex w = a.weight + b.weight;
+        return negligible(w) ? zeroV() : VEdge{a.node, w};
+    }
+    if (a.isTerminal() || b.isTerminal()) {
+        throw std::logic_error("DdPackage::add: misaligned diagram levels");
+    }
+    if (a.node->level != b.node->level) {
+        throw std::logic_error("DdPackage::add: misaligned diagram levels");
+    }
+
+    // Factor out a's weight so the memo key depends only on the node pair
+    // and the relative weight of b.
+    const Complex ratio = b.weight / a.weight;
+    VEdge r = addNodes(a.node, b.node, ratio);
+    r.weight = r.weight * a.weight;
+    return negligible(r.weight) ? zeroV() : r;
+}
+
+VEdge
+DdPackage::apply(const MEdge& m, const VEdge& v)
+{
+    if (m.isZero() || v.isZero() || negligible(m.weight) ||
+        negligible(v.weight)) {
+        return zeroV();
+    }
+
+    const Complex w = m.weight * v.weight;
+    if (m.isTerminal() && v.isTerminal())
+        return VEdge{nullptr, w};
+    if (m.isTerminal() || v.isTerminal())
+        throw std::logic_error("DdPackage::apply: misaligned diagram levels");
+
+    ApplyKey key{m.node, v.node};
+    auto it = applyCache_.find(key);
+    if (it != applyCache_.end()) {
+        ++stats_.applyHits;
+        VEdge r = it->second;
+        r.weight = r.weight * w;
+        return negligible(r.weight) ? zeroV() : r;
+    }
+    ++stats_.applyMisses;
+
+    std::array<VEdge, 2> rows;
+    for (std::size_t rb = 0; rb < 2; ++rb) {
+        VEdge t0 = apply(m.node->children[2 * rb + 0], v.node->children[0]);
+        VEdge t1 = apply(m.node->children[2 * rb + 1], v.node->children[1]);
+        rows[rb] = add(t0, t1);
+    }
+    VEdge result = makeVNode(m.node->level, rows[0], rows[1]);
+    applyCache_.emplace(key, result);
+    result.weight = result.weight * w;
+    return negligible(result.weight) ? zeroV() : result;
+}
+
+Complex
+DdPackage::amplitude(const VEdge& state, std::uint64_t basis) const
+{
+    Complex a = state.weight;
+    const VNode* node = state.node;
+    for (std::size_t l = 0; l < numQubits_; ++l) {
+        if (node == nullptr)
+            return Complex(0.0, 0.0); // zero edge above the terminal
+        const bool bit = (basis >> (numQubits_ - 1 - l)) & 1u;
+        const VEdge& child = node->children[bit];
+        a *= child.weight;
+        node = child.node;
+    }
+    return a;
+}
+
+double
+DdPackage::normSquared(const VEdge& state) const
+{
+    return norm2(state.weight);
+}
+
+VEdge
+DdPackage::normalized(const VEdge& state) const
+{
+    const double n2 = norm2(state.weight);
+    if (n2 <= 0.0)
+        throw std::invalid_argument("DdPackage::normalized: zero state");
+    VEdge e = state;
+    e.weight = e.weight / std::sqrt(n2);
+    return e;
+}
+
+std::vector<double>
+DdPackage::probabilities(const VEdge& state) const
+{
+    if (numQubits_ > 30)
+        throw std::invalid_argument("DdPackage::probabilities: state too "
+                                    "large to enumerate");
+    std::vector<double> probs(std::size_t{1} << numQubits_);
+    for (std::uint64_t x = 0; x < probs.size(); ++x)
+        probs[x] = norm2(amplitude(state, x));
+    return probs;
+}
+
+std::uint64_t
+DdPackage::sampleOutcome(const VEdge& state, Rng& rng) const
+{
+    if (state.isZero())
+        throw std::invalid_argument("DdPackage::sampleOutcome: zero state");
+    std::uint64_t outcome = 0;
+    const VNode* node = state.node;
+    for (std::size_t l = 0; l < numQubits_; ++l) {
+        if (node == nullptr)
+            throw std::logic_error("DdPackage::sampleOutcome: truncated "
+                                   "diagram");
+        const double p0 = norm2(node->children[0].weight);
+        const double p1 = norm2(node->children[1].weight);
+        const bool bit = rng.uniform() * (p0 + p1) >= p0;
+        outcome |= static_cast<std::uint64_t>(bit)
+                   << (numQubits_ - 1 - node->level);
+        node = node->children[bit].node;
+    }
+    return outcome;
+}
+
+void
+DdPackage::countNodes(const VNode* node,
+                      std::unordered_set<const VNode*>& seen) const
+{
+    if (node == nullptr || !seen.insert(node).second)
+        return;
+    countNodes(node->children[0].node, seen);
+    countNodes(node->children[1].node, seen);
+}
+
+std::size_t
+DdPackage::nodeCount(const VEdge& state) const
+{
+    std::unordered_set<const VNode*> seen;
+    countNodes(state.node, seen);
+    return seen.size();
+}
+
+void
+DdPackage::clearComputeTables()
+{
+    applyCache_.clear();
+    addCache_.clear();
+}
+
+void
+DdPackage::reset()
+{
+    clearComputeTables();
+    vUnique_.clear();
+    mUnique_.clear();
+    vArena_.clear();
+    mArena_.clear();
+    stats_ = DdStats{};
+}
+
+} // namespace qkc

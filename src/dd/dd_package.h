@@ -1,0 +1,193 @@
+#ifndef QKC_DD_DD_PACKAGE_H
+#define QKC_DD_DD_PACKAGE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dd/dd_node.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace qkc {
+
+/** Operation counters exposed for tests and the compile-metrics CLI. */
+struct DdStats {
+    std::size_t uniqueVNodes = 0;   ///< live vector nodes in the unique table
+    std::size_t uniqueMNodes = 0;   ///< live matrix nodes in the unique table
+    std::size_t vHits = 0;          ///< vector unique-table hits (dedups)
+    std::size_t mHits = 0;          ///< matrix unique-table hits (dedups)
+    std::size_t applyHits = 0;      ///< matrix-vector compute-table hits
+    std::size_t applyMisses = 0;
+    std::size_t addHits = 0;        ///< vector-add compute-table hits
+    std::size_t addMisses = 0;
+};
+
+/**
+ * The QMDD package: owns every node, keeps the unique tables that give
+ * canonical (maximally shared) diagrams, and memoizes the two recursive
+ * operations — vector addition and matrix-vector application — in compute
+ * tables.
+ *
+ * Lifetime model: nodes live in an arena owned by the package and are only
+ * released when the package is destroyed or reset(); there is no reference
+ * counting or garbage collection (adequate for the circuit sizes the test
+ * and bench suites run; see ROADMAP for the GC follow-up). Every VEdge /
+ * MEdge handed out is valid for the lifetime of the package.
+ */
+class DdPackage {
+  public:
+    explicit DdPackage(std::size_t numQubits);
+
+    std::size_t numQubits() const { return numQubits_; }
+
+    // -- Construction --------------------------------------------------------
+
+    /** The all-zeros computational basis state |00...0>. */
+    VEdge makeZeroState();
+
+    /** An arbitrary computational basis state (qubit 0 = MSB of `basis`). */
+    VEdge makeBasisState(std::uint64_t basis);
+
+    /**
+     * Lowers a 2^k x 2^k gate (or Kraus) matrix acting on `qubits` —
+     * qubits[0] the most significant bit of the matrix's local basis index,
+     * exactly the Gate::unitary() convention — into a full n-qubit matrix
+     * DD, with identity structure on uninvolved levels. Zero matrix entries
+     * never allocate nodes, so sparse gates stay sparse.
+     */
+    MEdge makeGateDd(const Matrix& u, const std::vector<std::size_t>& qubits);
+
+    // -- Normalizing constructors (exposed for the invariant tests) ----------
+
+    /**
+     * Canonical vector node: children weights are rescaled so that
+     * |w0|^2 + |w1|^2 = 1 with the first non-zero weight real >= 0, the
+     * factored-out weight moves to the returned edge, and the node is
+     * deduplicated through the unique table. All-zero children collapse to
+     * the zero edge.
+     */
+    VEdge makeVNode(std::size_t level, const VEdge& e0, const VEdge& e1);
+
+    /**
+     * Canonical matrix node: weights are divided by the largest-magnitude
+     * child weight (first among equals), which becomes exactly 1.
+     */
+    MEdge makeMNode(std::size_t level, const std::array<MEdge, 4>& children);
+
+    // -- Operations -----------------------------------------------------------
+
+    /** Element-wise sum a + b (memoized). */
+    VEdge add(const VEdge& a, const VEdge& b);
+
+    /** Matrix-vector product m * v (memoized) — one gate application. */
+    VEdge apply(const MEdge& m, const VEdge& v);
+
+    // -- Queries --------------------------------------------------------------
+
+    /** Amplitude of one basis state: the product of weights along its path. */
+    Complex amplitude(const VEdge& state, std::uint64_t basis) const;
+
+    /**
+     * Squared 2-norm of the represented vector. Thanks to the per-node
+     * normalization invariant this is just |root weight|^2.
+     */
+    double normSquared(const VEdge& state) const;
+
+    /** Rescales the root weight to unit magnitude (phase preserved). */
+    VEdge normalized(const VEdge& state) const;
+
+    /** All 2^n outcome probabilities (small n; used by tests and the CLI). */
+    std::vector<double> probabilities(const VEdge& state) const;
+
+    /**
+     * Draws one measurement outcome by walking the diagram root-to-terminal:
+     * at each node the branch probabilities are the squared child weights
+     * (the normalization invariant makes them sum to 1), so a sample costs
+     * O(n) independent of the state's density.
+     */
+    std::uint64_t sampleOutcome(const VEdge& state, Rng& rng) const;
+
+    /** Number of distinct nodes reachable from `state` (terminal excluded). */
+    std::size_t nodeCount(const VEdge& state) const;
+
+    const DdStats& stats() const { return stats_; }
+
+    /** Drops compute-table memo entries (unique tables and nodes survive). */
+    void clearComputeTables();
+
+    /** Frees every node and table; previously returned edges become invalid. */
+    void reset();
+
+  private:
+    struct VKey {
+        std::size_t level;
+        std::array<VNode*, 2> nodes;
+        std::array<QuantizedComplex, 2> weights;
+        bool operator==(const VKey& o) const
+        {
+            return level == o.level && nodes == o.nodes && weights == o.weights;
+        }
+    };
+    struct MKey {
+        std::size_t level;
+        std::array<MNode*, 4> nodes;
+        std::array<QuantizedComplex, 4> weights;
+        bool operator==(const MKey& o) const
+        {
+            return level == o.level && nodes == o.nodes && weights == o.weights;
+        }
+    };
+    struct VKeyHash {
+        std::size_t operator()(const VKey& k) const;
+    };
+    struct MKeyHash {
+        std::size_t operator()(const MKey& k) const;
+    };
+    struct ApplyKey {
+        const MNode* m;
+        const VNode* v;
+        bool operator==(const ApplyKey& o) const
+        {
+            return m == o.m && v == o.v;
+        }
+    };
+    struct ApplyKeyHash {
+        std::size_t operator()(const ApplyKey& k) const;
+    };
+    struct AddKey {
+        const VNode* a;
+        const VNode* b;
+        QuantizedComplex ratio; ///< b's weight relative to a's (factored out)
+        bool operator==(const AddKey& o) const
+        {
+            return a == o.a && b == o.b && ratio == o.ratio;
+        }
+    };
+    struct AddKeyHash {
+        std::size_t operator()(const AddKey& k) const;
+    };
+
+    MEdge buildGateLevel(const Matrix& u,
+                         const std::vector<std::size_t>& qubits,
+                         std::size_t level, std::size_t row, std::size_t col);
+    VEdge addNodes(VNode* a, VNode* b, const Complex& ratio);
+    void countNodes(const VNode* node,
+                    std::unordered_set<const VNode*>& seen) const;
+
+    std::size_t numQubits_;
+    std::deque<VNode> vArena_;
+    std::deque<MNode> mArena_;
+    std::unordered_map<VKey, VNode*, VKeyHash> vUnique_;
+    std::unordered_map<MKey, MNode*, MKeyHash> mUnique_;
+    std::unordered_map<ApplyKey, VEdge, ApplyKeyHash> applyCache_;
+    std::unordered_map<AddKey, VEdge, AddKeyHash> addCache_;
+    DdStats stats_;
+};
+
+} // namespace qkc
+
+#endif // QKC_DD_DD_PACKAGE_H

@@ -1,0 +1,71 @@
+#ifndef QKC_DD_DD_SIMULATOR_H
+#define QKC_DD_DD_SIMULATOR_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "dd/dd_package.h"
+#include "util/rng.h"
+
+namespace qkc {
+
+/**
+ * Decision-diagram quantum circuit simulator — our stand-in for the JKQ
+ * DDSIM family of QMDD simulators.
+ *
+ * Ideal circuits build the final state as a vector DD by applying one
+ * matrix DD per gate; measurement outcomes are then drawn in O(n) per
+ * sample by walking the diagram (the per-node normalization invariant makes
+ * branch probabilities local). Memory and time track the state's *structure*
+ * — GHZ-like and peaked states stay linear in qubits — rather than 2^n,
+ * which is why this backend shines on the same workloads as knowledge
+ * compilation.
+ *
+ * Noisy circuits use Monte-Carlo trajectories exactly like the state-vector
+ * backend: each trajectory picks one Kraus operator per channel with the
+ * Born probability ||E_k psi||^2 (free to read off the DD root weight) and
+ * renormalizes, which is exact in distribution for mixtures and general
+ * channels alike.
+ */
+class DdSimulator {
+  public:
+    /** Runs the ideal part of `circuit`; throws if it contains noise. */
+    VEdge simulate(const Circuit& circuit);
+
+    /** Runs one noisy trajectory (gates exact, channels Born-sampled). */
+    VEdge simulateTrajectory(const Circuit& circuit, Rng& rng);
+
+    /** Draws `numSamples` outcomes from the ideal circuit (one build). */
+    std::vector<std::uint64_t> sample(const Circuit& circuit,
+                                      std::size_t numSamples, Rng& rng);
+
+    /** One outcome per trajectory for noisy circuits. */
+    std::vector<std::uint64_t> sampleNoisy(const Circuit& circuit,
+                                           std::size_t numSamples, Rng& rng);
+
+    /** Exact outcome distribution of the ideal circuit (small n). */
+    std::vector<double> distribution(const Circuit& circuit);
+
+    /**
+     * The package owning every node of the last simulate/sample call.
+     * Edges returned by this simulator stay valid until the next call that
+     * changes the qubit count (which re-creates the package).
+     */
+    DdPackage& package();
+
+  private:
+    DdPackage& packageFor(const Circuit& circuit);
+    VEdge runTrajectory(const Circuit& circuit,
+                        const std::vector<std::vector<MEdge>>& lowered,
+                        Rng& rng);
+    VEdge applyKrausSampled(const std::vector<MEdge>& krausDds, VEdge state,
+                            Rng& rng);
+
+    std::unique_ptr<DdPackage> pkg_;
+};
+
+} // namespace qkc
+
+#endif // QKC_DD_DD_SIMULATOR_H

@@ -1,5 +1,8 @@
 #include "vqa/backends.h"
 
+#include <stdexcept>
+
+#include "dd/dd_simulator.h"
 #include "densitymatrix/densitymatrix_simulator.h"
 #include "statevector/statevector_simulator.h"
 #include "tensornet/tensornet_simulator.h"
@@ -32,6 +35,16 @@ TensorNetworkBackend::sample(const Circuit& circuit, std::size_t numSamples,
     return sampler.sample(numSamples, rng);
 }
 
+std::vector<std::uint64_t>
+DecisionDiagramBackend::sample(const Circuit& circuit, std::size_t numSamples,
+                               Rng& rng)
+{
+    DdSimulator sim;
+    if (circuit.noiseCount() == 0)
+        return sim.sample(circuit, numSamples, rng);
+    return sim.sampleNoisy(circuit, numSamples, rng);
+}
+
 KnowledgeCompilationBackend::KnowledgeCompilationBackend(
     CompileOptions compileOptions, GibbsOptions gibbsOptions)
     : compileOptions_(compileOptions), gibbsOptions_(gibbsOptions)
@@ -56,6 +69,36 @@ KnowledgeCompilationBackend::sample(const Circuit& circuit,
         }
     }
     return simulator_->sample(numSamples, rng, gibbsOptions_);
+}
+
+const std::vector<std::string>&
+backendNames()
+{
+    static const std::vector<std::string> names = {
+        "statevector", "densitymatrix", "tensornetwork", "decisiondiagram",
+        "knowledgecompilation"};
+    return names;
+}
+
+std::unique_ptr<SamplerBackend>
+makeBackend(const std::string& name)
+{
+    if (name == "statevector" || name == "sv")
+        return std::make_unique<StateVectorBackend>();
+    if (name == "densitymatrix" || name == "dm")
+        return std::make_unique<DensityMatrixBackend>();
+    if (name == "tensornetwork" || name == "tn")
+        return std::make_unique<TensorNetworkBackend>();
+    if (name == "decisiondiagram" || name == "dd")
+        return std::make_unique<DecisionDiagramBackend>();
+    if (name == "knowledgecompilation" || name == "kc")
+        return std::make_unique<KnowledgeCompilationBackend>();
+
+    std::string known;
+    for (const std::string& n : backendNames())
+        known += (known.empty() ? "" : ", ") + n;
+    throw std::invalid_argument("makeBackend: unknown backend \"" + name +
+                                "\" (known: " + known + ")");
 }
 
 } // namespace qkc

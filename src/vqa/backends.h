@@ -54,6 +54,20 @@ class TensorNetworkBackend : public SamplerBackend {
 };
 
 /**
+ * DDSIM-style decision-diagram (QMDD) backend. Ideal circuits build the
+ * final state once and sample in O(n) per shot by walking the diagram;
+ * noisy circuits run Born-rule Kraus trajectories like the state-vector
+ * backend. Structured/peaked states stay compact, so this is the closest
+ * classical rival to knowledge compilation on the paper's workloads.
+ */
+class DecisionDiagramBackend : public SamplerBackend {
+  public:
+    std::vector<std::uint64_t> sample(const Circuit& circuit,
+                                      std::size_t numSamples, Rng& rng) override;
+    std::string name() const override { return "decisiondiagram"; }
+};
+
+/**
  * The knowledge-compilation backend (this paper's system). The first call
  * compiles the circuit; later calls with the same structure only refresh
  * parameter leaves — the variational reuse that headlines Section 3.2.
@@ -79,6 +93,22 @@ class KnowledgeCompilationBackend : public SamplerBackend {
     std::unique_ptr<KcSimulator> simulator_;
     std::size_t compileCount_ = 0;
 };
+
+/**
+ * The unified backend registry: one string per simulator family, so the VQA
+ * driver, the benches, and `qkc_cli --backend=` all construct backends the
+ * same way and adding a sixth family is a one-line change here.
+ *
+ * Canonical names (with accepted aliases):
+ *   "statevector" ("sv"), "densitymatrix" ("dm"), "tensornetwork" ("tn"),
+ *   "decisiondiagram" ("dd"), "knowledgecompilation" ("kc").
+ *
+ * Throws std::invalid_argument for unknown names, listing the valid ones.
+ */
+std::unique_ptr<SamplerBackend> makeBackend(const std::string& name);
+
+/** The canonical registry names, in presentation order. */
+const std::vector<std::string>& backendNames();
 
 } // namespace qkc
 

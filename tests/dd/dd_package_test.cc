@@ -1,0 +1,252 @@
+/**
+ * Unit tests for the QMDD package: canonical normalization invariants,
+ * unique-table deduplication (GHZ node counts grow linearly in qubits),
+ * gate-matrix lowering, and compute-table memoization counters.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "circuit/gate.h"
+#include "dd/dd_package.h"
+
+namespace qkc {
+namespace {
+
+/** Collects every node reachable from `state`. */
+std::unordered_set<const VNode*>
+reachable(const VEdge& state)
+{
+    std::unordered_set<const VNode*> seen;
+    std::vector<const VNode*> stack;
+    if (state.node != nullptr)
+        stack.push_back(state.node);
+    while (!stack.empty()) {
+        const VNode* n = stack.back();
+        stack.pop_back();
+        if (!seen.insert(n).second)
+            continue;
+        for (const VEdge& c : n->children) {
+            if (c.node != nullptr)
+                stack.push_back(c.node);
+        }
+    }
+    return seen;
+}
+
+/** Builds the n-qubit GHZ state with H + a CNOT ladder. */
+VEdge
+makeGhz(DdPackage& pkg, std::size_t n)
+{
+    VEdge state = pkg.makeZeroState();
+    state = pkg.apply(
+        pkg.makeGateDd(Gate(GateKind::H, {0}).unitary(), {0}), state);
+    for (std::size_t q = 1; q < n; ++q) {
+        state = pkg.apply(pkg.makeGateDd(
+                              Gate(GateKind::CNOT, {q - 1, q}).unitary(),
+                              {q - 1, q}),
+                          state);
+    }
+    return state;
+}
+
+TEST(DdPackageTest, BasisStatesHaveUnitAmplitude)
+{
+    DdPackage pkg(3);
+    for (std::uint64_t x = 0; x < 8; ++x) {
+        VEdge e = pkg.makeBasisState(x);
+        for (std::uint64_t y = 0; y < 8; ++y) {
+            Complex a = pkg.amplitude(e, y);
+            if (x == y) {
+                EXPECT_NEAR(a.real(), 1.0, 1e-12);
+                EXPECT_NEAR(a.imag(), 0.0, 1e-12);
+            } else {
+                EXPECT_NEAR(norm2(a), 0.0, 1e-24);
+            }
+        }
+        EXPECT_NEAR(pkg.normSquared(e), 1.0, 1e-12);
+    }
+}
+
+TEST(DdPackageTest, UniqueTableDeduplicatesIdenticalStates)
+{
+    DdPackage pkg(4);
+    VEdge a = pkg.makeBasisState(5);
+    const std::size_t nodesAfterFirst = pkg.stats().uniqueVNodes;
+    VEdge b = pkg.makeBasisState(5);
+
+    // The second construction must resolve every level through the unique
+    // table: identical node pointers, no new nodes, only hits.
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_EQ(pkg.stats().uniqueVNodes, nodesAfterFirst);
+    EXPECT_GE(pkg.stats().vHits, 4u);
+}
+
+TEST(DdPackageTest, GhzNodeCountGrowsLinearly)
+{
+    // GHZ is the canonical structured state: one root plus the |0...0> and
+    // |1...1> suffix chains, i.e. exactly 2n - 1 nodes — while the dense
+    // representation pays 2^n amplitudes.
+    for (std::size_t n : {4, 8, 12, 16, 20}) {
+        DdPackage pkg(n);
+        VEdge ghz = makeGhz(pkg, n);
+        EXPECT_EQ(pkg.nodeCount(ghz), 2 * n - 1) << "n=" << n;
+
+        const double r = 1.0 / std::sqrt(2.0);
+        EXPECT_NEAR(pkg.amplitude(ghz, 0).real(), r, 1e-12);
+        EXPECT_NEAR(pkg.amplitude(ghz, (std::uint64_t{1} << n) - 1).real(), r,
+                    1e-12);
+        EXPECT_NEAR(pkg.normSquared(ghz), 1.0, 1e-12);
+    }
+}
+
+TEST(DdPackageTest, VectorNormalizationInvariants)
+{
+    DdPackage pkg(4);
+    VEdge state = makeGhz(pkg, 4);
+    // Stir in some phases and rotations so weights are genuinely complex.
+    state = pkg.apply(
+        pkg.makeGateDd(Gate(GateKind::T, {1}).unitary(), {1}), state);
+    state = pkg.apply(
+        pkg.makeGateDd(Gate(GateKind::Ry, {2}, 0.7).unitary(), {2}), state);
+    state = pkg.apply(
+        pkg.makeGateDd(Gate(GateKind::S, {3}).unitary(), {3}), state);
+
+    for (const VNode* node : reachable(state)) {
+        const Complex w0 = node->children[0].weight;
+        const Complex w1 = node->children[1].weight;
+        // Invariant 1: squared child weights sum to one (local Born rule).
+        EXPECT_NEAR(norm2(w0) + norm2(w1), 1.0, 1e-12);
+        // Invariant 2: the first non-zero child weight is real >= 0
+        // (canonical phase).
+        const Complex lead = norm2(w0) > 0.0 ? w0 : w1;
+        EXPECT_NEAR(lead.imag(), 0.0, 1e-12);
+        EXPECT_GE(lead.real(), 0.0);
+        // Invariant 3: quasi-reduced — children are the next level or zero.
+        for (const VEdge& c : node->children) {
+            if (c.node != nullptr) {
+                EXPECT_EQ(c.node->level, node->level + 1);
+            }
+        }
+    }
+}
+
+TEST(DdPackageTest, GateDdMatchesUnitaryEntries)
+{
+    // M|x> read back column-wise must reproduce the embedded unitary, for a
+    // 1-qubit, an adjacent 2-qubit, a reversed 2-qubit, and a 3-qubit gate.
+    const std::vector<Gate> gates = {
+        Gate(GateKind::H, {1}),
+        Gate(GateKind::CNOT, {0, 2}),
+        Gate(GateKind::CNOT, {2, 0}),
+        Gate(GateKind::ZZ, {1, 2}, 0.9),
+        Gate(GateKind::CCX, {0, 1, 2}),
+    };
+    for (const Gate& g : gates) {
+        DdPackage pkg(3);
+        MEdge m = pkg.makeGateDd(g.unitary(), g.qubits());
+
+        // Build the full 8x8 unitary by Kronecker-embedding by hand: apply
+        // to each basis state and read off every amplitude.
+        for (std::uint64_t col = 0; col < 8; ++col) {
+            VEdge out = pkg.apply(m, pkg.makeBasisState(col));
+            for (std::uint64_t row = 0; row < 8; ++row) {
+                // Expected entry: act with g on the bits of col.
+                // Compute via the gate's local unitary.
+                const auto& qs = g.qubits();
+                std::size_t localCol = 0, localRow = 0;
+                bool sameOutside = true;
+                for (std::size_t j = 0; j < qs.size(); ++j) {
+                    const std::size_t shift = 3 - 1 - qs[j];
+                    localCol =
+                        (localCol << 1) | ((col >> shift) & 1u);
+                    localRow =
+                        (localRow << 1) | ((row >> shift) & 1u);
+                }
+                for (std::size_t q = 0; q < 3; ++q) {
+                    bool involved = false;
+                    for (std::size_t qj : qs)
+                        involved |= (qj == q);
+                    if (!involved &&
+                        (((col >> (2 - q)) & 1u) != ((row >> (2 - q)) & 1u)))
+                        sameOutside = false;
+                }
+                const Complex expected =
+                    sameOutside ? g.unitary()(localRow, localCol)
+                                : Complex(0.0, 0.0);
+                const Complex got = pkg.amplitude(out, row);
+                EXPECT_TRUE(approxEqual(got, expected, 1e-12))
+                    << g.name() << " row=" << row << " col=" << col;
+            }
+        }
+    }
+}
+
+TEST(DdPackageTest, AddCancellationYieldsZeroEdge)
+{
+    DdPackage pkg(3);
+    VEdge e = pkg.makeBasisState(6);
+    VEdge neg = e;
+    neg.weight = -neg.weight;
+    EXPECT_TRUE(pkg.add(e, neg).isZero());
+
+    // Adding disjoint basis states keeps both amplitudes.
+    VEdge sum = pkg.add(pkg.makeBasisState(1), pkg.makeBasisState(4));
+    EXPECT_NEAR(pkg.amplitude(sum, 1).real(), 1.0, 1e-12);
+    EXPECT_NEAR(pkg.amplitude(sum, 4).real(), 1.0, 1e-12);
+    EXPECT_NEAR(norm2(pkg.amplitude(sum, 0)), 0.0, 1e-24);
+}
+
+TEST(DdPackageTest, ComputeTableCountsHits)
+{
+    DdPackage pkg(5);
+    VEdge state = makeGhz(pkg, 5);
+    MEdge h2 = pkg.makeGateDd(Gate(GateKind::H, {2}).unitary(), {2});
+
+    VEdge once = pkg.apply(h2, state);
+    const DdStats afterFirst = pkg.stats();
+    EXPECT_GT(afterFirst.applyMisses, 0u);
+
+    // The identical (gate node, state node) pairs must now be served from
+    // the compute table: same result, hits strictly up, misses flat.
+    VEdge twice = pkg.apply(h2, state);
+    const DdStats afterSecond = pkg.stats();
+    EXPECT_EQ(once.node, twice.node);
+    EXPECT_TRUE(approxEqual(once.weight, twice.weight, 1e-12));
+    EXPECT_GT(afterSecond.applyHits, afterFirst.applyHits);
+    EXPECT_EQ(afterSecond.applyMisses, afterFirst.applyMisses);
+
+    // clearComputeTables drops the memo: the same call misses again.
+    pkg.clearComputeTables();
+    (void)pkg.apply(h2, state);
+    EXPECT_GT(pkg.stats().applyMisses, afterSecond.applyMisses);
+}
+
+TEST(DdPackageTest, MatrixNormalizationBoundsWeights)
+{
+    DdPackage pkg(3);
+    MEdge m = pkg.makeGateDd(Gate(GateKind::Ry, {1}, 1.2).unitary(), {1});
+    ASSERT_FALSE(m.isTerminal());
+    // Canonical matrix nodes carry a max-magnitude child weight of exactly 1.
+    double maxMag = 0.0;
+    for (const MEdge& c : m.node->children)
+        maxMag = std::max(maxMag, std::abs(c.weight));
+    EXPECT_DOUBLE_EQ(maxMag, 1.0);
+}
+
+TEST(DdPackageTest, RejectsInvalidInputs)
+{
+    EXPECT_THROW(DdPackage(0), std::invalid_argument);
+
+    DdPackage pkg(2);
+    Rng rng(1);
+    EXPECT_THROW(pkg.makeGateDd(Matrix::identity(2), {0, 1}),
+                 std::invalid_argument);
+    EXPECT_THROW(pkg.makeGateDd(Matrix::identity(2), {5}),
+                 std::invalid_argument);
+    EXPECT_THROW(pkg.sampleOutcome(VEdge{}, rng), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qkc

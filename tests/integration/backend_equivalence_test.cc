@@ -1,21 +1,36 @@
 /**
  * Cross-backend equivalence: the knowledge-compilation simulator, the state
- * vector simulator, the density matrix simulator, and the tensor network
- * simulator must agree on amplitudes and outcome probabilities for random
- * circuits drawn with fixed seeds.
+ * vector simulator, the density matrix simulator, the tensor network
+ * simulator, and the decision-diagram simulator must agree on amplitudes
+ * and outcome probabilities for random circuits drawn with fixed seeds and
+ * for the GHZ family.
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 
 #include "ac/kc_simulator.h"
+#include "algorithms/algorithms.h"
+#include "dd/dd_simulator.h"
 #include "densitymatrix/densitymatrix_simulator.h"
 #include "statevector/statevector_simulator.h"
 #include "tensornet/tensornet_simulator.h"
 #include "testing/test_circuits.h"
+#include "vqa/backends.h"
 
 namespace qkc {
 namespace {
+
+/** Total variation distance between two outcome distributions. */
+double
+totalVariation(const std::vector<double>& p, const std::vector<double>& q)
+{
+    double tv = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+        tv += std::abs(p[i] - q[i]);
+    return 0.5 * tv;
+}
 
 struct EquivalenceCase {
     std::uint64_t seed;
@@ -39,6 +54,8 @@ TEST_P(BackendEquivalenceTest, AmplitudesAgreeAcrossBackends)
 
     KcSimulator kc(c);
     TensorNetworkSimulator tn;
+    DdSimulator dd;
+    VEdge ddState = dd.simulate(c);
 
     for (std::uint64_t x = 0; x < exact.dimension(); ++x) {
         const Complex& ref = exact.amplitude(x);
@@ -46,6 +63,8 @@ TEST_P(BackendEquivalenceTest, AmplitudesAgreeAcrossBackends)
             << "kc amplitude mismatch at x=" << x;
         EXPECT_TRUE(approxEqual(tn.amplitude(c, x), ref, 1e-9))
             << "tn amplitude mismatch at x=" << x;
+        EXPECT_TRUE(approxEqual(dd.package().amplitude(ddState, x), ref, 1e-9))
+            << "dd amplitude mismatch at x=" << x;
     }
 }
 
@@ -68,14 +87,23 @@ TEST_P(BackendEquivalenceTest, ProbabilitiesAgreeAcrossBackends)
     TensorNetworkSimulator tn;
     auto tnDist = tn.distribution(c);
 
+    DdSimulator dd;
+    auto ddDist = dd.distribution(c);
+
     ASSERT_EQ(kcDist.size(), exact.size());
     ASSERT_EQ(dmDist.size(), exact.size());
     ASSERT_EQ(tnDist.size(), exact.size());
+    ASSERT_EQ(ddDist.size(), exact.size());
     for (std::uint64_t x = 0; x < exact.size(); ++x) {
         EXPECT_NEAR(kcDist[x], exact[x], 1e-9) << "kc x=" << x;
         EXPECT_NEAR(dmDist[x], exact[x], 1e-9) << "dm x=" << x;
         EXPECT_NEAR(tnDist[x], exact[x], 1e-9) << "tn x=" << x;
+        EXPECT_NEAR(ddDist[x], exact[x], 1e-9) << "dd x=" << x;
     }
+
+    // The headline acceptance bound: the DD backend is within 1e-9 total
+    // variation distance of the exact state-vector distribution.
+    EXPECT_LE(totalVariation(ddDist, exact), 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -86,6 +114,49 @@ INSTANTIATE_TEST_SUITE_P(
                       EquivalenceCase{104, 4, 12, true},
                       EquivalenceCase{105, 4, 16, true},
                       EquivalenceCase{106, 5, 10, false}));
+
+class GhzFamilyEquivalenceTest : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(GhzFamilyEquivalenceTest, AllBackendsAgreeOnGhz)
+{
+    const std::size_t n = GetParam();
+    Circuit c = ghzCircuit(n);
+
+    auto exact = StateVectorSimulator().simulate(c).probabilities();
+
+    DdSimulator dd;
+    auto ddDist = dd.distribution(c);
+    EXPECT_LE(totalVariation(ddDist, exact), 1e-9);
+
+    KcSimulator kc(c);
+    auto kcDist = kc.outcomeDistribution();
+    EXPECT_LE(totalVariation(kcDist, exact), 1e-9);
+
+    DensityMatrixSimulator dm;
+    EXPECT_LE(totalVariation(dm.distribution(c), exact), 1e-9);
+}
+
+TEST_P(GhzFamilyEquivalenceTest, RegistryBackendsSampleOnlyGhzOutcomes)
+{
+    const std::size_t n = GetParam();
+    Circuit c = ghzCircuit(n);
+    const std::uint64_t all = (std::uint64_t{1} << n) - 1;
+
+    const char* const names[] = {"decisiondiagram", "statevector",
+                                 "knowledgecompilation"};
+    for (const char* name : names) {
+        auto backend = makeBackend(name);
+        Rng rng(29);
+        for (std::uint64_t s : backend->sample(c, 64, rng)) {
+            EXPECT_TRUE(s == 0 || s == all)
+                << name << " sampled non-GHZ outcome " << s;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(GhzSizes, GhzFamilyEquivalenceTest,
+                         ::testing::Values(2, 3, 4, 6, 8));
 
 } // namespace
 } // namespace qkc

@@ -87,7 +87,61 @@ TEST(VqaDriverTest, BackendNames)
     EXPECT_EQ(StateVectorBackend().name(), "statevector");
     EXPECT_EQ(DensityMatrixBackend().name(), "densitymatrix");
     EXPECT_EQ(TensorNetworkBackend().name(), "tensornetwork");
+    EXPECT_EQ(DecisionDiagramBackend().name(), "decisiondiagram");
     EXPECT_EQ(KnowledgeCompilationBackend().name(), "knowledgecompilation");
+}
+
+TEST(VqaDriverTest, MakeBackendResolvesEveryRegistryName)
+{
+    // Every canonical name resolves to a backend that reports that name —
+    // the registry and the classes can't drift apart.
+    for (const std::string& name : backendNames()) {
+        auto backend = makeBackend(name);
+        ASSERT_NE(backend, nullptr) << name;
+        EXPECT_EQ(backend->name(), name);
+    }
+}
+
+TEST(VqaDriverTest, MakeBackendAcceptsShortAliases)
+{
+    EXPECT_EQ(makeBackend("sv")->name(), "statevector");
+    EXPECT_EQ(makeBackend("dm")->name(), "densitymatrix");
+    EXPECT_EQ(makeBackend("tn")->name(), "tensornetwork");
+    EXPECT_EQ(makeBackend("dd")->name(), "decisiondiagram");
+    EXPECT_EQ(makeBackend("kc")->name(), "knowledgecompilation");
+}
+
+TEST(VqaDriverTest, MakeBackendRejectsUnknownNames)
+{
+    EXPECT_THROW(makeBackend("qsim"), std::invalid_argument);
+    EXPECT_THROW(makeBackend(""), std::invalid_argument);
+    EXPECT_THROW(makeBackend("Statevector"), std::invalid_argument);
+}
+
+TEST(VqaDriverTest, DecisionDiagramBackendDrivesQaoa)
+{
+    Rng rng(31);
+    auto problem = QaoaMaxCut::randomRegular(6, 3, 1, rng);
+    auto kc = makeBackend("kc");
+    auto dd = makeBackend("dd");
+    auto rKc = runQaoaMaxCut(problem, *kc, smallRun(13));
+    auto rDd = runQaoaMaxCut(problem, *dd, smallRun(13));
+    EXPECT_NEAR(rKc.bestObjective, rDd.bestObjective, 0.8);
+}
+
+TEST(VqaDriverTest, DecisionDiagramBackendHandlesNoisyRun)
+{
+    Rng rng(37);
+    auto problem = QaoaMaxCut::randomRegular(4, 3, 1, rng);
+    VqaOptions options = smallRun(41);
+    options.noisy = true;
+    options.noiseStrength = 0.01;
+    options.optimizer.maxIterations = 4;
+    options.samplesPerEvaluation = 32;
+
+    auto backend = makeBackend("decisiondiagram");
+    auto result = runQaoaMaxCut(problem, *backend, options);
+    EXPECT_GT(result.circuitEvaluations, 3u);
 }
 
 } // namespace
