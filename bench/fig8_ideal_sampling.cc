@@ -6,13 +6,20 @@
  * (this paper). For KC the compile time is reported separately — it is paid
  * once per variational run and amortized over every optimizer iteration.
  *
+ * The state-vector family prints three rows — the seed configuration
+ * (serial, unfused), `sv+fused`, and `sv+fused+tN` (shared thread pool) —
+ * so the fusion and threading gains are visible side by side. --threads=N
+ * controls the third row (defaults to the machine / QKC_THREADS).
+ *
  * Defaults are reduced (200 samples, <= 24 qubits) for a single core; use
  * --samples=1000 --max-qubits=32 to approach the paper's setting.
  */
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "ac/kc_simulator.h"
+#include "exec/thread_pool.h"
 #include "bench_common.h"
 #include "tensornet/tensornet_simulator.h"
 #include "util/cli.h"
@@ -32,20 +39,42 @@ struct Row {
 void
 runRow(const Row& row, const Circuit& circuit, std::size_t samples,
        std::size_t svMax, std::size_t tnMax, std::size_t ddMax,
-       std::size_t kcP2Max)
+       std::size_t kcP2Max, std::size_t threads)
 {
-    auto print = [&](const char* backend, double seconds, double extra) {
+    auto print = [&](const std::string& backend, double seconds,
+                     double extra) {
         std::printf("%-6s %2zu %4zu %-20s %10.4f %10.4f\n", row.workload,
-                    row.iterations, row.qubits, backend, seconds, extra);
+                    row.iterations, row.qubits, backend.c_str(), seconds,
+                    extra);
         std::fflush(stdout);
     };
 
     if (row.qubits <= svMax) {
-        auto sv = makeBackend("statevector");
-        Rng rng(1);
-        Timer t;
-        sv->sample(circuit, samples, rng);
-        print("statevector", t.seconds(), 0.0);
+        // Three state-vector rows: the seed configuration (serial,
+        // unfused), fusion alone, and fusion + the shared thread pool —
+        // the specialized kernels are active in all three.
+        {
+            auto sv = makeBackend("statevector:threads=1,fuse=0");
+            Rng rng(1);
+            Timer t;
+            sv->sample(circuit, samples, rng);
+            print("statevector", t.seconds(), 0.0);
+        }
+        {
+            auto sv = makeBackend("statevector:threads=1,fuse=1");
+            Rng rng(1);
+            Timer t;
+            sv->sample(circuit, samples, rng);
+            print("sv+fused", t.seconds(), 0.0);
+        }
+        if (threads > 1) {
+            auto sv = makeBackend("statevector:threads=" +
+                                  std::to_string(threads) + ",fuse=1");
+            Rng rng(1);
+            Timer t;
+            sv->sample(circuit, samples, rng);
+            print("sv+fused+t" + std::to_string(threads), t.seconds(), 0.0);
+        }
     }
 
     // Diagram size tracks state structure: QAOA on expander graphs loses
@@ -110,6 +139,9 @@ main(int argc, char** argv)
         static_cast<std::size_t>(cli.getInt("kc-p2-max-qubits", 20));
     const std::size_t maxIterations =
         static_cast<std::size_t>(cli.getInt("max-iterations", 2));
+    // Extra sv rows: fused and fused+threaded (--threads=1 drops the row).
+    const std::size_t threads = static_cast<std::size_t>(
+        cli.getInt("threads", static_cast<std::int64_t>(defaultThreads())));
 
     bench::printHeader(
         "Figure 8: ideal sampling time vs qubits (samples=" +
@@ -120,14 +152,14 @@ main(int argc, char** argv)
         for (std::size_t n = 4; n <= maxQubits; n += 4) {
             Row row{"qaoa", p, n};
             runRow(row, bench::qaoaCircuit(n, p, 19), samples, svMax, tnMax,
-                   ddMax, kcP2Max);
+                   ddMax, kcP2Max, threads);
         }
         for (std::size_t n : {4, 6, 9, 12, 16, 20}) {
             if (n > maxQubits)
                 break;
             Row row{"vqe", p, n};
             runRow(row, bench::vqeCircuit(n, p, 19), samples, svMax, tnMax,
-                   ddMax, kcP2Max);
+                   ddMax, kcP2Max, threads);
         }
     }
     return 0;

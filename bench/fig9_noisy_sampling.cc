@@ -26,20 +26,51 @@ namespace {
 void
 runRow(const char* workload, std::size_t p, std::size_t qubits,
        const Circuit& noisy, std::size_t samples, std::size_t dmMax,
-       std::size_t ddMax)
+       std::size_t ddMax, std::size_t svMax, std::size_t threads)
 {
-    auto print = [&](const char* backend, double seconds, double extra) {
+    auto print = [&](const std::string& backend, double seconds,
+                     double extra) {
         std::printf("%-6s %2zu %4zu %-20s %10.4f %10.4f\n", workload, p,
-                    qubits, backend, seconds, extra);
+                    qubits, backend.c_str(), seconds, extra);
         std::fflush(stdout);
     };
 
     if (qubits <= dmMax) {
-        auto dm = makeBackend("densitymatrix");
-        Rng rng(1);
-        Timer t;
-        dm->sample(noisy, samples, rng);
-        print("densitymatrix", t.seconds(), 0.0);
+        {
+            auto dm = makeBackend("densitymatrix:threads=1");
+            Rng rng(1);
+            Timer t;
+            dm->sample(noisy, samples, rng);
+            print("densitymatrix", t.seconds(), 0.0);
+        }
+        if (threads > 1) {
+            auto dm = makeBackend("densitymatrix:threads=" +
+                                  std::to_string(threads));
+            Rng rng(1);
+            Timer t;
+            dm->sample(noisy, samples, rng);
+            print("dm+t" + std::to_string(threads), t.seconds(), 0.0);
+        }
+    }
+
+    // Trajectory cost model: one full re-simulation per sample, but the
+    // trajectories are independent — the threaded row parallelizes them.
+    if (qubits <= svMax) {
+        {
+            auto sv = makeBackend("statevector:threads=1");
+            Rng rng(5);
+            Timer t;
+            sv->sample(noisy, samples, rng);
+            print("sv-traj", t.seconds(), 0.0);
+        }
+        if (threads > 1) {
+            auto sv = makeBackend("statevector:threads=" +
+                                  std::to_string(threads));
+            Rng rng(5);
+            Timer t;
+            sv->sample(noisy, samples, rng);
+            print("sv-traj+t" + std::to_string(threads), t.seconds(), 0.0);
+        }
     }
 
     // Trajectory cost is one diagram rebuild per sample, and deep/noisy QAOA
@@ -79,6 +110,10 @@ main(int argc, char** argv)
         static_cast<std::size_t>(cli.getInt("dd-max-qubits", 12));
     const std::size_t maxIterations =
         static_cast<std::size_t>(cli.getInt("max-iterations", 2));
+    const std::size_t svMax =
+        static_cast<std::size_t>(cli.getInt("sv-max-qubits", 12));
+    const std::size_t threads = static_cast<std::size_t>(
+        cli.getInt("threads", static_cast<std::int64_t>(defaultThreads())));
     const double noise = cli.getDouble("noise", 0.005);
 
     bench::printHeader(
@@ -91,14 +126,14 @@ main(int argc, char** argv)
         for (std::size_t n = 4; n <= maxQubits; n += 2) {
             Circuit noisy = bench::qaoaCircuit(n, p, 19).withNoiseAfterEachGate(
                 NoiseKind::Depolarizing, noise);
-            runRow("qaoa", p, n, noisy, samples, dmMax, ddMax);
+            runRow("qaoa", p, n, noisy, samples, dmMax, ddMax, svMax, threads);
         }
         for (std::size_t n : {4, 6, 9}) {
             if (n > maxQubits)
                 break;
             Circuit noisy = bench::vqeCircuit(n, p, 19).withNoiseAfterEachGate(
                 NoiseKind::Depolarizing, noise);
-            runRow("vqe", p, n, noisy, samples, dmMax, ddMax);
+            runRow("vqe", p, n, noisy, samples, dmMax, ddMax, svMax, threads);
         }
     }
     return 0;

@@ -1,8 +1,14 @@
 /**
  * google-benchmark microbenchmarks for the hot kernels of every simulator
- * family: state-vector gate application, AC upward/downward passes,
- * incremental re-evaluation after a parameter refresh, one Gibbs sweep, and
- * end-to-end knowledge compilation.
+ * family: state-vector gate application (seed generic path vs. specialized
+ * kernels, serial vs. parallel, fused vs. unfused), AC upward/downward
+ * passes, incremental re-evaluation after a parameter refresh, one Gibbs
+ * sweep, and end-to-end knowledge compilation.
+ *
+ * The *_SeedGeneric rows reproduce the pre-exec dense loops exactly
+ * (applyKernelReference); the *_Kernel rows run the specialized kernel with
+ * the thread count in the second argument, so `ratio(SeedGeneric, Kernel)`
+ * is the ISSUE-3 acceptance number.
  */
 #include <benchmark/benchmark.h>
 
@@ -10,11 +16,173 @@
 #include "ac/kc_simulator.h"
 #include "bench_common.h"
 #include "circuit/circuit.h"
+#include "circuit/fusion.h"
+#include "exec/gate_kernels.h"
 #include "statevector/statevector_simulator.h"
 
 using namespace qkc;
 
 namespace {
+
+ExecPolicy
+policyWithThreads(std::int64_t threads)
+{
+    ExecPolicy p;
+    p.threads = static_cast<std::size_t>(threads);
+    return p;
+}
+
+GateKernel
+kernelFor(const Gate& g, std::size_t n)
+{
+    std::vector<std::uint32_t> bits;
+    for (std::size_t q : g.qubits())
+        bits.push_back(static_cast<std::uint32_t>(n - 1 - q));
+    return compileKernel(g.unitary(), bits);
+}
+
+// -- Single-qubit application: seed generic vs specialized+parallel ----------
+
+void
+BM_Apply1qSeedGeneric(benchmark::State& state)
+{
+    // The pre-exec path: serial dense 2x2 on every amplitude pair.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    StateVector sv(n);
+    GateKernel t = kernelFor(Gate(GateKind::T, {0}), n);
+    std::size_t q = 0;
+    for (auto _ : state) {
+        t.fullBits[0] = static_cast<std::uint32_t>(n - 1 - q);
+        applyKernelReference(t, sv.data(), sv.dimension());
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            (1LL << n));
+}
+BENCHMARK(BM_Apply1qSeedGeneric)->Arg(16)->Arg(20)->Arg(22);
+
+void
+BM_Apply1qKernel(benchmark::State& state)
+{
+    // Specialized kernel (T classifies as ctrl-diag: touches half the
+    // amplitudes, multiply only), threads = second argument.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const ExecPolicy policy = policyWithThreads(state.range(1));
+    StateVector sv(n);
+    std::vector<GateKernel> kernels;
+    for (std::size_t q = 0; q < n; ++q)
+        kernels.push_back(kernelFor(Gate(GateKind::T, {q}), n));
+    std::size_t q = 0;
+    for (auto _ : state) {
+        applyKernel(kernels[q], sv.data(), sv.dimension(), policy);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            (1LL << n));
+}
+BENCHMARK(BM_Apply1qKernel)
+    ->Args({16, 1})->Args({20, 1})->Args({22, 1})
+    ->Args({16, 2})->Args({20, 2})->Args({22, 2})
+    ->Args({20, 4})->Args({22, 4})
+    ->Args({20, 8})->Args({22, 8});
+
+void
+BM_ApplyHGenericKernel(benchmark::State& state)
+{
+    // H stays in the generic class: this isolates the parallel_for gain
+    // from the specialization gain.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const ExecPolicy policy = policyWithThreads(state.range(1));
+    StateVector sv(n);
+    std::vector<GateKernel> kernels;
+    for (std::size_t q = 0; q < n; ++q)
+        kernels.push_back(kernelFor(Gate(GateKind::H, {q}), n));
+    std::size_t q = 0;
+    for (auto _ : state) {
+        applyKernel(kernels[q], sv.data(), sv.dimension(), policy);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            (1LL << n));
+}
+BENCHMARK(BM_ApplyHGenericKernel)
+    ->Args({20, 1})->Args({20, 2})->Args({20, 4})->Args({20, 8});
+
+// -- Two-qubit application ---------------------------------------------------
+
+void
+BM_ApplyCnotSeedGeneric(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    StateVector sv(n);
+    std::size_t q = 0;
+    for (auto _ : state) {
+        applyKernelReference(
+            kernelFor(Gate(GateKind::CNOT, {q, (q + 1) % n}), n), sv.data(),
+            sv.dimension());
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            (1LL << n));
+}
+BENCHMARK(BM_ApplyCnotSeedGeneric)->Arg(16)->Arg(20);
+
+void
+BM_ApplyCnotKernel(benchmark::State& state)
+{
+    // CNOT classifies as ctrl-perm: a gather-free swap on the controlled
+    // half of the amplitudes.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const ExecPolicy policy = policyWithThreads(state.range(1));
+    StateVector sv(n);
+    std::vector<GateKernel> kernels;
+    for (std::size_t q = 0; q < n; ++q)
+        kernels.push_back(kernelFor(Gate(GateKind::CNOT, {q, (q + 1) % n}), n));
+    std::size_t q = 0;
+    for (auto _ : state) {
+        applyKernel(kernels[q], sv.data(), sv.dimension(), policy);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            (1LL << n));
+}
+BENCHMARK(BM_ApplyCnotKernel)
+    ->Args({16, 1})->Args({20, 1})->Args({16, 2})->Args({20, 2})
+    ->Args({20, 4})->Args({20, 8});
+
+// -- Fusion ------------------------------------------------------------------
+
+void
+BM_SimulateQaoaUnfused(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const Circuit c = bench::qaoaCircuit(n, 2, 19);
+    ExecPolicy policy = policyWithThreads(state.range(1));
+    policy.fuseGates = false;
+    StateVectorSimulator sim(policy);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.simulate(c).amplitude(0));
+    state.counters["gates"] = static_cast<double>(c.gateCount());
+}
+BENCHMARK(BM_SimulateQaoaUnfused)->Args({16, 1})->Args({20, 1})->Args({20, 4});
+
+void
+BM_SimulateQaoaFused(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const Circuit c = bench::qaoaCircuit(n, 2, 19);
+    ExecPolicy policy = policyWithThreads(state.range(1));
+    policy.fuseGates = true;
+    StateVectorSimulator sim(policy);
+    FusionStats stats;
+    const Circuit fused = fuseGates(c, {}, &stats);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.simulate(c).amplitude(0));
+    state.counters["gates"] = static_cast<double>(stats.gatesOut);
+}
+BENCHMARK(BM_SimulateQaoaFused)->Args({16, 1})->Args({20, 1})->Args({20, 4});
+
+// -- Legacy rows (kept for continuity with earlier runs) ---------------------
 
 void
 BM_StateVectorHadamard(benchmark::State& state)

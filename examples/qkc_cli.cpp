@@ -11,12 +11,18 @@
  *   --mode=dist      print the exact outcome distribution (small circuits)
  *   --mode=sample    draw --samples=N outcomes (--seed=S) from any
  *                    registered backend: --backend=kc|sv|dm|tn|dd (or the
- *                    long names; default knowledgecompilation)
+ *                    long names; default knowledgecompilation). Backend
+ *                    options ride along after a colon — sv/dm accept
+ *                    threads= and fuse=, kc accepts burnin= and thin=.
  *   --mode=mpe       most probable explanation for --outcome=BITSTRING
  *
  * Example:
  *   ./build/examples/qkc_cli --qasm=bell.qasm --mode=sample --samples=100
  *   ./build/examples/qkc_cli --qasm=bell.qasm --mode=sample --backend=dd
+ *   ./build/examples/qkc_cli --qasm=big.qasm --mode=sample \
+ *       --backend=sv:threads=8,fuse=1
+ *   ./build/examples/qkc_cli --qasm=bell.qasm --mode=sample \
+ *       --backend=kc:burnin=128
  */
 #include <cstdio>
 #include <fstream>

@@ -1,0 +1,105 @@
+#include "circuit/fusion.h"
+
+#include <optional>
+#include <vector>
+
+namespace qkc {
+
+namespace {
+
+/** Tight tolerance for dropping exact-identity products (HH, Rz(t)Rz(-t)). */
+constexpr double kFusionEps = 1e-12;
+
+bool
+isIdentity(const Matrix& m)
+{
+    return m.approxEqual(Matrix::identity(m.rows()), kFusionEps);
+}
+
+} // namespace
+
+Circuit
+fuseGates(const Circuit& circuit, const FusionOptions& options,
+          FusionStats* stats)
+{
+    FusionStats local;
+    const std::size_t n = circuit.numQubits();
+    Circuit out(n);
+
+    // pending[q]: the product of not-yet-emitted 1q gates on wire q, newest
+    // factor on the left (applied last).
+    std::vector<std::optional<Matrix>> pending(n);
+
+    auto flush = [&](std::size_t q) {
+        if (!pending[q])
+            return;
+        if (isIdentity(*pending[q]))
+            ++local.droppedIdentity;
+        else
+            out.append(Gate::custom({q}, std::move(*pending[q]), "fused"));
+        pending[q].reset();
+    };
+
+    for (const auto& op : circuit.operations()) {
+        if (const auto* ch = std::get_if<NoiseChannel>(&op)) {
+            for (std::size_t q : ch->qubits())
+                flush(q);
+            out.append(*ch);
+            continue;
+        }
+        const Gate& g = std::get<Gate>(op);
+        ++local.gatesIn;
+
+        if (g.arity() == 1) {
+            const std::size_t q = g.qubits()[0];
+            if (pending[q]) {
+                pending[q] = g.unitary() * (*pending[q]);
+                ++local.merged1q;
+            } else {
+                pending[q] = g.unitary();
+            }
+            continue;
+        }
+
+        if (g.arity() == 2 && options.foldIntoTwoQubit) {
+            const std::size_t a = g.qubits()[0];
+            const std::size_t b = g.qubits()[1];
+            if (pending[a] || pending[b]) {
+                // The pendings act first: U' = U * (Pa (x) Pb), with a the
+                // MSB of the gate's local basis (the Gate convention).
+                const Matrix pa =
+                    pending[a] ? *pending[a] : Matrix::identity(2);
+                const Matrix pb =
+                    pending[b] ? *pending[b] : Matrix::identity(2);
+                local.foldedInto2q +=
+                    (pending[a] ? 1u : 0u) + (pending[b] ? 1u : 0u);
+                pending[a].reset();
+                pending[b].reset();
+                Matrix fusedU = g.unitary() * pa.kron(pb);
+                if (isIdentity(fusedU))
+                    ++local.droppedIdentity;
+                else
+                    out.append(Gate::custom({a, b}, std::move(fusedU),
+                                            "fused2q"));
+                continue;
+            }
+            out.append(g);
+            continue;
+        }
+
+        // 2q with folding disabled, or 3q: barrier on the operand wires.
+        for (std::size_t q : g.qubits())
+            flush(q);
+        out.append(g);
+    }
+
+    for (std::size_t q = 0; q < n; ++q)
+        flush(q);
+
+    local.gatesOut = out.gateCount();
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace qkc

@@ -1,0 +1,47 @@
+#ifndef QKC_CIRCUIT_FUSION_H
+#define QKC_CIRCUIT_FUSION_H
+
+#include <cstddef>
+
+#include "circuit/circuit.h"
+
+namespace qkc {
+
+/** Knobs for the greedy gate-fusion pass. */
+struct FusionOptions {
+    /**
+     * Fold accumulated single-qubit matrices into a following two-qubit
+     * gate (one dense 4x4 sweep instead of up to three passes over the
+     * state). Disable to fuse only 1q-with-1q.
+     */
+    bool foldIntoTwoQubit = true;
+};
+
+/** What the pass did — reported by benches and asserted by tests. */
+struct FusionStats {
+    std::size_t gatesIn = 0;
+    std::size_t gatesOut = 0;
+    std::size_t merged1q = 0;       ///< 1q gates absorbed into another 1q
+    std::size_t foldedInto2q = 0;   ///< 1q matrices folded into a 2q gate
+    std::size_t droppedIdentity = 0; ///< fused products equal to identity
+};
+
+/**
+ * Greedy gate fusion: adjacent single-qubit gates on the same wire are
+ * multiplied into one 2x2 matrix, and (optionally) pending 1q matrices are
+ * folded into the next two-qubit gate touching their wire, so the dense
+ * simulators sweep the amplitude array once where the source circuit would
+ * have swept it several times. Products that reduce to the identity are
+ * dropped entirely.
+ *
+ * Noise channels and three-qubit gates act as barriers on their wires:
+ * pending matrices are flushed before them, so the fused circuit is
+ * operation-for-operation equivalent to the original (same final state,
+ * including global phase; channels see exactly the state they saw before).
+ */
+Circuit fuseGates(const Circuit& circuit, const FusionOptions& options = {},
+                  FusionStats* stats = nullptr);
+
+} // namespace qkc
+
+#endif // QKC_CIRCUIT_FUSION_H

@@ -1,0 +1,52 @@
+#include "dd/complex_table.h"
+
+#include <cmath>
+
+namespace qkc {
+
+namespace {
+
+std::int64_t
+bucketOf(double x)
+{
+    const double scaled = x / ComplexTable::kTolerance;
+    // Clamp: buckets only need to distinguish values, not represent them.
+    if (scaled > 9.2e18)
+        return INT64_MAX;
+    if (scaled < -9.2e18)
+        return INT64_MIN;
+    return static_cast<std::int64_t>(std::llround(scaled));
+}
+
+} // namespace
+
+const double*
+ComplexTable::intern(double x)
+{
+    const std::int64_t b = bucketOf(x);
+    // A value within kTolerance of x lives in bucket b or a neighbor.
+    const std::int64_t candidates[3] = {
+        b == INT64_MIN ? b : b - 1, b, b == INT64_MAX ? b : b + 1};
+    for (std::int64_t nb : candidates) {
+        auto it = buckets_.find(nb);
+        if (it == buckets_.end())
+            continue;
+        for (const double* v : it->second) {
+            if (std::abs(*v - x) <= kTolerance)
+                return v;
+        }
+    }
+    storage_.push_back(x);
+    const double* stored = &storage_.back();
+    buckets_[b].push_back(stored);
+    return stored;
+}
+
+void
+ComplexTable::clear()
+{
+    buckets_.clear();
+    storage_.clear();
+}
+
+} // namespace qkc

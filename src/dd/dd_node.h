@@ -77,17 +77,17 @@ struct MNode {
 };
 
 /**
- * Edge-weight quantization used for unique-table and compute-table keys.
+ * Edge-weight quantization used for compute-table keys (the add cache's
+ * weight ratio).
  *
- * Hashing floating-point weights needs a tolerance, but hash tables need
- * exact keys; the standard resolution (a DDSIM-style complex table) is
- * approximated here by snapping each component to a fixed 1e-12 grid. Two
- * weights that quantize to the same cell are merged (an error far below the
- * library-wide kAmpEps = 1e-9); weights that straddle a cell boundary merely
- * miss a deduplication opportunity, which costs nodes, never correctness.
- * Values past the clamp range below alias each other, so callers keying a
- * compute table on unbounded quantities (the add cache's weight ratio) must
- * bypass the cache outside the grid's exact range.
+ * The unique tables use the real resolution — canonical interned values
+ * from the DDSIM-style ComplexTable (see dd/complex_table.h) — but the add
+ * cache keys on an *unbounded* weight ratio, where an absolute-tolerance
+ * interning table would grow without limit; a fixed 1e-12 grid is the right
+ * trade there. Two ratios that quantize to the same cell are merged (an
+ * error far below the library-wide kAmpEps = 1e-9); values past the clamp
+ * range below alias each other, so callers must bypass the cache outside
+ * the grid's exact range.
  */
 inline std::int64_t
 ddQuantize(double x)

@@ -45,11 +45,14 @@ DdPackage::DdPackage(std::size_t numQubits) : numQubits_(numQubits)
 std::size_t
 DdPackage::VKeyHash::operator()(const VKey& k) const
 {
+    // Interned weight components are canonical pointers: equal-within-
+    // tolerance weights share the same pointer, so hashing the pointer is
+    // exact.
     std::uint64_t h = k.level;
     for (std::size_t i = 0; i < 2; ++i) {
         h = ddHashMix(h, reinterpret_cast<std::uintptr_t>(k.nodes[i]));
-        h = ddHashMix(h, static_cast<std::uint64_t>(k.weights[i].re));
-        h = ddHashMix(h, static_cast<std::uint64_t>(k.weights[i].im));
+        h = ddHashMix(h, reinterpret_cast<std::uintptr_t>(k.weights[i].re));
+        h = ddHashMix(h, reinterpret_cast<std::uintptr_t>(k.weights[i].im));
     }
     return static_cast<std::size_t>(h);
 }
@@ -60,8 +63,8 @@ DdPackage::MKeyHash::operator()(const MKey& k) const
     std::uint64_t h = k.level;
     for (std::size_t i = 0; i < 4; ++i) {
         h = ddHashMix(h, reinterpret_cast<std::uintptr_t>(k.nodes[i]));
-        h = ddHashMix(h, static_cast<std::uint64_t>(k.weights[i].re));
-        h = ddHashMix(h, static_cast<std::uint64_t>(k.weights[i].im));
+        h = ddHashMix(h, reinterpret_cast<std::uintptr_t>(k.weights[i].re));
+        h = ddHashMix(h, reinterpret_cast<std::uintptr_t>(k.weights[i].im));
     }
     return static_cast<std::size_t>(h);
 }
@@ -111,9 +114,16 @@ DdPackage::makeVNode(std::size_t level, const VEdge& e0, const VEdge& e1)
     else
         c1.weight = Complex(std::sqrt(n1) / mag, 0.0);
 
-    VKey key{level,
-             {c0.node, c1.node},
-             {ddQuantize(c0.weight), ddQuantize(c1.weight)}};
+    // Intern through the complex table and snap the stored weights to their
+    // canonical representatives: weights equal within ComplexTable
+    // tolerance become *identical*, giving exact keys without the grid
+    // quantization's boundary-straddle dedup misses.
+    const InternedComplex i0 = internComplex(weights_, c0.weight);
+    const InternedComplex i1 = internComplex(weights_, c1.weight);
+    c0.weight = i0.value();
+    c1.weight = i1.value();
+
+    VKey key{level, {c0.node, c1.node}, {i0, i1}};
     auto it = vUnique_.find(key);
     if (it != vUnique_.end()) {
         ++stats_.vHits;
@@ -149,10 +159,13 @@ DdPackage::makeMNode(std::size_t level, const std::array<MEdge, 4>& children)
         ch.weight = ch.weight / factor;
     c[argmax].weight = Complex(1.0, 0.0);
 
-    MKey key{level,
-             {c[0].node, c[1].node, c[2].node, c[3].node},
-             {ddQuantize(c[0].weight), ddQuantize(c[1].weight),
-              ddQuantize(c[2].weight), ddQuantize(c[3].weight)}};
+    std::array<InternedComplex, 4> iw;
+    for (std::size_t i = 0; i < 4; ++i) {
+        iw[i] = internComplex(weights_, c[i].weight);
+        c[i].weight = iw[i].value();
+    }
+
+    MKey key{level, {c[0].node, c[1].node, c[2].node, c[3].node}, iw};
     auto it = mUnique_.find(key);
     if (it != mUnique_.end()) {
         ++stats_.mHits;
@@ -428,6 +441,7 @@ DdPackage::reset()
     mUnique_.clear();
     vArena_.clear();
     mArena_.clear();
+    weights_.clear();
     stats_ = DdStats{};
 }
 

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "dd/complex_table.h"
 #include "dd/dd_node.h"
 #include "linalg/matrix.h"
 #include "util/rng.h"
@@ -116,6 +117,9 @@ class DdPackage {
 
     const DdStats& stats() const { return stats_; }
 
+    /** Distinct weight components interned in the complex table. */
+    std::size_t internedWeightCount() const { return weights_.size(); }
+
     /** Drops compute-table memo entries (unique tables and nodes survive). */
     void clearComputeTables();
 
@@ -126,7 +130,7 @@ class DdPackage {
     struct VKey {
         std::size_t level;
         std::array<VNode*, 2> nodes;
-        std::array<QuantizedComplex, 2> weights;
+        std::array<InternedComplex, 2> weights;
         bool operator==(const VKey& o) const
         {
             return level == o.level && nodes == o.nodes && weights == o.weights;
@@ -135,7 +139,7 @@ class DdPackage {
     struct MKey {
         std::size_t level;
         std::array<MNode*, 4> nodes;
-        std::array<QuantizedComplex, 4> weights;
+        std::array<InternedComplex, 4> weights;
         bool operator==(const MKey& o) const
         {
             return level == o.level && nodes == o.nodes && weights == o.weights;
@@ -179,6 +183,7 @@ class DdPackage {
                     std::unordered_set<const VNode*>& seen) const;
 
     std::size_t numQubits_;
+    ComplexTable weights_;
     std::deque<VNode> vArena_;
     std::deque<MNode> mArena_;
     std::unordered_map<VKey, VNode*, VKeyHash> vUnique_;

@@ -15,6 +15,16 @@ checkedDimension(std::size_t numQubits)
     return std::size_t{1} << numQubits;
 }
 
+Matrix
+conjugated(const Matrix& m)
+{
+    Matrix c(m.rows(), m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t col = 0; col < m.cols(); ++col)
+            c(r, col) = std::conj(m(r, col));
+    return c;
+}
+
 } // namespace
 
 DensityMatrix::DensityMatrix(std::size_t numQubits)
@@ -24,119 +34,58 @@ DensityMatrix::DensityMatrix(std::size_t numQubits)
     data_[0] = 1.0;
 }
 
-std::vector<std::size_t>
-DensityMatrix::bitPositions(const std::vector<std::size_t>& qubits) const
+DensityMatrix::SuperKernel
+DensityMatrix::compileSuper(const Matrix& m,
+                            const std::vector<std::size_t>& qubits) const
 {
-    std::vector<std::size_t> shifts;
-    shifts.reserve(qubits.size());
+    std::vector<std::uint32_t> rowBits, colBits;
+    rowBits.reserve(qubits.size());
+    colBits.reserve(qubits.size());
     for (std::size_t q : qubits) {
         assert(q < numQubits_);
-        shifts.push_back(numQubits_ - 1 - q);
+        const std::uint32_t s =
+            static_cast<std::uint32_t>(numQubits_ - 1 - q);
+        rowBits.push_back(s + static_cast<std::uint32_t>(numQubits_));
+        colBits.push_back(s);
     }
-    return shifts;
+    // (rho M^dagger)(., c) = sum_k rho(., k) conj(M(c, k)): the column-space
+    // operator is the elementwise conjugate of M (no transpose).
+    return SuperKernel{compileKernel(m, rowBits),
+                       compileKernel(conjugated(m), colBits)};
 }
 
 void
-DensityMatrix::applyLeft(const Matrix& m, const std::vector<std::size_t>& bits)
+DensityMatrix::applySuper(const SuperKernel& k)
 {
-    const std::size_t a = bits.size();
-    const std::size_t k = std::size_t{1} << a;
-    assert(m.rows() == k && m.cols() == k);
-
-    std::uint64_t mask = 0;
-    for (std::size_t s : bits)
-        mask |= std::uint64_t{1} << s;
-
-    std::vector<Complex> in(k), out(k);
-    for (std::uint64_t base = 0; base < dim_; ++base) {
-        if (base & mask)
-            continue;
-        std::vector<std::uint64_t> rows(k);
-        for (std::size_t l = 0; l < k; ++l) {
-            std::uint64_t r = base;
-            for (std::size_t j = 0; j < a; ++j) {
-                if ((l >> (a - 1 - j)) & 1)
-                    r |= std::uint64_t{1} << bits[j];
-            }
-            rows[l] = r;
-        }
-        for (std::uint64_t col = 0; col < dim_; ++col) {
-            for (std::size_t l = 0; l < k; ++l)
-                in[l] = at(rows[l], col);
-            for (std::size_t r = 0; r < k; ++r) {
-                out[r] = Complex{};
-                for (std::size_t c = 0; c < k; ++c)
-                    out[r] += m(r, c) * in[c];
-            }
-            for (std::size_t l = 0; l < k; ++l)
-                at(rows[l], col) = out[l];
-        }
-    }
+    const std::uint64_t flatDim = static_cast<std::uint64_t>(dim_) * dim_;
+    applyKernel(k.left, data_.data(), flatDim, policy_);
+    applyKernel(k.right, data_.data(), flatDim, policy_);
 }
 
 void
-DensityMatrix::applyRightAdjoint(const Matrix& m,
-                                 const std::vector<std::size_t>& bits)
+DensityMatrix::applyUnitary(const Matrix& u,
+                            const std::vector<std::size_t>& qubits)
 {
-    const std::size_t a = bits.size();
-    const std::size_t k = std::size_t{1} << a;
-    assert(m.rows() == k && m.cols() == k);
-
-    std::uint64_t mask = 0;
-    for (std::size_t s : bits)
-        mask |= std::uint64_t{1} << s;
-
-    std::vector<Complex> in(k), out(k);
-    for (std::uint64_t base = 0; base < dim_; ++base) {
-        if (base & mask)
-            continue;
-        std::vector<std::uint64_t> cols(k);
-        for (std::size_t l = 0; l < k; ++l) {
-            std::uint64_t c = base;
-            for (std::size_t j = 0; j < a; ++j) {
-                if ((l >> (a - 1 - j)) & 1)
-                    c |= std::uint64_t{1} << bits[j];
-            }
-            cols[l] = c;
-        }
-        for (std::uint64_t row = 0; row < dim_; ++row) {
-            for (std::size_t l = 0; l < k; ++l)
-                in[l] = at(row, cols[l]);
-            // (rho M^dagger)[., c] = sum_k rho[., k] conj(M[c][k])
-            for (std::size_t c = 0; c < k; ++c) {
-                out[c] = Complex{};
-                for (std::size_t kk = 0; kk < k; ++kk)
-                    out[c] += in[kk] * std::conj(m(c, kk));
-            }
-            for (std::size_t l = 0; l < k; ++l)
-                at(row, cols[l]) = out[l];
-        }
-    }
+    applySuper(compileSuper(u, qubits));
 }
 
 void
 DensityMatrix::applyUnitarySingle(const Matrix& u, std::size_t qubit)
 {
-    auto bits = bitPositions({qubit});
-    applyLeft(u, bits);
-    applyRightAdjoint(u, bits);
+    applyUnitary(u, {qubit});
 }
 
 void
 DensityMatrix::applyUnitaryTwo(const Matrix& u, std::size_t q0, std::size_t q1)
 {
-    auto bits = bitPositions({q0, q1});
-    applyLeft(u, bits);
-    applyRightAdjoint(u, bits);
+    applyUnitary(u, {q0, q1});
 }
 
 void
 DensityMatrix::applyUnitaryThree(const Matrix& u, std::size_t q0,
                                  std::size_t q1, std::size_t q2)
 {
-    auto bits = bitPositions({q0, q1, q2});
-    applyLeft(u, bits);
-    applyRightAdjoint(u, bits);
+    applyUnitary(u, {q0, q1, q2});
 }
 
 void
@@ -150,15 +99,23 @@ void
 DensityMatrix::applyChannel(const std::vector<Matrix>& kraus,
                             const std::vector<std::size_t>& qubits)
 {
-    auto bits = bitPositions(qubits);
+    const std::uint64_t flatDim = static_cast<std::uint64_t>(dim_) * dim_;
     std::vector<Complex> acc(data_.size(), Complex{});
     const std::vector<Complex> original = data_;
     for (const Matrix& e : kraus) {
-        data_ = original;
-        applyLeft(e, bits);
-        applyRightAdjoint(e, bits);
-        for (std::size_t i = 0; i < data_.size(); ++i)
-            acc[i] += data_[i];
+        applySuper(compileSuper(e, qubits));
+        parallelFor(policy_, flatDim,
+                    [&](std::uint64_t b, std::uint64_t end) {
+            for (std::uint64_t i = b; i < end; ++i)
+                acc[i] += data_[i];
+        });
+        if (&e != &kraus.back()) {
+            parallelFor(policy_, flatDim,
+                        [&](std::uint64_t b, std::uint64_t end) {
+                for (std::uint64_t i = b; i < end; ++i)
+                    data_[i] = original[i];
+            });
+        }
     }
     data_ = std::move(acc);
 }

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/gate_kernels.h"
+#include "exec/thread_pool.h"
 #include "linalg/matrix.h"
 #include "linalg/types.h"
 
@@ -18,8 +20,16 @@ namespace qkc {
  * and matrix-matrix (rather than matrix-vector) update cost, which is why
  * knowledge compilation breaks even at fewer qubits in the noisy case.
  *
- * rho is stored row-major; index convention matches Circuit (qubit 0 is the
- * most significant bit of a row/column index).
+ * Superoperator application reuses the exec gate kernels on the flattened
+ * index space: rho is stored row-major, so flat(r, c) = r * 2^n + c and the
+ * row/column index spaces are just the high/low n bits of a 2n-bit index.
+ * U rho = kernel(U) on the high bits; rho U^dagger = kernel(conj(U)) on the
+ * low bits. Both sweeps inherit the kernel specialization (a CZ left-apply
+ * is a masked sign flip, not a 4x4 multiply) and the shared-pool
+ * parallelism, with deterministic chunking.
+ *
+ * rho index convention matches Circuit (qubit 0 is the most significant bit
+ * of a row/column index).
  */
 class DensityMatrix {
   public:
@@ -28,6 +38,10 @@ class DensityMatrix {
 
     std::size_t numQubits() const { return numQubits_; }
     std::size_t dimension() const { return dim_; }
+
+    /** Threading knobs for every superoperator sweep on this matrix. */
+    const ExecPolicy& execPolicy() const { return policy_; }
+    void setExecPolicy(const ExecPolicy& policy) { policy_ = policy; }
 
     Complex& at(std::uint64_t row, std::uint64_t col)
     {
@@ -48,6 +62,9 @@ class DensityMatrix {
     void applyUnitaryThree(const Matrix& u, std::size_t q0, std::size_t q1,
                            std::size_t q2);
 
+    /** rho <- U rho U^dagger for a 1-3 qubit unitary. */
+    void applyUnitary(const Matrix& u, const std::vector<std::size_t>& qubits);
+
     /** rho <- sum_k E_k rho E_k^dagger for a single-qubit channel. */
     void applyChannelSingle(const std::vector<Matrix>& kraus, std::size_t qubit);
 
@@ -66,20 +83,21 @@ class DensityMatrix {
 
   private:
     /**
-     * Applies a k-qubit operator M to the row index space:
-     * rho <- M rho (columns untouched), with `bits` the global bit positions
-     * (MSB first) of the operated qubits.
+     * Kernels for one conjugation rho <- M rho M^dagger: `left` acts on the
+     * row bits (flat positions + n), `right` is conj(M) on the column bits.
      */
-    void applyLeft(const Matrix& m, const std::vector<std::size_t>& bits);
-
-    /** rho <- rho M^dagger on the column index space. */
-    void applyRightAdjoint(const Matrix& m, const std::vector<std::size_t>& bits);
-
-    std::vector<std::size_t> bitPositions(const std::vector<std::size_t>& qubits) const;
+    struct SuperKernel {
+        GateKernel left;
+        GateKernel right;
+    };
+    SuperKernel compileSuper(const Matrix& m,
+                             const std::vector<std::size_t>& qubits) const;
+    void applySuper(const SuperKernel& k);
 
     std::size_t numQubits_;
     std::size_t dim_;
     std::vector<Complex> data_;
+    ExecPolicy policy_;
 };
 
 } // namespace qkc

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "circuit/fusion.h"
 #include "statevector/statevector_simulator.h"
 
 namespace qkc {
@@ -9,23 +10,13 @@ namespace qkc {
 DensityMatrix
 DensityMatrixSimulator::simulate(const Circuit& circuit) const
 {
+    const Circuit fused =
+        policy_.fuseGates ? fuseGates(circuit) : circuit;
     DensityMatrix rho(circuit.numQubits());
-    for (const auto& op : circuit.operations()) {
+    rho.setExecPolicy(policy_);
+    for (const auto& op : fused.operations()) {
         if (const Gate* g = std::get_if<Gate>(&op)) {
-            const auto& q = g->qubits();
-            switch (g->arity()) {
-              case 1:
-                rho.applyUnitarySingle(g->unitary(), q[0]);
-                break;
-              case 2:
-                rho.applyUnitaryTwo(g->unitary(), q[0], q[1]);
-                break;
-              case 3:
-                rho.applyUnitaryThree(g->unitary(), q[0], q[1], q[2]);
-                break;
-              default:
-                throw std::logic_error("DensityMatrixSimulator: bad arity");
-            }
+            rho.applyUnitary(g->unitary(), g->qubits());
         } else {
             const auto& ch = std::get<NoiseChannel>(op);
             rho.applyChannel(ch.krausOperators(), ch.qubits());

@@ -6,6 +6,7 @@
 
 #include "circuit/circuit.h"
 #include "densitymatrix/density_matrix.h"
+#include "exec/thread_pool.h"
 #include "util/rng.h"
 
 namespace qkc {
@@ -14,9 +15,22 @@ namespace qkc {
  * Density matrix circuit simulator — the stand-in for the Cirq
  * density-matrix baseline in the paper's noisy-circuit evaluation
  * (Figure 9). Handles arbitrary mixtures and channels exactly.
+ *
+ * Gate fusion and the shared-thread-pool kernels apply here exactly as in
+ * the state-vector engine: the ExecPolicy is forwarded to DensityMatrix,
+ * whose superoperator sweeps run on the flattened 2n-bit index space.
  */
 class DensityMatrixSimulator {
   public:
+    DensityMatrixSimulator() = default;
+    explicit DensityMatrixSimulator(const ExecPolicy& policy)
+        : policy_(policy)
+    {
+    }
+
+    const ExecPolicy& execPolicy() const { return policy_; }
+    void setExecPolicy(const ExecPolicy& policy) { policy_ = policy; }
+
     /** Evolves |0..0><0..0| through all gates and channels. */
     DensityMatrix simulate(const Circuit& circuit) const;
 
@@ -29,6 +43,9 @@ class DensityMatrixSimulator {
      */
     std::vector<std::uint64_t> sample(const Circuit& circuit,
                                       std::size_t numSamples, Rng& rng) const;
+
+  private:
+    ExecPolicy policy_;
 };
 
 } // namespace qkc

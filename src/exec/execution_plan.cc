@@ -1,0 +1,48 @@
+#include "exec/execution_plan.h"
+
+namespace qkc {
+
+namespace {
+
+std::vector<std::uint32_t>
+svBits(const std::vector<std::size_t>& qubits, std::size_t numQubits)
+{
+    std::vector<std::uint32_t> bits;
+    bits.reserve(qubits.size());
+    for (std::size_t q : qubits)
+        bits.push_back(static_cast<std::uint32_t>(numQubits - 1 - q));
+    return bits;
+}
+
+} // namespace
+
+ExecutionPlan
+planCircuit(const Circuit& circuit, const ExecPolicy& policy)
+{
+    ExecutionPlan plan;
+    plan.numQubits = circuit.numQubits();
+    plan.circuit = policy.fuseGates ? fuseGates(circuit, {}, &plan.fusion)
+                                    : circuit;
+
+    const auto& ops = plan.circuit.operations();
+    plan.ops.reserve(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        PlannedOp p;
+        p.opIndex = i;
+        if (const Gate* g = std::get_if<Gate>(&ops[i])) {
+            p.gate = compileKernel(g->unitary(),
+                                   svBits(g->qubits(), plan.numQubits));
+        } else {
+            const auto& ch = std::get<NoiseChannel>(ops[i]);
+            p.isChannel = true;
+            const auto bits = svBits(ch.qubits(), plan.numQubits);
+            p.kraus.reserve(ch.krausOperators().size());
+            for (const Matrix& e : ch.krausOperators())
+                p.kraus.push_back(compileKernel(e, bits));
+        }
+        plan.ops.push_back(std::move(p));
+    }
+    return plan;
+}
+
+} // namespace qkc

@@ -1,0 +1,55 @@
+#ifndef QKC_EXEC_EXECUTION_PLAN_H
+#define QKC_EXEC_EXECUTION_PLAN_H
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/fusion.h"
+#include "exec/gate_kernels.h"
+#include "exec/thread_pool.h"
+
+namespace qkc {
+
+/**
+ * One circuit operation lowered for dense state-vector execution: either a
+ * compiled gate kernel or a noise channel whose Kraus operators have each
+ * been compiled (damping E0 classifies as Diag, mixture operators as scaled
+ * Paulis, ...). `opIndex` refers into the owning plan's circuit.
+ */
+struct PlannedOp {
+    std::size_t opIndex = 0;
+    bool isChannel = false;
+    GateKernel gate;                ///< valid when !isChannel
+    std::vector<GateKernel> kraus;  ///< valid when isChannel
+};
+
+/**
+ * A circuit prepared for repeated dense execution: fusion has run (if the
+ * policy asks for it) and every gate and Kraus matrix has been inspected
+ * and classified exactly once. Trajectory sampling re-executes the plan per
+ * shot without touching a Matrix again.
+ */
+struct ExecutionPlan {
+    std::size_t numQubits = 0;
+    Circuit circuit{1};       ///< the (possibly fused) circuit kernels map to
+    std::vector<PlannedOp> ops;
+    FusionStats fusion;       ///< zeros when fusion was disabled
+
+    const NoiseChannel& channelAt(const PlannedOp& op) const
+    {
+        return std::get<NoiseChannel>(circuit.operations()[op.opIndex]);
+    }
+};
+
+/**
+ * Builds the execution plan for `circuit` under `policy` (fusion honored;
+ * thread settings are not consulted here — they matter at apply time).
+ * Kernel bit convention: qubit q lives at bit position numQubits-1-q,
+ * matching the StateVector basis-index layout.
+ */
+ExecutionPlan planCircuit(const Circuit& circuit, const ExecPolicy& policy);
+
+} // namespace qkc
+
+#endif // QKC_EXEC_EXECUTION_PLAN_H

@@ -1,0 +1,428 @@
+#include "exec/gate_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qkc {
+
+namespace {
+
+/**
+ * Classification tolerance. Far below kAmpEps: we only specialize when the
+ * matrix is structurally exact (analytically-constructed gates have entries
+ * that are exact zeros or ~1e-17 trig residue), so a specialized kernel
+ * never deviates from the dense result by more than the residue it drops.
+ */
+constexpr double kKernelEps = 1e-14;
+
+bool
+nearZero(const Complex& c)
+{
+    return std::abs(c.real()) <= kKernelEps && std::abs(c.imag()) <= kKernelEps;
+}
+
+bool
+nearOne(const Complex& c)
+{
+    return std::abs(c.real() - 1.0) <= kKernelEps &&
+           std::abs(c.imag()) <= kKernelEps;
+}
+
+bool
+nearEqual(const Complex& a, const Complex& b)
+{
+    return std::abs(a.real() - b.real()) <= kKernelEps &&
+           std::abs(a.imag() - b.imag()) <= kKernelEps;
+}
+
+/**
+ * True if local qubit j (0 = MSB of the local index) is a 1-control of the
+ * k-qubit matrix W: the bit-j=0 subspace is identity and fully decoupled
+ * from the bit-j=1 subspace.
+ */
+bool
+isControlQubit(const std::vector<Complex>& w, std::size_t k, std::size_t j)
+{
+    const std::size_t d = std::size_t{1} << k;
+    const std::size_t pos = k - 1 - j;
+    for (std::size_t r = 0; r < d; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            const bool rb = (r >> pos) & 1;
+            const bool cb = (c >> pos) & 1;
+            const Complex& e = w[r * d + c];
+            if (!rb && !cb) {
+                if (r == c ? !nearOne(e) : !nearZero(e))
+                    return false;
+            } else if (rb != cb) {
+                if (!nearZero(e))
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+/** The bit-j=1 quadrant of W: the residual operator behind a control. */
+std::vector<Complex>
+stripControl(const std::vector<Complex>& w, std::size_t k, std::size_t j)
+{
+    const std::size_t d = std::size_t{1} << k;
+    const std::size_t d2 = d / 2;
+    const std::size_t pos = k - 1 - j;
+    auto insertOne = [pos](std::size_t x) {
+        const std::size_t low = x & ((std::size_t{1} << pos) - 1);
+        return ((x >> pos) << (pos + 1)) | (std::size_t{1} << pos) | low;
+    };
+    std::vector<Complex> sub(d2 * d2);
+    for (std::size_t r = 0; r < d2; ++r)
+        for (std::size_t c = 0; c < d2; ++c)
+            sub[r * d2 + c] = w[insertOne(r) * d + insertOne(c)];
+    return sub;
+}
+
+/**
+ * Expands a free-space index to a base index with zeros at every occupied
+ * bit position and ones at the control bits. `occ` must be sorted ascending.
+ */
+inline std::uint64_t
+expandBase(std::uint64_t j, const std::uint32_t* occ, unsigned count,
+           std::uint64_t ctrlMask)
+{
+    std::uint64_t b = j;
+    for (unsigned i = 0; i < count; ++i) {
+        const std::uint64_t low = (std::uint64_t{1} << occ[i]) - 1;
+        b = ((b & ~low) << 1) | (b & low);
+    }
+    return b | ctrlMask;
+}
+
+/** idx[l] for the 2^t residual basis states of one group. */
+inline void
+gatherIndices(std::uint64_t base, const std::uint64_t* stride, unsigned t,
+              std::uint64_t* idx)
+{
+    const unsigned count = 1u << t;
+    for (unsigned l = 0; l < count; ++l) {
+        std::uint64_t v = base;
+        for (unsigned j = 0; j < t; ++j) {
+            if ((l >> (t - 1 - j)) & 1u)
+                v += stride[j];
+        }
+        idx[l] = v;
+    }
+}
+
+} // namespace
+
+const char*
+GateKernel::className() const
+{
+    switch (op) {
+      case Op::Identity:
+        return "identity";
+      case Op::GlobalPhase:
+        return "phase";
+      case Op::Diag:
+        return ctrlMask ? "ctrl-diag" : "diag";
+      case Op::Perm:
+        return ctrlMask ? "ctrl-perm" : "perm";
+      case Op::Generic:
+        return ctrlMask ? "ctrl-generic" : "generic";
+    }
+    return "?";
+}
+
+GateKernel
+compileKernel(const Matrix& m, const std::vector<std::uint32_t>& bits)
+{
+    if (bits.empty() || bits.size() > 3)
+        throw std::invalid_argument("compileKernel: arity must be 1..3");
+    const std::size_t a = bits.size();
+    const std::size_t dim = std::size_t{1} << a;
+    if (m.rows() != dim || m.cols() != dim)
+        throw std::invalid_argument("compileKernel: matrix/bit-count mismatch");
+
+    GateKernel k;
+    k.arity = static_cast<std::uint8_t>(a);
+    k.full = m;
+    for (std::size_t i = 0; i < a; ++i)
+        k.fullBits[i] = bits[i];
+
+    // Working copy of the matrix and the bit positions still attached to it.
+    std::vector<Complex> w(dim * dim);
+    for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t c = 0; c < dim; ++c)
+            w[r * dim + c] = m(r, c);
+    std::vector<std::uint32_t> left(bits);
+
+    // Greedy control stripping: each pass may expose further controls
+    // (CCX sheds both controls one at a time).
+    bool stripped = true;
+    while (stripped && !left.empty()) {
+        stripped = false;
+        for (std::size_t j = 0; j < left.size(); ++j) {
+            if (!isControlQubit(w, left.size(), j))
+                continue;
+            k.ctrlMask |= std::uint64_t{1} << left[j];
+            w = stripControl(w, left.size(), j);
+            left.erase(left.begin() + static_cast<std::ptrdiff_t>(j));
+            stripped = true;
+            break;
+        }
+    }
+
+    const std::size_t t = left.size();
+    const std::size_t td = std::size_t{1} << t;
+    k.targets = static_cast<std::uint8_t>(t);
+    for (std::size_t i = 0; i < t; ++i)
+        k.targetBits[i] = left[i];
+
+    // Occupied bit positions (controls + targets), ascending, for expansion.
+    std::vector<std::uint32_t> occ(left);
+    for (std::uint32_t b = 0; b < 64; ++b)
+        if (k.ctrlMask & (std::uint64_t{1} << b))
+            occ.push_back(b);
+    std::sort(occ.begin(), occ.end());
+    k.occupiedCount = static_cast<std::uint8_t>(occ.size());
+    for (std::size_t i = 0; i < occ.size(); ++i)
+        k.occupied[i] = occ[i];
+
+    // Classify the residual operator, cheapest class first.
+    bool isDiag = true;
+    for (std::size_t r = 0; r < td && isDiag; ++r)
+        for (std::size_t c = 0; c < td; ++c)
+            if (r != c && !nearZero(w[r * td + c])) {
+                isDiag = false;
+                break;
+            }
+    if (isDiag) {
+        bool allOne = true;
+        bool allEqual = true;
+        for (std::size_t l = 0; l < td; ++l) {
+            k.diag[l] = w[l * td + l];
+            allOne = allOne && nearOne(k.diag[l]);
+            allEqual = allEqual && nearEqual(k.diag[l], k.diag[0]);
+        }
+        if (allOne) {
+            k.op = GateKernel::Op::Identity;
+        } else if (allEqual && k.ctrlMask == 0) {
+            k.op = GateKernel::Op::GlobalPhase;
+            k.scalar = k.diag[0];
+        } else {
+            k.op = GateKernel::Op::Diag;
+        }
+        return k;
+    }
+
+    // Weighted permutation: exactly one non-zero per row and per column.
+    bool isPerm = t > 0;
+    std::array<bool, 8> colUsed{};
+    for (std::size_t r = 0; r < td && isPerm; ++r) {
+        std::size_t found = td;
+        for (std::size_t c = 0; c < td; ++c) {
+            if (nearZero(w[r * td + c]))
+                continue;
+            if (found != td) {
+                isPerm = false;
+                break;
+            }
+            found = c;
+        }
+        if (found == td || colUsed[found]) {
+            isPerm = false;
+            break;
+        }
+        colUsed[found] = true;
+        k.perm[r] = static_cast<std::uint8_t>(found);
+        k.permW[r] = w[r * td + found];
+    }
+    if (isPerm) {
+        k.op = GateKernel::Op::Perm;
+        return k;
+    }
+
+    k.op = GateKernel::Op::Generic;
+    k.reduced = Matrix(td, td);
+    for (std::size_t r = 0; r < td; ++r)
+        for (std::size_t c = 0; c < td; ++c)
+            k.reduced(r, c) = w[r * td + c];
+    return k;
+}
+
+void
+applyKernel(const GateKernel& k, Complex* amps, std::uint64_t dim,
+            const ExecPolicy& policy, const Complex& preScale)
+{
+    const bool scaled = preScale != Complex{1.0, 0.0};
+
+    if (!scaled && k.op == GateKernel::Op::Identity)
+        return;
+
+    // Scaling breaks the control structure (s*E is no longer identity on
+    // the non-control subspace), so re-classify the scaled full matrix —
+    // it lands in an uncontrolled specialized class (e.g. damping E0
+    // becomes a plain Diag) and stays a single pass.
+    if (scaled && (k.ctrlMask != 0 || k.op == GateKernel::Op::Identity)) {
+        std::vector<std::uint32_t> bits(k.fullBits.begin(),
+                                        k.fullBits.begin() + k.arity);
+        applyKernel(compileKernel(k.full * preScale, bits), amps, dim, policy);
+        return;
+    }
+
+    if (k.op == GateKernel::Op::GlobalPhase) {
+        const Complex s = k.scalar * preScale;
+        parallelFor(policy, dim, [&](std::uint64_t b, std::uint64_t e) {
+            for (std::uint64_t i = b; i < e; ++i)
+                amps[i] *= s;
+        });
+        return;
+    }
+
+    const unsigned t = k.targets;
+    const unsigned td = 1u << t;
+    const std::uint64_t nFree = dim >> k.occupiedCount;
+    std::uint64_t stride[3] = {0, 0, 0};
+    for (unsigned j = 0; j < t; ++j)
+        stride[j] = std::uint64_t{1} << k.targetBits[j];
+
+    switch (k.op) {
+      case GateKernel::Op::Diag: {
+        std::array<Complex, 8> d;
+        for (unsigned l = 0; l < td; ++l)
+            d[l] = k.diag[l] * preScale;
+        parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
+            for (std::uint64_t j = b; j < e; ++j) {
+                const std::uint64_t base =
+                    expandBase(j, k.occupied.data(), k.occupiedCount,
+                               k.ctrlMask);
+                std::uint64_t idx[8];
+                gatherIndices(base, stride, t, idx);
+                for (unsigned l = 0; l < td; ++l)
+                    amps[idx[l]] *= d[l];
+            }
+        });
+        return;
+      }
+      case GateKernel::Op::Perm: {
+        std::array<Complex, 8> pw;
+        for (unsigned l = 0; l < td; ++l)
+            pw[l] = k.permW[l] * preScale;
+        parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
+            for (std::uint64_t j = b; j < e; ++j) {
+                const std::uint64_t base =
+                    expandBase(j, k.occupied.data(), k.occupiedCount,
+                               k.ctrlMask);
+                std::uint64_t idx[8];
+                gatherIndices(base, stride, t, idx);
+                Complex in[8];
+                for (unsigned l = 0; l < td; ++l)
+                    in[l] = amps[idx[l]];
+                for (unsigned r = 0; r < td; ++r)
+                    amps[idx[r]] = pw[r] * in[k.perm[r]];
+            }
+        });
+        return;
+      }
+      case GateKernel::Op::Generic: {
+        std::array<Complex, 64> rm;
+        for (unsigned r = 0; r < td; ++r)
+            for (unsigned c = 0; c < td; ++c)
+                rm[r * td + c] = k.reduced(r, c) * preScale;
+        parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
+            for (std::uint64_t j = b; j < e; ++j) {
+                const std::uint64_t base =
+                    expandBase(j, k.occupied.data(), k.occupiedCount,
+                               k.ctrlMask);
+                std::uint64_t idx[8];
+                gatherIndices(base, stride, t, idx);
+                Complex in[8], out[8];
+                for (unsigned l = 0; l < td; ++l)
+                    in[l] = amps[idx[l]];
+                for (unsigned r = 0; r < td; ++r) {
+                    Complex acc{};
+                    for (unsigned c = 0; c < td; ++c)
+                        acc += rm[r * td + c] * in[c];
+                    out[r] = acc;
+                }
+                for (unsigned l = 0; l < td; ++l)
+                    amps[idx[l]] = out[l];
+            }
+        });
+        return;
+      }
+      case GateKernel::Op::Identity:
+      case GateKernel::Op::GlobalPhase:
+        return; // handled above
+    }
+}
+
+double
+normAfterKernel(const GateKernel& k, const Complex* amps, std::uint64_t dim,
+                const ExecPolicy& policy)
+{
+    const unsigned a = k.arity;
+    const unsigned ad = 1u << a;
+    const std::uint64_t nGroups = dim >> a;
+    std::uint64_t stride[3] = {0, 0, 0};
+    std::uint32_t occ[3] = {0, 0, 0};
+    for (unsigned j = 0; j < a; ++j) {
+        stride[j] = std::uint64_t{1} << k.fullBits[j];
+        occ[j] = k.fullBits[j];
+    }
+    std::sort(occ, occ + a);
+
+    return parallelSum(policy, nGroups,
+                       [&](std::uint64_t b, std::uint64_t e) {
+        double partial = 0.0;
+        for (std::uint64_t j = b; j < e; ++j) {
+            const std::uint64_t base = expandBase(j, occ, a, 0);
+            std::uint64_t idx[8];
+            gatherIndices(base, stride, a, idx);
+            Complex in[8];
+            for (unsigned l = 0; l < ad; ++l)
+                in[l] = amps[idx[l]];
+            for (unsigned r = 0; r < ad; ++r) {
+                Complex acc{};
+                for (unsigned c = 0; c < ad; ++c)
+                    acc += k.full(r, c) * in[c];
+                partial += norm2(acc);
+            }
+        }
+        return partial;
+    });
+}
+
+void
+applyKernelReference(const GateKernel& k, Complex* amps, std::uint64_t dim)
+{
+    const unsigned a = k.arity;
+    const unsigned ad = 1u << a;
+    const std::uint64_t nGroups = dim >> a;
+    std::uint64_t stride[3] = {0, 0, 0};
+    std::uint32_t occ[3] = {0, 0, 0};
+    for (unsigned j = 0; j < a; ++j) {
+        stride[j] = std::uint64_t{1} << k.fullBits[j];
+        occ[j] = k.fullBits[j];
+    }
+    std::sort(occ, occ + a);
+
+    for (std::uint64_t j = 0; j < nGroups; ++j) {
+        const std::uint64_t base = expandBase(j, occ, a, 0);
+        std::uint64_t idx[8];
+        gatherIndices(base, stride, a, idx);
+        Complex in[8], out[8];
+        for (unsigned l = 0; l < ad; ++l)
+            in[l] = amps[idx[l]];
+        for (unsigned r = 0; r < ad; ++r) {
+            Complex acc{};
+            for (unsigned c = 0; c < ad; ++c)
+                acc += k.full(r, c) * in[c];
+            out[r] = acc;
+        }
+        for (unsigned l = 0; l < ad; ++l)
+            amps[idx[l]] = out[l];
+    }
+}
+
+} // namespace qkc

@@ -28,23 +28,7 @@ void
 StateVector::applySingleQubit(const Matrix& m, std::size_t qubit)
 {
     assert(m.rows() == 2 && m.cols() == 2 && qubit < numQubits_);
-    const std::size_t bit = numQubits_ - 1 - qubit;
-    const std::uint64_t stride = std::uint64_t{1} << bit;
-    const std::uint64_t dim = amps_.size();
-    const Complex m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
-
-    // Iterate over all indices with the target bit clear; the partner index
-    // has it set. The two nested loops walk contiguous blocks for locality.
-    for (std::uint64_t block = 0; block < dim; block += stride * 2) {
-        for (std::uint64_t off = 0; off < stride; ++off) {
-            const std::uint64_t i0 = block | off;
-            const std::uint64_t i1 = i0 | stride;
-            const Complex a0 = amps_[i0];
-            const Complex a1 = amps_[i1];
-            amps_[i0] = m00 * a0 + m01 * a1;
-            amps_[i1] = m10 * a0 + m11 * a1;
-        }
-    }
+    apply(compileKernel(m, {bitOf(qubit)}));
 }
 
 void
@@ -52,27 +36,7 @@ StateVector::applyTwoQubit(const Matrix& m, std::size_t q0, std::size_t q1)
 {
     assert(m.rows() == 4 && m.cols() == 4);
     assert(q0 < numQubits_ && q1 < numQubits_ && q0 != q1);
-    const std::uint64_t s0 = std::uint64_t{1} << (numQubits_ - 1 - q0);
-    const std::uint64_t s1 = std::uint64_t{1} << (numQubits_ - 1 - q1);
-    const std::uint64_t mask = s0 | s1;
-    const std::uint64_t dim = amps_.size();
-
-    Complex in[4], out[4];
-    for (std::uint64_t base = 0; base < dim; ++base) {
-        if (base & mask)
-            continue;
-        const std::uint64_t idx[4] = {base, base | s1, base | s0,
-                                      base | s0 | s1};
-        for (int k = 0; k < 4; ++k)
-            in[k] = amps_[idx[k]];
-        for (int r = 0; r < 4; ++r) {
-            out[r] = Complex{};
-            for (int c = 0; c < 4; ++c)
-                out[r] += m(r, c) * in[c];
-        }
-        for (int k = 0; k < 4; ++k)
-            amps_[idx[k]] = out[k];
-    }
+    apply(compileKernel(m, {bitOf(q0), bitOf(q1)}));
 }
 
 void
@@ -81,40 +45,31 @@ StateVector::applyThreeQubit(const Matrix& m, std::size_t q0, std::size_t q1,
 {
     assert(m.rows() == 8 && m.cols() == 8);
     assert(q0 != q1 && q1 != q2 && q0 != q2);
-    const std::uint64_t s0 = std::uint64_t{1} << (numQubits_ - 1 - q0);
-    const std::uint64_t s1 = std::uint64_t{1} << (numQubits_ - 1 - q1);
-    const std::uint64_t s2 = std::uint64_t{1} << (numQubits_ - 1 - q2);
-    const std::uint64_t mask = s0 | s1 | s2;
-    const std::uint64_t dim = amps_.size();
+    apply(compileKernel(m, {bitOf(q0), bitOf(q1), bitOf(q2)}));
+}
 
-    Complex in[8], out[8];
-    for (std::uint64_t base = 0; base < dim; ++base) {
-        if (base & mask)
-            continue;
-        std::uint64_t idx[8];
-        for (int k = 0; k < 8; ++k) {
-            idx[k] = base | ((k & 4) ? s0 : 0) | ((k & 2) ? s1 : 0) |
-                     ((k & 1) ? s2 : 0);
-        }
-        for (int k = 0; k < 8; ++k)
-            in[k] = amps_[idx[k]];
-        for (int r = 0; r < 8; ++r) {
-            out[r] = Complex{};
-            for (int c = 0; c < 8; ++c)
-                out[r] += m(r, c) * in[c];
-        }
-        for (int k = 0; k < 8; ++k)
-            amps_[idx[k]] = out[k];
-    }
+void
+StateVector::apply(const GateKernel& kernel, const Complex& preScale)
+{
+    applyKernel(kernel, amps_.data(), amps_.size(), policy_, preScale);
+}
+
+double
+StateVector::normAfter(const GateKernel& kernel) const
+{
+    return normAfterKernel(kernel, amps_.data(), amps_.size(), policy_);
 }
 
 double
 StateVector::norm() const
 {
-    double n = 0.0;
-    for (const Complex& a : amps_)
-        n += norm2(a);
-    return n;
+    return parallelSum(policy_, amps_.size(),
+                       [this](std::uint64_t b, std::uint64_t e) {
+        double partial = 0.0;
+        for (std::uint64_t i = b; i < e; ++i)
+            partial += norm2(amps_[i]);
+        return partial;
+    });
 }
 
 void
@@ -122,17 +77,23 @@ StateVector::normalize()
 {
     double n = norm();
     assert(n > 0.0);
-    double inv = 1.0 / std::sqrt(n);
-    for (Complex& a : amps_)
-        a *= inv;
+    const double inv = 1.0 / std::sqrt(n);
+    parallelFor(policy_, amps_.size(),
+                [this, inv](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i)
+            amps_[i] *= inv;
+    });
 }
 
 std::vector<double>
 StateVector::probabilities() const
 {
     std::vector<double> probs(amps_.size());
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        probs[i] = norm2(amps_[i]);
+    parallelFor(policy_, amps_.size(),
+                [this, &probs](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i)
+            probs[i] = norm2(amps_[i]);
+    });
     return probs;
 }
 

@@ -7,37 +7,47 @@
 
 namespace qkc {
 
-void
-StateVectorSimulator::applyGate(StateVector& sv, const Gate& gate)
-{
-    const auto& q = gate.qubits();
-    switch (gate.arity()) {
-      case 1:
-        sv.applySingleQubit(gate.unitary(), q[0]);
-        break;
-      case 2:
-        sv.applyTwoQubit(gate.unitary(), q[0], q[1]);
-        break;
-      case 3:
-        sv.applyThreeQubit(gate.unitary(), q[0], q[1], q[2]);
-        break;
-      default:
-        throw std::logic_error("StateVectorSimulator: unsupported arity");
-    }
-}
-
 StateVector
 StateVectorSimulator::simulate(const Circuit& circuit) const
 {
+    if (circuit.noiseCount() > 0) {
+        throw std::invalid_argument(
+            "StateVectorSimulator::simulate: circuit has noise; use "
+            "simulateTrajectory");
+    }
+    const ExecutionPlan plan = planCircuit(circuit, policy_);
     StateVector sv(circuit.numQubits());
-    for (const auto& op : circuit.operations()) {
-        const Gate* g = std::get_if<Gate>(&op);
-        if (!g) {
-            throw std::invalid_argument(
-                "StateVectorSimulator::simulate: circuit has noise; use "
-                "simulateTrajectory");
+    sv.setExecPolicy(policy_);
+    for (const auto& op : plan.ops)
+        sv.apply(op.gate);
+    return sv;
+}
+
+StateVector
+StateVectorSimulator::runTrajectory(const ExecutionPlan& plan, Rng& rng,
+                                    const ExecPolicy& statePolicy) const
+{
+    StateVector sv(plan.numQubits);
+    sv.setExecPolicy(statePolicy);
+    std::vector<double> weights;
+    for (const auto& op : plan.ops) {
+        if (!op.isChannel) {
+            sv.apply(op.gate);
+            continue;
         }
-        applyGate(sv, *g);
+        // Born-rule Kraus selection: p_k = ||E_k psi||^2, computed by a
+        // read-only norm kernel (no state copies). The 1/sqrt(w) that used
+        // to be a separate normalize() pass is folded into the selected
+        // operator's application.
+        weights.resize(op.kraus.size());
+        for (std::size_t k = 0; k < op.kraus.size(); ++k)
+            weights[k] = sv.normAfter(op.kraus[k]);
+        const std::size_t pick = rng.categorical(weights);
+        if (weights[pick] > 0.0)
+            sv.apply(op.kraus[pick],
+                     Complex{1.0 / std::sqrt(weights[pick]), 0.0});
+        else
+            sv.apply(op.kraus[pick]);
     }
     return sv;
 }
@@ -45,36 +55,8 @@ StateVectorSimulator::simulate(const Circuit& circuit) const
 StateVector
 StateVectorSimulator::simulateTrajectory(const Circuit& circuit, Rng& rng) const
 {
-    StateVector sv(circuit.numQubits());
-    for (const auto& op : circuit.operations()) {
-        if (const Gate* g = std::get_if<Gate>(&op)) {
-            applyGate(sv, *g);
-            continue;
-        }
-        const auto& ch = std::get<NoiseChannel>(op);
-        const auto& kraus = ch.krausOperators();
-
-        // Born-rule Kraus selection: p_k = ||E_k psi||^2. Computed by
-        // applying each candidate to a copy; the copies dominate only at
-        // very small qubit counts.
-        std::vector<double> weights(kraus.size());
-        std::vector<StateVector> results;
-        results.reserve(kraus.size());
-        for (std::size_t k = 0; k < kraus.size(); ++k) {
-            StateVector copy = sv;
-            if (ch.arity() == 1)
-                copy.applySingleQubit(kraus[k], ch.qubit());
-            else
-                copy.applyTwoQubit(kraus[k], ch.qubits()[0], ch.qubits()[1]);
-            weights[k] = copy.norm();
-            results.push_back(std::move(copy));
-        }
-        std::size_t pick = rng.categorical(weights);
-        sv = std::move(results[pick]);
-        if (weights[pick] > 0.0)
-            sv.normalize();
-    }
-    return sv;
+    const ExecutionPlan plan = planCircuit(circuit, policy_);
+    return runTrajectory(plan, rng, policy_);
 }
 
 std::vector<std::uint64_t>
@@ -89,13 +71,38 @@ std::vector<std::uint64_t>
 StateVectorSimulator::sampleNoisy(const Circuit& circuit,
                                   std::size_t numSamples, Rng& rng) const
 {
-    std::vector<std::uint64_t> samples;
-    samples.reserve(numSamples);
-    for (std::size_t i = 0; i < numSamples; ++i) {
-        StateVector sv = simulateTrajectory(circuit, rng);
-        auto one = sampleFromDistribution(sv.probabilities(), 1, rng);
-        samples.push_back(one[0]);
-    }
+    if (numSamples == 0)
+        return {};
+    const ExecutionPlan plan = planCircuit(circuit, policy_);
+
+    // Independent per-trajectory RNG streams, seeded from the caller's
+    // generator *before* any parallel work: the seed sequence — and with it
+    // every trajectory and sample — is identical for every thread count.
+    std::vector<std::uint64_t> seeds(numSamples);
+    for (auto& s : seeds)
+        s = rng.next();
+
+    // Parallelism lives at the trajectory level: each trajectory runs its
+    // amplitude sweeps serially (statePolicy.threads = 1) and results land
+    // at their trajectory index, i.e. merged in trajectory order.
+    ExecPolicy statePolicy = policy_;
+    if (numSamples > 1)
+        statePolicy.threads = 1;
+    ExecPolicy trajPolicy = policy_;
+    trajPolicy.serialThreshold = 1;
+    trajPolicy.grain = 1;
+
+    std::vector<std::uint64_t> samples(numSamples);
+    parallelFor(trajPolicy, numSamples,
+                [&](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i) {
+            Rng trajectoryRng(seeds[i]);
+            StateVector sv = runTrajectory(plan, trajectoryRng, statePolicy);
+            auto one = sampleFromDistribution(sv.probabilities(), 1,
+                                              trajectoryRng);
+            samples[i] = one[0];
+        }
+    });
     return samples;
 }
 
@@ -103,9 +110,10 @@ std::vector<double>
 StateVectorSimulator::noisyDistributionExhaustive(const Circuit& circuit) const
 {
     // Collect channel positions so we can enumerate Kraus-choice vectors.
+    const ExecutionPlan plan = planCircuit(circuit, policy_);
     std::vector<std::size_t> channelOps;
-    for (std::size_t i = 0; i < circuit.operations().size(); ++i) {
-        if (std::holds_alternative<NoiseChannel>(circuit.operations()[i]))
+    for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+        if (plan.ops[i].isChannel)
             channelOps.push_back(i);
     }
     if (channelOps.size() > 20) {
@@ -121,17 +129,13 @@ StateVectorSimulator::noisyDistributionExhaustive(const Circuit& circuit) const
     // carry the branch probability, so plain accumulation is exact.
     for (;;) {
         StateVector sv(circuit.numQubits());
+        sv.setExecPolicy(policy_);
         std::size_t chIdx = 0;
-        for (const auto& op : circuit.operations()) {
-            if (const Gate* g = std::get_if<Gate>(&op)) {
-                applyGate(sv, *g);
+        for (const auto& op : plan.ops) {
+            if (!op.isChannel) {
+                sv.apply(op.gate);
             } else {
-                const auto& ch = std::get<NoiseChannel>(op);
-                const Matrix& e = ch.krausOperators()[choice[chIdx]];
-                if (ch.arity() == 1)
-                    sv.applySingleQubit(e, ch.qubit());
-                else
-                    sv.applyTwoQubit(e, ch.qubits()[0], ch.qubits()[1]);
+                sv.apply(op.kraus[choice[chIdx]]);
                 ++chIdx;
             }
         }
@@ -142,9 +146,7 @@ StateVectorSimulator::noisyDistributionExhaustive(const Circuit& circuit) const
         // Advance the odometer.
         std::size_t pos = 0;
         for (; pos < choice.size(); ++pos) {
-            const auto& ch =
-                std::get<NoiseChannel>(circuit.operations()[channelOps[pos]]);
-            if (++choice[pos] < ch.krausOperators().size())
+            if (++choice[pos] < plan.ops[channelOps[pos]].kraus.size())
                 break;
             choice[pos] = 0;
         }

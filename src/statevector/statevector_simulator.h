@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "exec/execution_plan.h"
+#include "exec/thread_pool.h"
 #include "statevector/state_vector.h"
 #include "util/rng.h"
 
@@ -14,23 +16,36 @@ namespace qkc {
  * State vector quantum circuit simulator — our stand-in for Google's qsim
  * baseline (paper Section 4.1).
  *
+ * Circuits are lowered once to an execution plan (greedy gate fusion +
+ * per-gate kernel classification); the amplitude sweeps then run on the
+ * shared thread pool per the simulator's ExecPolicy.
+ *
  * Ideal circuits run exactly: the full 2^n wavefunction is produced and
  * measurement outcomes are drawn by direct ("ideal") sampling from |psi|^2.
  *
  * Noisy circuits use Monte-Carlo trajectories: each trajectory picks one
- * Kraus operator per channel with the Born probability and renormalizes,
- * which is exact in distribution for mixtures *and* general channels, at the
- * cost of one full wavefunction pass per sample.
+ * Kraus operator per channel with the Born probability — computed by a
+ * read-only norm kernel, no state copies — and folds the 1/sqrt(w)
+ * renormalization into the selected operator's application. Trajectories
+ * are independent, so sampleNoisy runs them in parallel on per-trajectory
+ * RNG streams seeded from the caller's generator; results are merged in
+ * trajectory order, making the output independent of the thread count.
  */
 class StateVectorSimulator {
   public:
+    StateVectorSimulator() = default;
+    explicit StateVectorSimulator(const ExecPolicy& policy) : policy_(policy) {}
+
+    const ExecPolicy& execPolicy() const { return policy_; }
+    void setExecPolicy(const ExecPolicy& policy) { policy_ = policy; }
+
     /** Runs the ideal part of `circuit`; throws if it contains noise. */
     StateVector simulate(const Circuit& circuit) const;
 
     /**
      * Runs one noisy trajectory: gates apply exactly; every channel chooses
      * a Kraus operator k with probability ||E_k psi||^2, applies it, and
-     * renormalizes.
+     * renormalizes (the scale folded into the application pass).
      */
     StateVector simulateTrajectory(const Circuit& circuit, Rng& rng) const;
 
@@ -41,6 +56,8 @@ class StateVectorSimulator {
     /**
      * Draws one outcome per trajectory for noisy circuits (the qsim-style
      * noisy sampling cost model: every sample pays a full re-simulation).
+     * Trajectories run in parallel when the policy allows; the sample
+     * vector is identical for every thread count.
      */
     std::vector<std::uint64_t> sampleNoisy(const Circuit& circuit,
                                            std::size_t numSamples,
@@ -58,7 +75,11 @@ class StateVectorSimulator {
         const std::vector<double>& probs, std::size_t numSamples, Rng& rng);
 
   private:
-    static void applyGate(StateVector& sv, const Gate& gate);
+    /** One trajectory over a pre-built plan (state policy already set). */
+    StateVector runTrajectory(const ExecutionPlan& plan, Rng& rng,
+                              const ExecPolicy& statePolicy) const;
+
+    ExecPolicy policy_;
 };
 
 } // namespace qkc

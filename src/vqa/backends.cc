@@ -1,5 +1,7 @@
 #include "vqa/backends.h"
 
+#include <cstdlib>
+#include <map>
 #include <stdexcept>
 
 #include "dd/dd_simulator.h"
@@ -13,7 +15,7 @@ std::vector<std::uint64_t>
 StateVectorBackend::sample(const Circuit& circuit, std::size_t numSamples,
                            Rng& rng)
 {
-    StateVectorSimulator sim;
+    StateVectorSimulator sim(policy_);
     if (circuit.noiseCount() == 0)
         return sim.sample(circuit, numSamples, rng);
     return sim.sampleNoisy(circuit, numSamples, rng);
@@ -23,7 +25,7 @@ std::vector<std::uint64_t>
 DensityMatrixBackend::sample(const Circuit& circuit, std::size_t numSamples,
                              Rng& rng)
 {
-    DensityMatrixSimulator sim;
+    DensityMatrixSimulator sim(policy_);
     return sim.sample(circuit, numSamples, rng);
 }
 
@@ -80,19 +82,140 @@ backendNames()
     return names;
 }
 
-std::unique_ptr<SamplerBackend>
-makeBackend(const std::string& name)
+namespace {
+
+using OptionMap = std::map<std::string, std::string>;
+
+/** Splits "name:k1=v1,k2=v2" into the base name and its option map. */
+OptionMap
+parseOptions(const std::string& spec, std::string& name)
 {
-    if (name == "statevector" || name == "sv")
-        return std::make_unique<StateVectorBackend>();
-    if (name == "densitymatrix" || name == "dm")
-        return std::make_unique<DensityMatrixBackend>();
-    if (name == "tensornetwork" || name == "tn")
+    OptionMap options;
+    const auto colon = spec.find(':');
+    name = spec.substr(0, colon);
+    if (colon == std::string::npos)
+        return options;
+
+    std::string rest = spec.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos <= rest.size()) {
+        const auto comma = rest.find(',', pos);
+        const std::string item =
+            rest.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        const auto eq = item.find('=');
+        if (item.empty() || eq == std::string::npos || eq == 0) {
+            throw std::invalid_argument(
+                "makeBackend: malformed option \"" + item + "\" in \"" +
+                spec + "\" (expected key=value, comma-separated)");
+        }
+        options[item.substr(0, eq)] = item.substr(eq + 1);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return options;
+}
+
+long
+parseIntOption(const std::string& key, const std::string& value)
+{
+    char* end = nullptr;
+    const long v = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+        throw std::invalid_argument("makeBackend: option " + key +
+                                    " needs an integer, got \"" + value +
+                                    "\"");
+    }
+    return v;
+}
+
+/** Throws if `options` still holds keys this backend does not understand. */
+void
+rejectUnknown(const std::string& backend, const OptionMap& options,
+              const std::string& known)
+{
+    if (options.empty())
+        return;
+    throw std::invalid_argument(
+        "makeBackend: unknown option \"" + options.begin()->first +
+        "\" for backend " + backend +
+        (known.empty() ? " (it accepts no options)"
+                       : " (valid: " + known + ")"));
+}
+
+/** Consumes threads/fuse into an ExecPolicy; leftovers stay in `options`. */
+ExecPolicy
+takeExecOptions(OptionMap& options)
+{
+    ExecPolicy policy;
+    if (auto it = options.find("threads"); it != options.end()) {
+        const long v = parseIntOption("threads", it->second);
+        if (v < 0)
+            throw std::invalid_argument(
+                "makeBackend: option threads must be >= 0");
+        policy.threads = static_cast<std::size_t>(v);
+        options.erase(it);
+    }
+    if (auto it = options.find("fuse"); it != options.end()) {
+        const long v = parseIntOption("fuse", it->second);
+        if (v != 0 && v != 1)
+            throw std::invalid_argument(
+                "makeBackend: option fuse must be 0 or 1");
+        policy.fuseGates = v == 1;
+        options.erase(it);
+    }
+    return policy;
+}
+
+} // namespace
+
+std::unique_ptr<SamplerBackend>
+makeBackend(const std::string& spec)
+{
+    std::string name;
+    OptionMap options = parseOptions(spec, name);
+
+    if (name == "statevector" || name == "sv") {
+        ExecPolicy policy = takeExecOptions(options);
+        rejectUnknown("statevector", options, "threads, fuse");
+        return std::make_unique<StateVectorBackend>(policy);
+    }
+    if (name == "densitymatrix" || name == "dm") {
+        ExecPolicy policy = takeExecOptions(options);
+        rejectUnknown("densitymatrix", options, "threads, fuse");
+        return std::make_unique<DensityMatrixBackend>(policy);
+    }
+    if (name == "tensornetwork" || name == "tn") {
+        rejectUnknown("tensornetwork", options, "");
         return std::make_unique<TensorNetworkBackend>();
-    if (name == "decisiondiagram" || name == "dd")
+    }
+    if (name == "decisiondiagram" || name == "dd") {
+        rejectUnknown("decisiondiagram", options, "");
         return std::make_unique<DecisionDiagramBackend>();
-    if (name == "knowledgecompilation" || name == "kc")
-        return std::make_unique<KnowledgeCompilationBackend>();
+    }
+    if (name == "knowledgecompilation" || name == "kc") {
+        GibbsOptions gibbs;
+        if (auto it = options.find("burnin"); it != options.end()) {
+            const long v = parseIntOption("burnin", it->second);
+            if (v < 0)
+                throw std::invalid_argument(
+                    "makeBackend: option burnin must be >= 0");
+            gibbs.burnIn = static_cast<std::size_t>(v);
+            options.erase(it);
+        }
+        if (auto it = options.find("thin"); it != options.end()) {
+            const long v = parseIntOption("thin", it->second);
+            if (v < 1)
+                throw std::invalid_argument(
+                    "makeBackend: option thin must be >= 1");
+            gibbs.thin = static_cast<std::size_t>(v);
+            options.erase(it);
+        }
+        rejectUnknown("knowledgecompilation", options, "burnin, thin");
+        return std::make_unique<KnowledgeCompilationBackend>(CompileOptions{},
+                                                             gibbs);
+    }
 
     std::string known;
     for (const std::string& n : backendNames())

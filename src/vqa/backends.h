@@ -8,6 +8,7 @@
 
 #include "ac/kc_simulator.h"
 #include "circuit/circuit.h"
+#include "exec/thread_pool.h"
 #include "util/rng.h"
 
 namespace qkc {
@@ -32,17 +33,29 @@ class SamplerBackend {
 /** qsim-style state-vector backend (trajectories when noise is present). */
 class StateVectorBackend : public SamplerBackend {
   public:
+    StateVectorBackend() = default;
+    explicit StateVectorBackend(const ExecPolicy& policy) : policy_(policy) {}
+
     std::vector<std::uint64_t> sample(const Circuit& circuit,
                                       std::size_t numSamples, Rng& rng) override;
     std::string name() const override { return "statevector"; }
+
+  private:
+    ExecPolicy policy_;
 };
 
 /** Cirq-style density-matrix backend (handles all channels exactly). */
 class DensityMatrixBackend : public SamplerBackend {
   public:
+    DensityMatrixBackend() = default;
+    explicit DensityMatrixBackend(const ExecPolicy& policy) : policy_(policy) {}
+
     std::vector<std::uint64_t> sample(const Circuit& circuit,
                                       std::size_t numSamples, Rng& rng) override;
     std::string name() const override { return "densitymatrix"; }
+
+  private:
+    ExecPolicy policy_;
 };
 
 /** qTorch-style tensor-network backend (ideal circuits only). */
@@ -103,9 +116,18 @@ class KnowledgeCompilationBackend : public SamplerBackend {
  *   "statevector" ("sv"), "densitymatrix" ("dm"), "tensornetwork" ("tn"),
  *   "decisiondiagram" ("dd"), "knowledgecompilation" ("kc").
  *
- * Throws std::invalid_argument for unknown names, listing the valid ones.
+ * A spec may carry backend options after a colon, comma-separated:
+ *
+ *   "sv:threads=8,fuse=1"   state vector, 8 threads, gate fusion on
+ *   "dm:threads=4,fuse=0"   density matrix, 4 threads, fusion off
+ *   "kc:burnin=64,thin=2"   knowledge compilation Gibbs knobs
+ *
+ * Per-backend keys: sv/dm accept `threads` (>=1; 0 = machine default) and
+ * `fuse` (0/1); kc accepts `burnin` and `thin`; tn and dd accept none.
+ * Unknown backends *and* unknown or malformed options throw
+ * std::invalid_argument listing what is valid.
  */
-std::unique_ptr<SamplerBackend> makeBackend(const std::string& name);
+std::unique_ptr<SamplerBackend> makeBackend(const std::string& spec);
 
 /** The canonical registry names, in presentation order. */
 const std::vector<std::string>& backendNames();

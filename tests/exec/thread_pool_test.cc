@@ -1,0 +1,144 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace qkc {
+namespace {
+
+ExecPolicy
+forcedParallel(std::size_t threads, std::uint64_t grain = 64)
+{
+    ExecPolicy p;
+    p.threads = threads;
+    p.serialThreshold = 1; // exercise the pool even for tiny ranges
+    p.grain = grain;
+    return p;
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    const std::uint64_t n = 10'000;
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+        std::vector<std::atomic<int>> hits(n);
+        for (auto& h : hits)
+            h.store(0);
+        parallelFor(forcedParallel(threads), n,
+                    [&](std::uint64_t b, std::uint64_t e) {
+            for (std::uint64_t i = b; i < e; ++i)
+                hits[i].fetch_add(1);
+        });
+        for (std::uint64_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i << " with "
+                                         << threads << " threads";
+    }
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount)
+{
+    const std::uint64_t n = 1234;
+    auto boundaries = [&](std::size_t threads) {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> out(
+            (n + 63) / 64);
+        parallelForChunks(forcedParallel(threads, 64), n,
+                          [&](std::size_t chunk, std::uint64_t b,
+                              std::uint64_t e) { out[chunk] = {b, e}; });
+        return out;
+    };
+    const auto serial = boundaries(1);
+    const auto parallel = boundaries(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t c = 0; c < serial.size(); ++c) {
+        EXPECT_EQ(serial[c], parallel[c]) << "chunk " << c;
+        EXPECT_EQ(serial[c].first, c * 64);
+    }
+}
+
+TEST(ThreadPoolTest, ParallelSumBitIdenticalAcrossThreadCounts)
+{
+    const std::uint64_t n = 100'000;
+    std::vector<double> values(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        values[i] = 1.0 / static_cast<double>(i + 1);
+
+    auto sum = [&](std::size_t threads) {
+        return parallelSum(forcedParallel(threads, 1024), n,
+                           [&](std::uint64_t b, std::uint64_t e) {
+            double s = 0.0;
+            for (std::uint64_t i = b; i < e; ++i)
+                s += values[i];
+            return s;
+        });
+    };
+    const double s1 = sum(1);
+    for (std::size_t threads : {2u, 3u, 8u})
+        EXPECT_EQ(s1, sum(threads)); // bitwise, not approximate
+}
+
+TEST(ThreadPoolTest, SerialThresholdKeepsSmallRangesInline)
+{
+    ExecPolicy p;
+    p.threads = 8;
+    p.serialThreshold = 1000;
+    std::atomic<int> count{0};
+    parallelFor(p, 100, [&](std::uint64_t b, std::uint64_t e) {
+        count.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, NestedRunDoesNotDeadlock)
+{
+    const ExecPolicy outer = forcedParallel(4, 1);
+    std::atomic<int> total{0};
+    parallelFor(outer, 8, [&](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i) {
+            parallelFor(forcedParallel(4, 16), 256,
+                        [&](std::uint64_t ib, std::uint64_t ie) {
+                total.fetch_add(static_cast<int>(ie - ib));
+            });
+        }
+    });
+    EXPECT_EQ(total.load(), 8 * 256);
+}
+
+TEST(ThreadPoolTest, ManySmallJobsReusePool)
+{
+    for (int round = 0; round < 200; ++round) {
+        std::atomic<int> count{0};
+        parallelFor(forcedParallel(4, 8), 64,
+                    [&](std::uint64_t b, std::uint64_t e) {
+            count.fetch_add(static_cast<int>(e - b));
+        });
+        ASSERT_EQ(count.load(), 64);
+    }
+}
+
+TEST(ThreadPoolTest, ZeroAndEmptyRangesAreNoOps)
+{
+    bool called = false;
+    parallelFor(forcedParallel(4), 0,
+                [&](std::uint64_t, std::uint64_t) { called = true; });
+    EXPECT_FALSE(called);
+    EXPECT_EQ(parallelSum(forcedParallel(4), 0,
+                          [](std::uint64_t, std::uint64_t) { return 1.0; }),
+              0.0);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsRespectsOverride)
+{
+    const std::size_t saved = defaultThreads();
+    setDefaultThreads(3);
+    EXPECT_EQ(defaultThreads(), 3u);
+    ExecPolicy p;
+    EXPECT_EQ(p.resolvedThreads(), 3u);
+    p.threads = 5;
+    EXPECT_EQ(p.resolvedThreads(), 5u);
+    setDefaultThreads(saved);
+}
+
+} // namespace
+} // namespace qkc
