@@ -18,10 +18,8 @@
 #include <stdexcept>
 #include <string>
 
-#include "ac/kc_simulator.h"
 #include "exec/thread_pool.h"
 #include "bench_common.h"
-#include "tensornet/tensornet_simulator.h"
 #include "util/cli.h"
 #include "util/timer.h"
 #include "vqa/backends.h"
@@ -36,56 +34,55 @@ struct Row {
     std::size_t qubits;
 };
 
+/**
+ * One backend row through the session API: open() is the setup column
+ * (plan / contraction planning / KC compile), the Sample task's metadata
+ * is the sampling column — the same split the paper reports for KC,
+ * now uniform across families.
+ */
+void
+runBackendRow(const std::string& spec, const std::string& label,
+              const Row& row, const Circuit& circuit, std::size_t samples,
+              std::uint64_t seed)
+{
+    auto backend = makeBackend(spec);
+    Rng rng(seed);
+    Timer setup;
+    auto session = backend->open(circuit);
+    const double setupSeconds = setup.seconds();
+    const Result r = session->run(Sample{samples}, rng);
+    std::printf("%-6s %2zu %4zu %-20s %10.4f %10.4f\n", row.workload,
+                row.iterations, row.qubits, label.c_str(), r.meta.seconds,
+                setupSeconds);
+    std::fflush(stdout);
+}
+
 void
 runRow(const Row& row, const Circuit& circuit, std::size_t samples,
        std::size_t svMax, std::size_t tnMax, std::size_t ddMax,
        std::size_t kcP2Max, std::size_t threads)
 {
-    auto print = [&](const std::string& backend, double seconds,
-                     double extra) {
-        std::printf("%-6s %2zu %4zu %-20s %10.4f %10.4f\n", row.workload,
-                    row.iterations, row.qubits, backend.c_str(), seconds,
-                    extra);
-        std::fflush(stdout);
-    };
-
     if (row.qubits <= svMax) {
         // Three state-vector rows: the seed configuration (serial,
         // unfused), fusion alone, and fusion + the shared thread pool —
         // the specialized kernels are active in all three.
-        {
-            auto sv = makeBackend("statevector:threads=1,fuse=0");
-            Rng rng(1);
-            Timer t;
-            sv->sample(circuit, samples, rng);
-            print("statevector", t.seconds(), 0.0);
-        }
-        {
-            auto sv = makeBackend("statevector:threads=1,fuse=1");
-            Rng rng(1);
-            Timer t;
-            sv->sample(circuit, samples, rng);
-            print("sv+fused", t.seconds(), 0.0);
-        }
+        runBackendRow("statevector:threads=1,fuse=0", "statevector", row,
+                      circuit, samples, 1);
+        runBackendRow("statevector:threads=1,fuse=1", "sv+fused", row,
+                      circuit, samples, 1);
         if (threads > 1) {
-            auto sv = makeBackend("statevector:threads=" +
-                                  std::to_string(threads) + ",fuse=1");
-            Rng rng(1);
-            Timer t;
-            sv->sample(circuit, samples, rng);
-            print("sv+fused+t" + std::to_string(threads), t.seconds(), 0.0);
+            runBackendRow("statevector:threads=" + std::to_string(threads) +
+                              ",fuse=1",
+                          "sv+fused+t" + std::to_string(threads), row,
+                          circuit, samples, 1);
         }
     }
 
     // Diagram size tracks state structure: QAOA on expander graphs loses
     // its compactness as depth grows, so the DD row gets its own cap.
-    if (row.qubits <= ddMax) {
-        auto dd = makeBackend("decisiondiagram");
-        Rng rng(4);
-        Timer t;
-        dd->sample(circuit, samples, rng);
-        print("decisiondiagram", t.seconds(), 0.0);
-    }
+    if (row.qubits <= ddMax)
+        runBackendRow("decisiondiagram", "decisiondiagram", row, circuit,
+                      samples, 4);
 
     // The doubled-network contraction blows past the rank limit (or takes
     // hours) on expander-graph QAOA beyond ~12 qubits; deeper circuits make
@@ -93,30 +90,17 @@ runRow(const Row& row, const Circuit& circuit, std::size_t samples,
     std::size_t tnCap = row.iterations == 1 ? tnMax : std::min<std::size_t>(tnMax, 8);
     if (row.qubits <= tnCap) {
         try {
-            Timer plan;
-            TnSampler sampler(circuit);
-            double planSeconds = plan.seconds();
-            Rng rng(2);
-            Timer t;
-            sampler.sample(samples, rng);
-            print("tensornetwork", t.seconds(), planSeconds);
+            runBackendRow("tensornetwork", "tensornetwork", row, circuit,
+                          samples, 2);
         } catch (const std::exception& e) {
             std::printf("# tensornetwork skipped at %zu qubits: %s\n",
                         row.qubits, e.what());
         }
     }
 
-    if (row.iterations == 1 || row.qubits <= kcP2Max) {
-        Timer compile;
-        KcSimulator kc(circuit);
-        double compileSeconds = compile.seconds();
-        Rng rng(3);
-        Timer t;
-        GibbsOptions options;
-        options.burnIn = 64;
-        kc.sample(samples, rng, options);
-        print("knowledgecompilation", t.seconds(), compileSeconds);
-    }
+    if (row.iterations == 1 || row.qubits <= kcP2Max)
+        runBackendRow("knowledgecompilation:burnin=64",
+                      "knowledgecompilation", row, circuit, samples, 3);
 }
 
 } // namespace

@@ -13,8 +13,8 @@
  */
 #include <cstdio>
 
-#include "ac/kc_simulator.h"
 #include "bench_common.h"
+#include "exec/thread_pool.h"
 #include "util/cli.h"
 #include "util/timer.h"
 #include "vqa/backends.h"
@@ -23,75 +23,56 @@ using namespace qkc;
 
 namespace {
 
+/** One backend row via the session API (setup column = open time). */
+void
+runBackendRow(const std::string& spec, const std::string& label,
+              const char* workload, std::size_t p, std::size_t qubits,
+              const Circuit& noisy, std::size_t samples, std::uint64_t seed)
+{
+    auto backend = makeBackend(spec);
+    Rng rng(seed);
+    Timer setup;
+    auto session = backend->open(noisy);
+    const double setupSeconds = setup.seconds();
+    const Result r = session->run(Sample{samples}, rng);
+    std::printf("%-6s %2zu %4zu %-20s %10.4f %10.4f\n", workload, p, qubits,
+                label.c_str(), r.meta.seconds, setupSeconds);
+    std::fflush(stdout);
+}
+
 void
 runRow(const char* workload, std::size_t p, std::size_t qubits,
        const Circuit& noisy, std::size_t samples, std::size_t dmMax,
        std::size_t ddMax, std::size_t svMax, std::size_t threads)
 {
-    auto print = [&](const std::string& backend, double seconds,
-                     double extra) {
-        std::printf("%-6s %2zu %4zu %-20s %10.4f %10.4f\n", workload, p,
-                    qubits, backend.c_str(), seconds, extra);
-        std::fflush(stdout);
-    };
-
     if (qubits <= dmMax) {
-        {
-            auto dm = makeBackend("densitymatrix:threads=1");
-            Rng rng(1);
-            Timer t;
-            dm->sample(noisy, samples, rng);
-            print("densitymatrix", t.seconds(), 0.0);
-        }
-        if (threads > 1) {
-            auto dm = makeBackend("densitymatrix:threads=" +
-                                  std::to_string(threads));
-            Rng rng(1);
-            Timer t;
-            dm->sample(noisy, samples, rng);
-            print("dm+t" + std::to_string(threads), t.seconds(), 0.0);
-        }
+        runBackendRow("densitymatrix:threads=1", "densitymatrix", workload,
+                      p, qubits, noisy, samples, 1);
+        if (threads > 1)
+            runBackendRow("densitymatrix:threads=" + std::to_string(threads),
+                          "dm+t" + std::to_string(threads), workload, p,
+                          qubits, noisy, samples, 1);
     }
 
     // Trajectory cost model: one full re-simulation per sample, but the
     // trajectories are independent — the threaded row parallelizes them.
     if (qubits <= svMax) {
-        {
-            auto sv = makeBackend("statevector:threads=1");
-            Rng rng(5);
-            Timer t;
-            sv->sample(noisy, samples, rng);
-            print("sv-traj", t.seconds(), 0.0);
-        }
-        if (threads > 1) {
-            auto sv = makeBackend("statevector:threads=" +
-                                  std::to_string(threads));
-            Rng rng(5);
-            Timer t;
-            sv->sample(noisy, samples, rng);
-            print("sv-traj+t" + std::to_string(threads), t.seconds(), 0.0);
-        }
+        runBackendRow("statevector:threads=1", "sv-traj", workload, p,
+                      qubits, noisy, samples, 5);
+        if (threads > 1)
+            runBackendRow("statevector:threads=" + std::to_string(threads),
+                          "sv-traj+t" + std::to_string(threads), workload, p,
+                          qubits, noisy, samples, 5);
     }
 
     // Trajectory cost is one diagram rebuild per sample, and deep/noisy QAOA
     // diagrams lose their compactness — cap the row like the others.
-    if (qubits <= ddMax) {
-        auto dd = makeBackend("decisiondiagram");
-        Rng rng(3);
-        Timer t;
-        dd->sample(noisy, samples, rng);
-        print("decisiondiagram", t.seconds(), 0.0);
-    }
+    if (qubits <= ddMax)
+        runBackendRow("decisiondiagram", "decisiondiagram", workload, p,
+                      qubits, noisy, samples, 3);
 
-    Timer compile;
-    KcSimulator kc(noisy);
-    double compileSeconds = compile.seconds();
-    Rng rng(2);
-    Timer t;
-    GibbsOptions options;
-    options.burnIn = 32;
-    kc.sample(samples, rng, options);
-    print("knowledgecompilation", t.seconds(), compileSeconds);
+    runBackendRow("knowledgecompilation:burnin=32", "knowledgecompilation",
+                  workload, p, qubits, noisy, samples, 2);
 }
 
 } // namespace

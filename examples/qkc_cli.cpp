@@ -12,9 +12,12 @@
  *   --mode=sample    draw --samples=N outcomes (--seed=S) from any
  *                    registered backend: --backend=kc|sv|dm|tn|dd (or the
  *                    long names; default knowledgecompilation). Backend
- *                    options ride along after a colon — sv/dm accept
- *                    threads= and fuse=, kc accepts burnin= and thin=.
+ *                    options ride along after a colon; --list-backends
+ *                    prints every name, alias and accepted option key
+ *                    straight from the registry.
  *   --mode=mpe       most probable explanation for --outcome=BITSTRING
+ *
+ * Standalone: --list-backends (no --qasm needed).
  *
  * Example:
  *   ./build/examples/qkc_cli --qasm=bell.qasm --mode=sample --samples=100
@@ -61,6 +64,28 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
+
+    if (cli.has("list-backends")) {
+        // Rendered straight from the registry parseBackendSpec validates
+        // against, so this listing cannot drift from what is accepted.
+        for (const BackendInfo& info : backendRegistry()) {
+            std::string aliases;
+            for (const std::string& a : info.aliases)
+                aliases += (aliases.empty() ? "" : ", ") + a;
+            std::string keys;
+            for (const std::string& k : info.optionKeys)
+                keys += (keys.empty() ? "" : ", ") + k;
+            std::printf("%s\n", info.name.c_str());
+            std::printf("  aliases:  %s\n",
+                        aliases.empty() ? "(none)" : aliases.c_str());
+            std::printf("  options:  %s\n",
+                        keys.empty() ? "(none)" : keys.c_str());
+            std::printf("  profile:  %s\n", info.summary.c_str());
+            std::printf("  tasks:    %s\n", info.tasks.c_str());
+        }
+        return 0;
+    }
+
     std::string qasmPath = cli.getString("qasm", "");
     std::string mode = cli.getString("mode", "compile");
 

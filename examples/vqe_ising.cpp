@@ -6,6 +6,9 @@
  *
  * Usage: vqe_ising [--rows=2] [--cols=3] [--iterations=1] [--samples=192]
  *                  [--backends=kc,dm]   (any makeBackend names, e.g. dd)
+ *                  [--exact]            (score with the Expectation task:
+ *                                        exact on dm/kc, trajectory-sampled
+ *                                        on sv/dd)
  */
 #include <cstdio>
 #include <sstream>
@@ -40,6 +43,7 @@ main(int argc, char** argv)
     options.noisy = true;
     options.noiseKind = NoiseKind::Depolarizing;
     options.noiseStrength = 0.005;
+    options.exactExpectation = cli.has("exact");
 
     std::istringstream names(cli.getString("backends", "kc,dm"));
     std::string name;
@@ -49,14 +53,11 @@ main(int argc, char** argv)
         auto backend = makeBackend(name);
         Timer t;
         VqaResult r = runVqeIsing(problem, *backend, options);
-        std::printf("[%-20s] best energy %.4f in %.2fs (%zu evaluations",
+        std::printf("[%-20s] best energy %.4f in %.2fs (%zu evaluations, "
+                    "%.2fs in backend, compiled %zux, rebound %zux)\n",
                     backend->name().c_str(), r.bestObjective, t.seconds(),
-                    r.circuitEvaluations);
-        if (auto* kc = dynamic_cast<KnowledgeCompilationBackend*>(
-                backend.get())) {
-            std::printf(", compiled %zux", kc->compileCount());
-        }
-        std::printf(")\n");
+                    r.circuitEvaluations, r.sampleSeconds, r.planBuilds,
+                    r.planReuses);
     }
     return 0;
 }

@@ -1,7 +1,6 @@
 #include "circuit/fusion.h"
 
-#include <optional>
-#include <vector>
+#include <stdexcept>
 
 namespace qkc {
 
@@ -16,90 +15,241 @@ isIdentity(const Matrix& m)
     return m.approxEqual(Matrix::identity(m.rows()), kFusionEps);
 }
 
+/** The gate at `opIndex`, or null on any index/kind/wire mismatch. */
+const Gate*
+gateAt(const Circuit& circuit, std::size_t opIndex,
+       const std::vector<std::size_t>& qubits)
+{
+    if (opIndex >= circuit.size())
+        return nullptr;
+    const Gate* g = std::get_if<Gate>(&circuit.operations()[opIndex]);
+    return g && g->qubits() == qubits ? g : nullptr;
+}
+
+/** Product of 1q source gates on `wire`, first-applied first (U_k...U_1). */
+std::optional<Matrix>
+pendingProduct(const Circuit& circuit, const std::vector<std::size_t>& sources,
+               std::size_t wire)
+{
+    Matrix m = Matrix::identity(2);
+    for (std::size_t s : sources) {
+        const Gate* g = gateAt(circuit, s, {wire});
+        if (!g)
+            return std::nullopt;
+        m = g->unitary() * m;
+    }
+    return m;
+}
+
 } // namespace
 
-Circuit
-fuseGates(const Circuit& circuit, const FusionOptions& options,
-          FusionStats* stats)
+FusionRecipe
+planFusion(const Circuit& circuit, const FusionOptions& options)
 {
-    FusionStats local;
+    FusionRecipe recipe;
+    recipe.numQubits = circuit.numQubits();
+    recipe.numOps = circuit.size();
+    recipe.options = options;
     const std::size_t n = circuit.numQubits();
-    Circuit out(n);
 
-    // pending[q]: the product of not-yet-emitted 1q gates on wire q, newest
-    // factor on the left (applied last).
-    std::vector<std::optional<Matrix>> pending(n);
+    // pending[q]: source indices of not-yet-emitted 1q gates on wire q (in
+    // application order) and their running product (for the identity check).
+    std::vector<std::vector<std::size_t>> pending(n);
+    std::vector<Matrix> pendingM(n);
 
     auto flush = [&](std::size_t q) {
-        if (!pending[q])
+        if (pending[q].empty())
             return;
-        if (isIdentity(*pending[q]))
-            ++local.droppedIdentity;
-        else
-            out.append(Gate::custom({q}, std::move(*pending[q]), "fused"));
-        pending[q].reset();
+        FusionRecipe::Group g;
+        g.kind = FusionRecipe::Group::Kind::Fused1q;
+        g.sources = std::move(pending[q]);
+        g.qubits = {q};
+        g.dropped = isIdentity(pendingM[q]);
+        if (g.dropped)
+            ++recipe.stats.droppedIdentity;
+        recipe.groups.push_back(std::move(g));
+        pending[q].clear();
     };
 
-    for (const auto& op : circuit.operations()) {
-        if (const auto* ch = std::get_if<NoiseChannel>(&op)) {
+    const auto& ops = circuit.operations();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (const auto* ch = std::get_if<NoiseChannel>(&ops[i])) {
             for (std::size_t q : ch->qubits())
                 flush(q);
-            out.append(*ch);
+            FusionRecipe::Group g;
+            g.kind = FusionRecipe::Group::Kind::Channel;
+            g.sources = {i};
+            g.qubits = ch->qubits();
+            recipe.groups.push_back(std::move(g));
             continue;
         }
-        const Gate& g = std::get<Gate>(op);
-        ++local.gatesIn;
+        const Gate& gate = std::get<Gate>(ops[i]);
+        ++recipe.stats.gatesIn;
 
-        if (g.arity() == 1) {
-            const std::size_t q = g.qubits()[0];
-            if (pending[q]) {
-                pending[q] = g.unitary() * (*pending[q]);
-                ++local.merged1q;
+        if (gate.arity() == 1) {
+            const std::size_t q = gate.qubits()[0];
+            if (!pending[q].empty()) {
+                pendingM[q] = gate.unitary() * pendingM[q];
+                ++recipe.stats.merged1q;
             } else {
-                pending[q] = g.unitary();
+                pendingM[q] = gate.unitary();
             }
+            pending[q].push_back(i);
             continue;
         }
 
-        if (g.arity() == 2 && options.foldIntoTwoQubit) {
-            const std::size_t a = g.qubits()[0];
-            const std::size_t b = g.qubits()[1];
-            if (pending[a] || pending[b]) {
+        if (gate.arity() == 2 && options.foldIntoTwoQubit) {
+            const std::size_t a = gate.qubits()[0];
+            const std::size_t b = gate.qubits()[1];
+            if (!pending[a].empty() || !pending[b].empty()) {
                 // The pendings act first: U' = U * (Pa (x) Pb), with a the
                 // MSB of the gate's local basis (the Gate convention).
-                const Matrix pa =
-                    pending[a] ? *pending[a] : Matrix::identity(2);
-                const Matrix pb =
-                    pending[b] ? *pending[b] : Matrix::identity(2);
-                local.foldedInto2q +=
-                    (pending[a] ? 1u : 0u) + (pending[b] ? 1u : 0u);
-                pending[a].reset();
-                pending[b].reset();
-                Matrix fusedU = g.unitary() * pa.kron(pb);
-                if (isIdentity(fusedU))
-                    ++local.droppedIdentity;
-                else
-                    out.append(Gate::custom({a, b}, std::move(fusedU),
-                                            "fused2q"));
+                const Matrix pa = pending[a].empty()
+                                      ? Matrix::identity(2)
+                                      : pendingM[a];
+                const Matrix pb = pending[b].empty()
+                                      ? Matrix::identity(2)
+                                      : pendingM[b];
+                recipe.stats.foldedInto2q +=
+                    (pending[a].empty() ? 0u : 1u) +
+                    (pending[b].empty() ? 0u : 1u);
+                FusionRecipe::Group g;
+                g.kind = FusionRecipe::Group::Kind::Fused2q;
+                g.gateIndex = i;
+                g.pendingHigh = std::move(pending[a]);
+                g.pendingLow = std::move(pending[b]);
+                g.qubits = {a, b};
+                g.dropped = isIdentity(gate.unitary() * pa.kron(pb));
+                if (g.dropped)
+                    ++recipe.stats.droppedIdentity;
+                recipe.groups.push_back(std::move(g));
+                pending[a].clear();
+                pending[b].clear();
                 continue;
             }
-            out.append(g);
+            FusionRecipe::Group g;
+            g.kind = FusionRecipe::Group::Kind::Passthrough;
+            g.sources = {i};
+            g.qubits = gate.qubits();
+            recipe.groups.push_back(std::move(g));
             continue;
         }
 
         // 2q with folding disabled, or 3q: barrier on the operand wires.
-        for (std::size_t q : g.qubits())
+        for (std::size_t q : gate.qubits())
             flush(q);
-        out.append(g);
+        FusionRecipe::Group g;
+        g.kind = FusionRecipe::Group::Kind::Passthrough;
+        g.sources = {i};
+        g.qubits = gate.qubits();
+        recipe.groups.push_back(std::move(g));
     }
 
     for (std::size_t q = 0; q < n; ++q)
         flush(q);
 
-    local.gatesOut = out.gateCount();
-    if (stats)
-        *stats = local;
+    return recipe;
+}
+
+std::optional<Circuit>
+materializeFusion(const FusionRecipe& recipe, const Circuit& circuit,
+                  FusionStats* stats)
+{
+    if (circuit.numQubits() != recipe.numQubits)
+        throw std::invalid_argument(
+            "materializeFusion: qubit count differs from the planned circuit");
+    // The recipe must cover the whole circuit: extra (or missing) trailing
+    // ops would otherwise be silently dropped from the fused output.
+    if (circuit.size() != recipe.numOps)
+        return std::nullopt;
+
+    // Any index, kind or wire mismatch below means `circuit` does not
+    // share the planned structure: refuse (nullopt) rather than emit a
+    // silently wrong circuit, so callers can treat this as "re-plan
+    // needed".
+    Circuit out(recipe.numQubits);
+    for (const auto& g : recipe.groups) {
+        switch (g.kind) {
+          case FusionRecipe::Group::Kind::Channel: {
+            if (g.sources[0] >= circuit.size())
+                return std::nullopt;
+            const auto* ch =
+                std::get_if<NoiseChannel>(&circuit.operations()[g.sources[0]]);
+            if (!ch || ch->qubits() != g.qubits)
+                return std::nullopt;
+            out.append(*ch);
+            break;
+          }
+          case FusionRecipe::Group::Kind::Passthrough: {
+            const Gate* gate = gateAt(circuit, g.sources[0], g.qubits);
+            if (!gate)
+                return std::nullopt;
+            out.append(*gate);
+            break;
+          }
+          case FusionRecipe::Group::Kind::Fused1q: {
+            auto m = pendingProduct(circuit, g.sources, g.qubits[0]);
+            if (!m)
+                return std::nullopt;
+            if (isIdentity(*m) != g.dropped)
+                return std::nullopt; // drop set changed: re-plan
+            if (!g.dropped)
+                out.append(
+                    Gate::custom({g.qubits[0]}, std::move(*m), "fused"));
+            break;
+          }
+          case FusionRecipe::Group::Kind::Fused2q: {
+            const auto pa = pendingProduct(circuit, g.pendingHigh,
+                                           g.qubits[0]);
+            const auto pb = pendingProduct(circuit, g.pendingLow,
+                                           g.qubits[1]);
+            const Gate* gate = gateAt(circuit, g.gateIndex, g.qubits);
+            if (!pa || !pb || !gate)
+                return std::nullopt;
+            Matrix fusedU = gate->unitary() * pa->kron(*pb);
+            if (isIdentity(fusedU) != g.dropped)
+                return std::nullopt;
+            if (!g.dropped)
+                out.append(Gate::custom({g.qubits[0], g.qubits[1]},
+                                        std::move(fusedU), "fused2q"));
+            break;
+          }
+        }
+    }
+
+    if (stats) {
+        *stats = recipe.stats;
+        stats->gatesOut = out.gateCount();
+    }
     return out;
+}
+
+Circuit
+fuseGates(const Circuit& circuit, const FusionOptions& options,
+          FusionStats* stats)
+{
+    const FusionRecipe recipe = planFusion(circuit, options);
+    // Replaying the recipe on the circuit it was planned from cannot cross
+    // an identity boundary.
+    return *materializeFusion(recipe, circuit, stats);
+}
+
+void
+FusionCache::build(const Circuit& circuit, const FusionOptions& options)
+{
+    recipe_ = planFusion(circuit, options);
+    fused_ = *materializeFusion(recipe_, circuit, &stats_);
+}
+
+bool
+FusionCache::rebind(const Circuit& circuit)
+{
+    if (auto fused = materializeFusion(recipe_, circuit, &stats_)) {
+        fused_ = std::move(*fused);
+        return true;
+    }
+    build(circuit, recipe_.options);
+    return false;
 }
 
 } // namespace qkc

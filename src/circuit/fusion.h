@@ -2,6 +2,9 @@
 #define QKC_CIRCUIT_FUSION_H
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "circuit/circuit.h"
 
@@ -27,6 +30,97 @@ struct FusionStats {
 };
 
 /**
+ * The structural outcome of one fusion pass, separated from the matrix
+ * arithmetic so that a variational sweep can re-run the arithmetic on new
+ * gate parameters without re-running the greedy pass. Each group names the
+ * source operation indices that fuse into one emitted operation (or into a
+ * dropped identity); `materializeFusion` replays the products.
+ */
+struct FusionRecipe {
+    struct Group {
+        enum class Kind : std::uint8_t {
+            Passthrough, ///< one op copied verbatim (2q/3q gate, no pendings)
+            Channel,     ///< a noise channel copied verbatim
+            Fused1q,     ///< product of 1q gates on one wire
+            Fused2q,     ///< 2q gate with pending 1q matrices folded in
+        };
+        Kind kind = Kind::Passthrough;
+        /** Fused1q: the 1q source ops on `qubits[0]`, first-applied first. */
+        std::vector<std::size_t> sources;
+        /** Fused2q: the folded 2q gate's op index. */
+        std::size_t gateIndex = 0;
+        /** Fused2q: pending 1q sources per wire, first-applied first. */
+        std::vector<std::size_t> pendingHigh; ///< on qubits[0] (local MSB)
+        std::vector<std::size_t> pendingLow;  ///< on qubits[1] (local LSB)
+        /** Operand wires of the emitted operation. */
+        std::vector<std::size_t> qubits;
+        /** The fused product was the identity; nothing is emitted. */
+        bool dropped = false;
+    };
+
+    std::size_t numQubits = 0;
+    std::size_t numOps = 0;    ///< op count of the planned circuit
+    std::vector<Group> groups; ///< emission order, dropped groups in place
+    FusionOptions options;
+    FusionStats stats;         ///< gatesOut filled by materializeFusion
+};
+
+/**
+ * Runs the greedy pass on `circuit` and records which ops fuse into which
+ * emitted operation. The grouping decisions are structural (wires and
+ * arities) except for identity drops, which depend on the gate values; the
+ * drop decisions made here are recorded so materializeFusion can detect
+ * when new parameters invalidate them.
+ */
+FusionRecipe planFusion(const Circuit& circuit, const FusionOptions& options = {});
+
+/**
+ * Replays `recipe` on `circuit` (same structure as the planned one: op
+ * count, kinds, arities and wires must match — parameters and matrix
+ * values are free to differ). Returns the fused circuit, or std::nullopt
+ * when the recipe no longer applies: a product crossed the identity
+ * boundary (a previously-dropped product is no longer the identity, or
+ * vice versa), or the circuit's structure does not match the plan (checked
+ * defensively — indices, op kinds and arities are validated before use).
+ * Either way the caller should re-plan.
+ */
+std::optional<Circuit> materializeFusion(const FusionRecipe& recipe,
+                                         const Circuit& circuit,
+                                         FusionStats* stats = nullptr);
+
+/**
+ * A fusion recipe bound to concrete gate values: plan once, replay the
+ * recipe on parameter rebinds, rebuild only when the structure (or an
+ * identity-drop decision) changes. This is the circuit-level
+ * reuse-vs-rebuild state machine shared by backend sessions that pre-fuse
+ * the circuit they execute (the kernel-level equivalent for dense plans
+ * lives in exec/execution_plan.h).
+ */
+class FusionCache {
+  public:
+    /** Plans on `circuit` and materializes the fused form. */
+    void build(const Circuit& circuit, const FusionOptions& options = {});
+
+    /**
+     * Replays the recorded recipe on a same-structure circuit (values
+     * only — no greedy pass). When the recipe no longer applies (identity
+     * boundary crossed, or the structure differs after all), rebuilds from
+     * scratch and returns false; returns true on a pure replay.
+     */
+    bool rebind(const Circuit& circuit);
+
+    /** The fused circuit for the most recent build/rebind. */
+    const Circuit& fused() const { return fused_; }
+
+    const FusionStats& stats() const { return stats_; }
+
+  private:
+    FusionRecipe recipe_;
+    Circuit fused_{1};
+    FusionStats stats_;
+};
+
+/**
  * Greedy gate fusion: adjacent single-qubit gates on the same wire are
  * multiplied into one 2x2 matrix, and (optionally) pending 1q matrices are
  * folded into the next two-qubit gate touching their wire, so the dense
@@ -38,6 +132,8 @@ struct FusionStats {
  * pending matrices are flushed before them, so the fused circuit is
  * operation-for-operation equivalent to the original (same final state,
  * including global phase; channels see exactly the state they saw before).
+ *
+ * Equivalent to planFusion + materializeFusion in one call.
  */
 Circuit fuseGates(const Circuit& circuit, const FusionOptions& options = {},
                   FusionStats* stats = nullptr);

@@ -364,6 +364,58 @@ DdPackage::normSquared(const VEdge& state) const
     return norm2(state.weight);
 }
 
+namespace {
+
+struct IpKey {
+    const VNode* a;
+    const VNode* b;
+    bool operator==(const IpKey& o) const { return a == o.a && b == o.b; }
+};
+
+struct IpKeyHash {
+    std::size_t operator()(const IpKey& k) const
+    {
+        const std::size_t ha = std::hash<const void*>()(k.a);
+        const std::size_t hb = std::hash<const void*>()(k.b);
+        return ha ^ (hb * 0x9e3779b97f4a7c15ULL);
+    }
+};
+
+/** Node-to-node inner product, both subtrees' root weights excluded. */
+Complex
+innerProductNodes(const VNode* a, const VNode* b,
+                  std::unordered_map<IpKey, Complex, IpKeyHash>& memo)
+{
+    if (a == nullptr || b == nullptr)
+        return Complex(1.0, 0.0); // both terminal (zero edges never recurse)
+    const IpKey key{a, b};
+    if (auto it = memo.find(key); it != memo.end())
+        return it->second;
+    Complex acc(0.0, 0.0);
+    for (int c = 0; c < 2; ++c) {
+        const VEdge& ea = a->children[c];
+        const VEdge& eb = b->children[c];
+        if (ea.isZero() || eb.isZero())
+            continue;
+        acc += std::conj(ea.weight) * eb.weight *
+               innerProductNodes(ea.node, eb.node, memo);
+    }
+    memo.emplace(key, acc);
+    return acc;
+}
+
+} // namespace
+
+Complex
+DdPackage::innerProduct(const VEdge& a, const VEdge& b) const
+{
+    if (a.isZero() || b.isZero())
+        return Complex(0.0, 0.0);
+    std::unordered_map<IpKey, Complex, IpKeyHash> memo;
+    return std::conj(a.weight) * b.weight *
+           innerProductNodes(a.node, b.node, memo);
+}
+
 VEdge
 DdPackage::normalized(const VEdge& state) const
 {

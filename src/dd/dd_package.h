@@ -98,6 +98,14 @@ class DdPackage {
      */
     double normSquared(const VEdge& state) const;
 
+    /**
+     * <a|b> = sum_x conj(a_x) b_x by a simultaneous memoized walk of both
+     * diagrams — cost is the product of live node-pair counts, not 2^n.
+     * Combined with apply(), this serves native Pauli expectation values:
+     * <psi|P|psi> = innerProduct(psi, apply(P_dd, psi)).
+     */
+    Complex innerProduct(const VEdge& a, const VEdge& b) const;
+
     /** Rescales the root weight to unit magnitude (phase preserved). */
     VEdge normalized(const VEdge& state) const;
 

@@ -21,8 +21,13 @@ planCircuit(const Circuit& circuit, const ExecPolicy& policy)
 {
     ExecutionPlan plan;
     plan.numQubits = circuit.numQubits();
-    plan.circuit = policy.fuseGates ? fuseGates(circuit, {}, &plan.fusion)
-                                    : circuit;
+    plan.fusionEnabled = policy.fuseGates;
+    if (policy.fuseGates) {
+        plan.recipe = planFusion(circuit, {});
+        plan.circuit = *materializeFusion(plan.recipe, circuit, &plan.fusion);
+    } else {
+        plan.circuit = circuit;
+    }
 
     const auto& ops = plan.circuit.operations();
     plan.ops.reserve(ops.size());
@@ -43,6 +48,69 @@ planCircuit(const Circuit& circuit, const ExecPolicy& policy)
         plan.ops.push_back(std::move(p));
     }
     return plan;
+}
+
+bool
+sameStructure(const Circuit& a, const Circuit& b)
+{
+    if (a.numQubits() != b.numQubits() || a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const Operation& oa = a.operations()[i];
+        const Operation& ob = b.operations()[i];
+        if (oa.index() != ob.index())
+            return false;
+        if (const Gate* ga = std::get_if<Gate>(&oa)) {
+            const Gate& gb = std::get<Gate>(ob);
+            if (ga->kind() != gb.kind() || ga->qubits() != gb.qubits())
+                return false;
+        } else {
+            const auto& ca = std::get<NoiseChannel>(oa);
+            const auto& cb = std::get<NoiseChannel>(ob);
+            if (ca.qubits() != cb.qubits() ||
+                ca.krausOperators().size() != cb.krausOperators().size())
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+tryRebindPlan(ExecutionPlan& plan, const Circuit& circuit)
+{
+    // On any failure the caller re-plans from scratch, so a partially
+    // refreshed plan is never executed.
+    if (circuit.numQubits() != plan.numQubits)
+        return false;
+
+    if (plan.fusionEnabled) {
+        // materializeFusion validates indices, kinds and wires itself.
+        auto fused = materializeFusion(plan.recipe, circuit, &plan.fusion);
+        if (!fused || fused->size() != plan.circuit.size())
+            return false;
+        plan.circuit = std::move(*fused);
+    } else {
+        if (!sameStructure(plan.circuit, circuit))
+            return false;
+        plan.circuit = circuit;
+    }
+
+    for (PlannedOp& op : plan.ops) {
+        const Operation& o = plan.circuit.operations()[op.opIndex];
+        if (op.isChannel) {
+            const auto* ch = std::get_if<NoiseChannel>(&o);
+            if (!ch || ch->krausOperators().size() != op.kraus.size())
+                return false;
+            for (std::size_t k = 0; k < op.kraus.size(); ++k)
+                if (!tryRefreshKernel(op.kraus[k], ch->krausOperators()[k]))
+                    return false;
+        } else {
+            const Gate* g = std::get_if<Gate>(&o);
+            if (!g || !tryRefreshKernel(op.gate, g->unitary()))
+                return false;
+        }
+    }
+    return true;
 }
 
 } // namespace qkc

@@ -35,6 +35,8 @@ struct ExecutionPlan {
     Circuit circuit{1};       ///< the (possibly fused) circuit kernels map to
     std::vector<PlannedOp> ops;
     FusionStats fusion;       ///< zeros when fusion was disabled
+    bool fusionEnabled = false;
+    FusionRecipe recipe;      ///< valid when fusionEnabled
 
     const NoiseChannel& channelAt(const PlannedOp& op) const
     {
@@ -49,6 +51,25 @@ struct ExecutionPlan {
  * matching the StateVector basis-index layout.
  */
 ExecutionPlan planCircuit(const Circuit& circuit, const ExecPolicy& policy);
+
+/**
+ * True when `a` and `b` share a circuit *structure*: same qubit count and
+ * op sequence (gate kinds, operand wires, channel shapes); gate parameters,
+ * custom-gate entries and Kraus values are free to differ. This is the
+ * precondition for rebinding an execution plan or an open backend session.
+ */
+bool sameStructure(const Circuit& a, const Circuit& b);
+
+/**
+ * Rebinds `plan` to a new circuit with the same structure (the variational
+ * fast path): replays the recorded fusion recipe on the new gate values and
+ * refreshes every kernel in place — no greedy fusion pass, no kernel
+ * re-classification. Returns false when the structure differs, a fused
+ * product crossed the identity boundary, or a parameter change invalidated
+ * a kernel's stored class; the plan may then be partially refreshed and the
+ * caller must re-plan before executing it.
+ */
+bool tryRebindPlan(ExecutionPlan& plan, const Circuit& circuit);
 
 } // namespace qkc
 

@@ -84,6 +84,19 @@ GateKernel compileKernel(const Matrix& m,
                          const std::vector<std::uint32_t>& bits);
 
 /**
+ * Refreshes a compiled kernel's numeric payload for a new matrix on the
+ * same bit positions *without re-running classification*: the variational
+ * fast path (a parameter sweep changes Rz(theta)'s entries but never its
+ * diagonal-ness). The stored class, control mask and permutation pattern
+ * are *verified* against `m` — if the new matrix no longer fits (a
+ * parameter crossed a structural boundary, e.g. Rx(2pi) -> Rx(0.3) turns a
+ * global phase into a dense matrix), nothing is modified and false is
+ * returned; the caller should recompile. A Generic kernel accepts any
+ * matrix, so refresh can only fail for specialized classes.
+ */
+bool tryRefreshKernel(GateKernel& k, const Matrix& m);
+
+/**
  * Applies the kernel in place to `amps[0..dim)`, parallelized per `policy`
  * with deterministic chunking. `preScale` is folded into the kernel's
  * constants before the sweep — the trajectory simulator passes 1/sqrt(w) so

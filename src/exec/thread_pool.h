@@ -89,7 +89,16 @@ class ThreadPool {
  * exact serial path while 20+ qubit workloads fan out.
  */
 struct ExecPolicy {
-    /** Total threads (including the caller). 0 = use defaultThreads(). */
+    /**
+     * Total threads (including the caller). 0 = "machine default", i.e.
+     * defaultThreads(). Precedence, highest first:
+     *
+     *   1. an explicit non-zero value here (e.g. `sv:threads=8` specs);
+     *   2. setDefaultThreads(n), if configuration code called it;
+     *   3. the QKC_THREADS environment variable, read once at the first
+     *      defaultThreads() call (values < 1 clamp to 1);
+     *   4. std::thread::hardware_concurrency().
+     */
     std::size_t threads = 0;
 
     /** Problem sizes (loop items) strictly below this run serially. */

@@ -15,11 +15,22 @@ StateVectorSimulator::simulate(const Circuit& circuit) const
             "StateVectorSimulator::simulate: circuit has noise; use "
             "simulateTrajectory");
     }
-    const ExecutionPlan plan = planCircuit(circuit, policy_);
-    StateVector sv(circuit.numQubits());
+    return simulatePlanned(planCircuit(circuit, policy_));
+}
+
+StateVector
+StateVectorSimulator::simulatePlanned(const ExecutionPlan& plan) const
+{
+    StateVector sv(plan.numQubits);
     sv.setExecPolicy(policy_);
-    for (const auto& op : plan.ops)
+    for (const auto& op : plan.ops) {
+        if (op.isChannel) {
+            throw std::invalid_argument(
+                "StateVectorSimulator::simulatePlanned: plan has channels; "
+                "use sampleNoisyPlanned");
+        }
         sv.apply(op.gate);
+    }
     return sv;
 }
 
@@ -71,9 +82,16 @@ std::vector<std::uint64_t>
 StateVectorSimulator::sampleNoisy(const Circuit& circuit,
                                   std::size_t numSamples, Rng& rng) const
 {
+    return sampleNoisyPlanned(planCircuit(circuit, policy_), numSamples, rng);
+}
+
+std::vector<std::uint64_t>
+StateVectorSimulator::sampleNoisyPlanned(const ExecutionPlan& plan,
+                                         std::size_t numSamples,
+                                         Rng& rng) const
+{
     if (numSamples == 0)
         return {};
-    const ExecutionPlan plan = planCircuit(circuit, policy_);
 
     // Independent per-trajectory RNG streams, seeded from the caller's
     // generator *before* any parallel work: the seed sequence — and with it

@@ -43,6 +43,12 @@ class StateVectorSimulator {
     StateVector simulate(const Circuit& circuit) const;
 
     /**
+     * Runs a pre-built ideal plan (no channels). Backend sessions plan a
+     * circuit structure once and re-execute it across parameter binds.
+     */
+    StateVector simulatePlanned(const ExecutionPlan& plan) const;
+
+    /**
      * Runs one noisy trajectory: gates apply exactly; every channel chooses
      * a Kraus operator k with probability ||E_k psi||^2, applies it, and
      * renormalizes (the scale folded into the application pass).
@@ -62,6 +68,11 @@ class StateVectorSimulator {
     std::vector<std::uint64_t> sampleNoisy(const Circuit& circuit,
                                            std::size_t numSamples,
                                            Rng& rng) const;
+
+    /** Trajectory sampling over a pre-built plan (see simulatePlanned). */
+    std::vector<std::uint64_t> sampleNoisyPlanned(const ExecutionPlan& plan,
+                                                  std::size_t numSamples,
+                                                  Rng& rng) const;
 
     /**
      * Exact outcome distribution of a noisy circuit by enumerating every

@@ -114,45 +114,119 @@ TensorNetworkSimulator::sample(const Circuit& circuit, std::size_t numSamples,
 // TnSampler
 // ---------------------------------------------------------------------------
 
+TnSampler::MarginalPlan
+TnSampler::buildMarginalTensors(const Circuit& circuit,
+                                const std::vector<std::size_t>& qubits)
+{
+    // A doubled (ket x bra) network: unselected qubits have their ket and
+    // bra output edges identified, which traces them out; selected qubits
+    // get a projector vector on each side.
+    const std::size_t n = circuit.numQubits();
+    std::vector<bool> selected(n, false);
+    for (std::size_t q : qubits) {
+        if (q >= n)
+            throw std::invalid_argument(
+                "TnSampler: marginal qubit out of range");
+        if (selected[q])
+            throw std::invalid_argument("TnSampler: repeated marginal qubit");
+        selected[q] = true;
+    }
+
+    TensorNetworkSimulator::Network ket =
+        TensorNetworkSimulator::buildNetwork(circuit, false);
+    TensorNetworkSimulator::Network bra =
+        TensorNetworkSimulator::buildNetwork(circuit, true);
+    const int offset = ket.nextEdge;
+    for (Tensor& t : bra.tensors)
+        for (int& e : t.edges)
+            e += offset;
+    for (int& e : bra.outputEdges)
+        e += offset;
+
+    MarginalPlan mp;
+    mp.tensors = std::move(ket.tensors);
+    mp.tensors.insert(mp.tensors.end(),
+                      std::make_move_iterator(bra.tensors.begin()),
+                      std::make_move_iterator(bra.tensors.end()));
+    // Identify traced output edges.
+    for (std::size_t q = 0; q < n; ++q) {
+        if (selected[q])
+            continue;
+        for (Tensor& t : mp.tensors)
+            for (int& e : t.edges)
+                if (e == bra.outputEdges[q])
+                    e = ket.outputEdges[q];
+    }
+    // Projector placeholders for selected qubits, in the given order.
+    for (std::size_t q : qubits) {
+        mp.projectors.emplace_back(mp.tensors.size(), mp.tensors.size() + 1);
+        mp.tensors.push_back(Tensor::vec(ket.outputEdges[q], 1.0, 0.0));
+        mp.tensors.push_back(Tensor::vec(bra.outputEdges[q], 1.0, 0.0));
+    }
+    return mp;
+}
+
+double
+TnSampler::marginalProbability(const MarginalPlan& mp,
+                               std::uint64_t assignment)
+{
+    const std::size_t k = mp.projectors.size();
+    std::vector<Tensor> tensors = mp.tensors;
+    for (std::size_t j = 0; j < k; ++j) {
+        const int bit = static_cast<int>((assignment >> (k - 1 - j)) & 1u);
+        auto [ketIdx, braIdx] = mp.projectors[j];
+        tensors[ketIdx].data = {bit == 0 ? 1.0 : 0.0, bit == 1 ? 1.0 : 0.0};
+        tensors[braIdx].data = tensors[ketIdx].data;
+    }
+    Complex p = executePlan(std::move(tensors), mp.plan);
+    return std::max(0.0, p.real());
+}
+
+namespace {
+
+std::vector<std::size_t>
+prefixQubits(std::size_t prefixLen)
+{
+    std::vector<std::size_t> qs(prefixLen);
+    for (std::size_t q = 0; q < prefixLen; ++q)
+        qs[q] = q;
+    return qs;
+}
+
+} // namespace
+
 TnSampler::TnSampler(const Circuit& circuit)
     : numQubits_(circuit.numQubits())
 {
-    // One doubled (ket x bra) network per prefix length. Qubits beyond the
-    // prefix have their ket and bra output edges identified, which traces
-    // them out; prefix qubits get a projector vector on each side.
     for (std::size_t prefixLen = 1; prefixLen <= numQubits_; ++prefixLen) {
-        TensorNetworkSimulator::Network ket =
-            TensorNetworkSimulator::buildNetwork(circuit, false);
-        TensorNetworkSimulator::Network bra =
-            TensorNetworkSimulator::buildNetwork(circuit, true);
-        const int offset = ket.nextEdge;
-        for (Tensor& t : bra.tensors)
-            for (int& e : t.edges)
-                e += offset;
-        for (int& e : bra.outputEdges)
-            e += offset;
+        MarginalPlan mp =
+            buildMarginalTensors(circuit, prefixQubits(prefixLen));
+        mp.plan = planContraction(mp.tensors);
+        plans_.push_back(std::move(mp));
+    }
+}
 
-        PrefixPlan pp;
-        pp.tensors = std::move(ket.tensors);
-        pp.tensors.insert(pp.tensors.end(),
-                          std::make_move_iterator(bra.tensors.begin()),
-                          std::make_move_iterator(bra.tensors.end()));
-        // Identify traced output edges.
-        for (std::size_t q = prefixLen; q < numQubits_; ++q) {
-            for (Tensor& t : pp.tensors)
-                for (int& e : t.edges)
-                    if (e == bra.outputEdges[q])
-                        e = ket.outputEdges[q];
+void
+TnSampler::rebind(const Circuit& circuit)
+{
+    if (circuit.numQubits() != numQubits_)
+        throw std::invalid_argument("TnSampler::rebind: qubit count differs");
+    for (std::size_t prefixLen = 1; prefixLen <= numQubits_; ++prefixLen) {
+        MarginalPlan& mp = plans_[prefixLen - 1];
+        MarginalPlan fresh =
+            buildMarginalTensors(circuit, prefixQubits(prefixLen));
+        if (fresh.tensors.size() != mp.tensors.size())
+            throw std::invalid_argument(
+                "TnSampler::rebind: circuit structure differs");
+        // Edge wiring is derived purely from the op sequence, so identical
+        // edges mean the cached contraction plans replay unchanged.
+        for (std::size_t i = 0; i < fresh.tensors.size(); ++i) {
+            if (fresh.tensors[i].edges != mp.tensors[i].edges)
+                throw std::invalid_argument(
+                    "TnSampler::rebind: circuit structure differs");
         }
-        // Projector placeholders for prefix qubits.
-        for (std::size_t q = 0; q < prefixLen; ++q) {
-            pp.projectors.emplace_back(pp.tensors.size(),
-                                       pp.tensors.size() + 1);
-            pp.tensors.push_back(Tensor::vec(ket.outputEdges[q], 1.0, 0.0));
-            pp.tensors.push_back(Tensor::vec(bra.outputEdges[q], 1.0, 0.0));
-        }
-        pp.plan = planContraction(pp.tensors);
-        plans_.push_back(std::move(pp));
+        mp.tensors = std::move(fresh.tensors);
+        mp.projectors = std::move(fresh.projectors);
     }
 }
 
@@ -160,16 +234,7 @@ double
 TnSampler::prefixProbability(std::uint64_t prefixBits, std::size_t prefixLen)
 {
     assert(prefixLen >= 1 && prefixLen <= numQubits_);
-    PrefixPlan& pp = plans_[prefixLen - 1];
-    std::vector<Tensor> tensors = pp.tensors;
-    for (std::size_t q = 0; q < prefixLen; ++q) {
-        int bit = static_cast<int>((prefixBits >> (prefixLen - 1 - q)) & 1);
-        auto [ketIdx, braIdx] = pp.projectors[q];
-        tensors[ketIdx].data = {bit == 0 ? 1.0 : 0.0, bit == 1 ? 1.0 : 0.0};
-        tensors[braIdx].data = tensors[ketIdx].data;
-    }
-    Complex p = executePlan(std::move(tensors), pp.plan);
-    return std::max(0.0, p.real());
+    return marginalProbability(plans_[prefixLen - 1], prefixBits);
 }
 
 std::vector<std::uint64_t>

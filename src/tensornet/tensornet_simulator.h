@@ -65,6 +65,16 @@ class TnSampler {
   public:
     explicit TnSampler(const Circuit& circuit);
 
+    /**
+     * Refreshes every tensor's values from a circuit with the *same
+     * structure* (gate kinds and wires; parameters may differ) while
+     * keeping the precomputed contraction plans — the variational fast
+     * path: a parameter sweep re-pays only contraction arithmetic, never
+     * contraction planning. Throws std::invalid_argument on a structure
+     * mismatch.
+     */
+    void rebind(const Circuit& circuit);
+
     /** P(first prefixLen qubits measure the low bits of prefixBits). */
     double prefixProbability(std::uint64_t prefixBits, std::size_t prefixLen);
 
@@ -80,16 +90,38 @@ class TnSampler {
         std::vector<Tensor> tensors,
         const std::vector<std::pair<std::size_t, std::size_t>>& plan);
 
-  private:
-    struct PrefixPlan {
+    /**
+     * A reusable doubled-network (ket x bra) marginal query over a qubit
+     * subset: the tensors, one projector pair per selected qubit, and a
+     * contraction plan replayed per assignment. The per-prefix sampling
+     * plans and the Probabilities task's arbitrary-subset marginals are
+     * both instances of this.
+     */
+    struct MarginalPlan {
         std::vector<Tensor> tensors;
-        /** Per prefix qubit: (ket projector index, bra projector index). */
+        /** Per selected qubit: (ket projector index, bra projector index). */
         std::vector<std::pair<std::size_t, std::size_t>> projectors;
         std::vector<std::pair<std::size_t, std::size_t>> plan;
     };
 
+    /**
+     * Builds the doubled network for a marginal over `qubits` (the given
+     * order defines the output index, qubits[0] = MSB): unselected output
+     * edges are identified (traced out), selected qubits get projector
+     * placeholders. `plan` is left empty — fill it with planContraction to
+     * make the result reusable across assignments. Throws on out-of-range
+     * or repeated qubits and on noisy circuits.
+     */
+    static MarginalPlan buildMarginalTensors(
+        const Circuit& circuit, const std::vector<std::size_t>& qubits);
+
+    /** P(selected qubits read the bits of `assignment`), plan filled in. */
+    static double marginalProbability(const MarginalPlan& mp,
+                                      std::uint64_t assignment);
+
+  private:
     std::size_t numQubits_;
-    std::vector<PrefixPlan> plans_;
+    std::vector<MarginalPlan> plans_; ///< per prefix length 1..n
 };
 
 } // namespace qkc

@@ -1,227 +1,832 @@
 #include "vqa/backends.h"
 
-#include <cstdlib>
-#include <map>
+#include <cmath>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
+#include "ac/kc_simulator.h"
 #include "dd/dd_simulator.h"
 #include "densitymatrix/densitymatrix_simulator.h"
+#include "exec/execution_plan.h"
 #include "statevector/statevector_simulator.h"
 #include "tensornet/tensornet_simulator.h"
 
 namespace qkc {
 
-std::vector<std::uint64_t>
-StateVectorBackend::sample(const Circuit& circuit, std::size_t numSamples,
-                           Rng& rng)
-{
-    StateVectorSimulator sim(policy_);
-    if (circuit.noiseCount() == 0)
-        return sim.sample(circuit, numSamples, rng);
-    return sim.sampleNoisy(circuit, numSamples, rng);
-}
-
-std::vector<std::uint64_t>
-DensityMatrixBackend::sample(const Circuit& circuit, std::size_t numSamples,
-                             Rng& rng)
-{
-    DensityMatrixSimulator sim(policy_);
-    return sim.sample(circuit, numSamples, rng);
-}
-
-std::vector<std::uint64_t>
-TensorNetworkBackend::sample(const Circuit& circuit, std::size_t numSamples,
-                             Rng& rng)
-{
-    TnSampler sampler(circuit);
-    return sampler.sample(numSamples, rng);
-}
-
-std::vector<std::uint64_t>
-DecisionDiagramBackend::sample(const Circuit& circuit, std::size_t numSamples,
-                               Rng& rng)
-{
-    DdSimulator sim;
-    if (circuit.noiseCount() == 0)
-        return sim.sample(circuit, numSamples, rng);
-    return sim.sampleNoisy(circuit, numSamples, rng);
-}
-
-KnowledgeCompilationBackend::KnowledgeCompilationBackend(
-    CompileOptions compileOptions, GibbsOptions gibbsOptions)
-    : compileOptions_(compileOptions), gibbsOptions_(gibbsOptions)
-{
-}
-
-std::vector<std::uint64_t>
-KnowledgeCompilationBackend::sample(const Circuit& circuit,
-                                    std::size_t numSamples, Rng& rng)
-{
-    if (!simulator_) {
-        simulator_ = std::make_unique<KcSimulator>(circuit, compileOptions_);
-        ++compileCount_;
-    } else {
-        try {
-            simulator_->refreshParams(circuit);
-        } catch (const std::invalid_argument&) {
-            // Different structure: compile from scratch.
-            simulator_ = std::make_unique<KcSimulator>(circuit,
-                                                       compileOptions_);
-            ++compileCount_;
-        }
-    }
-    return simulator_->sample(numSamples, rng, gibbsOptions_);
-}
-
-const std::vector<std::string>&
-backendNames()
-{
-    static const std::vector<std::string> names = {
-        "statevector", "densitymatrix", "tensornetwork", "decisiondiagram",
-        "knowledgecompilation"};
-    return names;
-}
-
 namespace {
 
-using OptionMap = std::map<std::string, std::string>;
-
-/** Splits "name:k1=v1,k2=v2" into the base name and its option map. */
-OptionMap
-parseOptions(const std::string& spec, std::string& name)
-{
-    OptionMap options;
-    const auto colon = spec.find(':');
-    name = spec.substr(0, colon);
-    if (colon == std::string::npos)
-        return options;
-
-    std::string rest = spec.substr(colon + 1);
-    std::size_t pos = 0;
-    while (pos <= rest.size()) {
-        const auto comma = rest.find(',', pos);
-        const std::string item =
-            rest.substr(pos, comma == std::string::npos ? std::string::npos
-                                                        : comma - pos);
-        const auto eq = item.find('=');
-        if (item.empty() || eq == std::string::npos || eq == 0) {
-            throw std::invalid_argument(
-                "makeBackend: malformed option \"" + item + "\" in \"" +
-                spec + "\" (expected key=value, comma-separated)");
-        }
-        options[item.substr(0, eq)] = item.substr(eq + 1);
-        if (comma == std::string::npos)
-            break;
-        pos = comma + 1;
-    }
-    return options;
-}
-
-long
-parseIntOption(const std::string& key, const std::string& value)
-{
-    char* end = nullptr;
-    const long v = std::strtol(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0') {
-        throw std::invalid_argument("makeBackend: option " + key +
-                                    " needs an integer, got \"" + value +
-                                    "\"");
-    }
-    return v;
-}
-
-/** Throws if `options` still holds keys this backend does not understand. */
-void
-rejectUnknown(const std::string& backend, const OptionMap& options,
-              const std::string& known)
-{
-    if (options.empty())
-        return;
-    throw std::invalid_argument(
-        "makeBackend: unknown option \"" + options.begin()->first +
-        "\" for backend " + backend +
-        (known.empty() ? " (it accepts no options)"
-                       : " (valid: " + known + ")"));
-}
-
-/** Consumes threads/fuse into an ExecPolicy; leftovers stay in `options`. */
 ExecPolicy
-takeExecOptions(OptionMap& options)
+execPolicyFrom(const BackendOptions& options)
 {
     ExecPolicy policy;
-    if (auto it = options.find("threads"); it != options.end()) {
-        const long v = parseIntOption("threads", it->second);
-        if (v < 0)
-            throw std::invalid_argument(
-                "makeBackend: option threads must be >= 0");
-        policy.threads = static_cast<std::size_t>(v);
-        options.erase(it);
-    }
-    if (auto it = options.find("fuse"); it != options.end()) {
-        const long v = parseIntOption("fuse", it->second);
-        if (v != 0 && v != 1)
-            throw std::invalid_argument(
-                "makeBackend: option fuse must be 0 or 1");
-        policy.fuseGates = v == 1;
-        options.erase(it);
-    }
+    policy.threads = options.threads;
+    policy.fuseGates = options.fuse;
     return policy;
 }
 
+const Matrix&
+pauliMatrix(char p)
+{
+    static const Matrix x = Gate(GateKind::X, {0}).unitary();
+    static const Matrix y = Gate(GateKind::Y, {0}).unitary();
+    static const Matrix z = Gate(GateKind::Z, {0}).unitary();
+    switch (p) {
+      case 'X':
+        return x;
+      case 'Y':
+        return y;
+      default:
+        return z;
+    }
+}
+
+/** Bits flipped by the string's X/Y factors (qubit 0 = MSB of the index). */
+std::uint64_t
+pauliFlipMask(const PauliString& pauli, std::size_t n)
+{
+    std::uint64_t flip = 0;
+    for (std::size_t q = 0; q < n; ++q)
+        if (pauli.pauli(q) == 'X' || pauli.pauli(q) == 'Y')
+            flip |= std::uint64_t{1} << (n - 1 - q);
+    return flip;
+}
+
+/**
+ * f(y) in P|y> = f(y) |y ^ flipMask>: the accumulated Z sign and Y phase.
+ * Equivalently the matrix entry P(y ^ flipMask, y) — the form both the
+ * density-matrix trace and the amplitude-vector expectation consume.
+ */
+Complex
+pauliPhase(const PauliString& pauli, std::size_t n, std::uint64_t y)
+{
+    Complex f{1.0, 0.0};
+    for (std::size_t q = 0; q < n; ++q) {
+        const bool yq = (y >> (n - 1 - q)) & 1u;
+        switch (pauli.pauli(q)) {
+          case 'Z':
+            if (yq)
+                f = -f;
+            break;
+          case 'Y':
+            f *= yq ? Complex{0.0, -1.0} : Complex{0.0, 1.0};
+            break;
+          default:
+            break; // I and X contribute a factor of 1
+        }
+    }
+    return f;
+}
+
+// ---------------------------------------------------------------------------
+// State vector
+// ---------------------------------------------------------------------------
+
+class SvSession final : public Session {
+  public:
+    SvSession(const Circuit& circuit, const BackendOptions& options)
+        : Session("statevector", circuit), policy_(execPolicyFrom(options)),
+          sim_(policy_), plan_(planCircuit(circuit, policy_))
+    {
+    }
+
+  protected:
+    bool doBind(const Circuit& circuit, bool sameStructure) override
+    {
+        state_.reset();
+        probs_.reset();
+        if (sameStructure && tryRebindPlan(plan_, circuit))
+            return true;
+        plan_ = planCircuit(circuit, policy_);
+        return false;
+    }
+
+    std::vector<std::uint64_t> doSample(std::size_t shots, Rng& rng,
+                                        ResultMeta& meta) override
+    {
+        meta.fusion = plan_.fusion;
+        if (circuit_.noiseCount() > 0) {
+            meta.trajectories += shots;
+            return sim_.sampleNoisyPlanned(plan_, shots, rng);
+        }
+        ensureProbs();
+        meta.exact = true;
+        return StateVectorSimulator::sampleFromDistribution(*probs_, shots,
+                                                            rng);
+    }
+
+    double doExpectation(const PauliSum& observable, std::size_t shots,
+                         Rng& rng, ResultMeta& meta) override
+    {
+        meta.fusion = plan_.fusion;
+        if (circuit_.noiseCount() > 0)
+            return sampledExpectation(observable, shots, rng, meta);
+
+        // Native <psi|P|psi>, no sampling error: diagonal terms read the
+        // cached |amp|^2 vector directly; the rest pay one kernel sweep per
+        // non-identity Pauli plus a deterministic inner product.
+        ensureState();
+        meta.exact = true;
+        double total = 0.0;
+        for (const auto& [coeff, pauli] : observable.terms) {
+            if (pauli.isIdentity()) {
+                total += coeff;
+                continue;
+            }
+            if (pauli.isDiagonal()) {
+                ensureProbs();
+                total += coeff * pauli.expectationFromDistribution(*probs_);
+                continue;
+            }
+            StateVector phi = *state_;
+            for (std::size_t q = 0; q < pauli.numQubits(); ++q)
+                if (pauli.pauli(q) != 'I')
+                    phi.applySingleQubit(pauliMatrix(pauli.pauli(q)), q);
+            total += coeff * innerProduct(*state_, phi).real();
+        }
+        return total;
+    }
+
+    std::vector<Complex> doAmplitudes(
+        const std::vector<std::uint64_t>& bitstrings,
+        ResultMeta& meta) override
+    {
+        if (circuit_.noiseCount() > 0)
+            unsupported("Amplitudes",
+                        "noisy runs are trajectory mixtures; use dm "
+                        "probabilities instead");
+        ensureState();
+        meta.exact = true;
+        std::vector<Complex> out;
+        out.reserve(bitstrings.size());
+        for (std::uint64_t b : bitstrings) {
+            if (b >= state_->dimension())
+                throw std::invalid_argument(
+                    "Amplitudes: bitstring out of range");
+            out.push_back(state_->amplitude(b));
+        }
+        return out;
+    }
+
+    std::vector<double> doProbabilities(const std::vector<std::size_t>& qubits,
+                                        ResultMeta& meta) override
+    {
+        if (circuit_.noiseCount() > 0)
+            unsupported("Probabilities",
+                        "the noisy state-vector path is trajectory-sampled; "
+                        "use the density-matrix backend for exact noisy "
+                        "distributions");
+        ensureProbs();
+        meta.exact = true;
+        return marginalizeDistribution(*probs_, circuit_.numQubits(), qubits);
+    }
+
+    std::vector<std::uint64_t> sampleAdHoc(const Circuit& rotated,
+                                           std::size_t shots, Rng& rng,
+                                           ResultMeta& meta) override
+    {
+        if (rotated.noiseCount() > 0) {
+            meta.trajectories += shots;
+            return sim_.sampleNoisy(rotated, shots, rng);
+        }
+        return sim_.sample(rotated, shots, rng);
+    }
+
+  private:
+    void ensureState()
+    {
+        if (!state_)
+            state_ = sim_.simulatePlanned(plan_);
+    }
+
+    /** Lazy |amp|^2 vector: only tasks that consume it pay the sweep. */
+    void ensureProbs()
+    {
+        ensureState();
+        if (!probs_)
+            probs_ = state_->probabilities();
+    }
+
+    ExecPolicy policy_;
+    StateVectorSimulator sim_;
+    ExecutionPlan plan_;
+    std::optional<StateVector> state_;   ///< final ideal state (per bind)
+    std::optional<std::vector<double>> probs_;
+};
+
+// ---------------------------------------------------------------------------
+// Density matrix
+// ---------------------------------------------------------------------------
+
+class DmSession final : public Session {
+  public:
+    DmSession(const Circuit& circuit, const BackendOptions& options)
+        : Session("densitymatrix", circuit), fusionEnabled_(options.fuse),
+          sim_(unfusedPolicy(options))
+    {
+        if (fusionEnabled_)
+            fusion_.build(circuit);
+        else
+            plain_ = circuit;
+    }
+
+  protected:
+    bool doBind(const Circuit& circuit, bool sameStructure) override
+    {
+        rho_.reset();
+        probs_.reset();
+        if (!fusionEnabled_) {
+            // Nothing is cached per structure in this configuration, so
+            // counting the bind as a "reuse" would make the Section 3.2
+            // metadata vacuous — every bind is honestly a rebuild.
+            (void)sameStructure;
+            plain_ = circuit;
+            return false;
+        }
+        // Same structure: replay the recorded fusion recipe on the new
+        // values (no greedy pass); the cache rebuilds itself on refusal.
+        if (sameStructure)
+            return fusion_.rebind(circuit);
+        fusion_.build(circuit);
+        return false;
+    }
+
+    std::vector<std::uint64_t> doSample(std::size_t shots, Rng& rng,
+                                        ResultMeta& meta) override
+    {
+        ensureRho();
+        meta.exact = true;
+        meta.fusion = fusionEnabled_ ? fusion_.stats() : FusionStats{};
+        return StateVectorSimulator::sampleFromDistribution(*probs_, shots,
+                                                            rng);
+    }
+
+    double doExpectation(const PauliSum& observable, std::size_t shots,
+                         Rng& rng, ResultMeta& meta) override
+    {
+        (void)shots;
+        (void)rng;
+        // tr(rho P) is exact for every observable, channels included: for
+        // each row r the only column P can hit is r ^ flipmask, so one
+        // O(2^n * n) traversal per term reads the trace off rho directly.
+        ensureRho();
+        meta.exact = true;
+        meta.fusion = fusionEnabled_ ? fusion_.stats() : FusionStats{};
+        double total = 0.0;
+        for (const auto& [coeff, pauli] : observable.terms) {
+            if (pauli.isIdentity()) {
+                total += coeff;
+                continue;
+            }
+            total += coeff * traceRhoPauli(pauli);
+        }
+        return total;
+    }
+
+    std::vector<double> doProbabilities(const std::vector<std::size_t>& qubits,
+                                        ResultMeta& meta) override
+    {
+        ensureRho();
+        meta.exact = true;
+        meta.fusion = fusionEnabled_ ? fusion_.stats() : FusionStats{};
+        return marginalizeDistribution(*probs_, circuit_.numQubits(), qubits);
+    }
+
+    std::vector<std::uint64_t> sampleAdHoc(const Circuit& rotated,
+                                           std::size_t shots, Rng& rng,
+                                           ResultMeta& meta) override
+    {
+        (void)meta; // exact distribution: no Monte-Carlo cost to account
+        return sim_.sample(rotated, shots, rng);
+    }
+
+  private:
+    /** The session pre-fuses via the cache; the simulator must not. */
+    static ExecPolicy unfusedPolicy(const BackendOptions& options)
+    {
+        ExecPolicy policy = execPolicyFrom(options);
+        policy.fuseGates = false;
+        return policy;
+    }
+
+    void ensureRho()
+    {
+        if (rho_)
+            return;
+        rho_ = sim_.simulate(fusionEnabled_ ? fusion_.fused() : plain_);
+        probs_ = rho_->diagonalProbabilities();
+    }
+
+    double traceRhoPauli(const PauliString& pauli) const
+    {
+        const std::size_t n = circuit_.numQubits();
+        const std::uint64_t flip = pauliFlipMask(pauli, n);
+        Complex total{0.0, 0.0};
+        const std::uint64_t dim = rho_->dimension();
+        for (std::uint64_t r = 0; r < dim; ++r)
+            total += rho_->at(r, r ^ flip) * pauliPhase(pauli, n, r);
+        return total.real();
+    }
+
+    bool fusionEnabled_;
+    DensityMatrixSimulator sim_;
+    FusionCache fusion_;                 ///< valid when fusionEnabled_
+    Circuit plain_{1};                   ///< the circuit when fusion is off
+    std::optional<DensityMatrix> rho_;   ///< final state (per bind)
+    std::optional<std::vector<double>> probs_;
+};
+
+// ---------------------------------------------------------------------------
+// Tensor network
+// ---------------------------------------------------------------------------
+
+class TnSession final : public Session {
+  public:
+    TnSession(const Circuit& circuit, const BackendOptions& options)
+        : Session("tensornetwork", circuit), sampler_(circuit)
+    {
+        (void)options;
+    }
+
+  protected:
+    bool doBind(const Circuit& circuit, bool sameStructure) override
+    {
+        if (sameStructure) {
+            sampler_.rebind(circuit); // values only; contraction plans kept
+            marginalStale_ = true;    // same for the subset plan: keep it,
+                                      // refresh its tensor values on use
+            return true;
+        }
+        sampler_ = TnSampler(circuit);
+        marginal_.reset();
+        return false;
+    }
+
+    std::vector<std::uint64_t> doSample(std::size_t shots, Rng& rng,
+                                        ResultMeta& meta) override
+    {
+        meta.exact = true; // conditional marginals are contracted exactly
+        return sampler_.sample(shots, rng);
+    }
+
+    std::vector<Complex> doAmplitudes(
+        const std::vector<std::uint64_t>& bitstrings,
+        ResultMeta& meta) override
+    {
+        meta.exact = true;
+        TensorNetworkSimulator tn;
+        std::vector<Complex> out;
+        out.reserve(bitstrings.size());
+        const std::uint64_t dim = std::uint64_t{1} << circuit_.numQubits();
+        for (std::uint64_t b : bitstrings) {
+            if (b >= dim)
+                throw std::invalid_argument(
+                    "Amplitudes: bitstring out of range");
+            out.push_back(tn.amplitude(circuit_, b));
+        }
+        return out;
+    }
+
+    std::vector<double> doProbabilities(const std::vector<std::size_t>& qubits,
+                                        ResultMeta& meta) override
+    {
+        // Exact marginal over an arbitrary subset by doubled-network
+        // contraction — never materializes the 2^n distribution. The plan
+        // is cached per subset, so repeated queries (and assignments) only
+        // re-pay contraction arithmetic.
+        meta.exact = true;
+        const std::size_t n = circuit_.numQubits();
+        const std::vector<std::size_t> subset =
+            qubits.empty() ? allQubits() : qubits;
+        if (subset == allQubits()) {
+            // The sampler already holds (and rebinds) exactly this plan:
+            // the full-length prefix marginal.
+            std::vector<double> out(std::size_t{1} << n);
+            for (std::size_t a = 0; a < out.size(); ++a)
+                out[a] = sampler_.prefixProbability(a, n);
+            return out;
+        }
+        if (!marginal_ || marginalQubits_ != subset) {
+            TnSampler::MarginalPlan mp =
+                TnSampler::buildMarginalTensors(circuit_, subset);
+            mp.plan = TnSampler::planContraction(mp.tensors);
+            marginal_ = std::move(mp);
+            marginalQubits_ = subset;
+        } else if (marginalStale_) {
+            // Same structure, new parameters: refresh the tensor values
+            // but replay the cached contraction plan (edge wiring is
+            // derived purely from the op sequence, so it is unchanged).
+            TnSampler::MarginalPlan fresh =
+                TnSampler::buildMarginalTensors(circuit_, subset);
+            marginal_->tensors = std::move(fresh.tensors);
+            marginal_->projectors = std::move(fresh.projectors);
+        }
+        marginalStale_ = false;
+        std::vector<double> out(std::size_t{1} << subset.size());
+        for (std::size_t a = 0; a < out.size(); ++a)
+            out[a] = TnSampler::marginalProbability(*marginal_, a);
+        return out;
+    }
+
+    std::vector<std::uint64_t> sampleAdHoc(const Circuit& rotated,
+                                           std::size_t shots, Rng& rng,
+                                           ResultMeta& meta) override
+    {
+        (void)meta; // exact conditional sampling: no trajectories
+        return TnSampler(rotated).sample(shots, rng);
+    }
+
+  private:
+    std::vector<std::size_t> allQubits() const
+    {
+        std::vector<std::size_t> qs(circuit_.numQubits());
+        for (std::size_t q = 0; q < qs.size(); ++q)
+            qs[q] = q;
+        return qs;
+    }
+
+    TnSampler sampler_;
+    std::optional<TnSampler::MarginalPlan> marginal_; ///< last proper subset
+    std::vector<std::size_t> marginalQubits_;
+    bool marginalStale_ = false; ///< values need a refresh after a rebind
+};
+
+// ---------------------------------------------------------------------------
+// Decision diagram
+// ---------------------------------------------------------------------------
+
+class DdSession final : public Session {
+  public:
+    DdSession(const Circuit& circuit, const BackendOptions& options)
+        : Session("decisiondiagram", circuit)
+    {
+        (void)options;
+    }
+
+  protected:
+    bool doBind(const Circuit& circuit, bool sameStructure) override
+    {
+        (void)circuit;
+        (void)sameStructure;
+        // Diagram contents are value-dependent, so every bind rebuilds the
+        // state DD — and with a fresh package: the arena has no GC (see
+        // ROADMAP), so carrying one package across a variational sweep
+        // would grow node and compute-table memory linearly in binds.
+        sim_ = DdSimulator();
+        built_ = false;
+        return false;
+    }
+
+    std::vector<std::uint64_t> doSample(std::size_t shots, Rng& rng,
+                                        ResultMeta& meta) override
+    {
+        if (circuit_.noiseCount() > 0) {
+            meta.trajectories += shots;
+            return sim_.sampleNoisy(circuit_, shots, rng);
+        }
+        ensureState();
+        meta.exact = true;
+        std::vector<std::uint64_t> samples;
+        samples.reserve(shots);
+        for (std::size_t s = 0; s < shots; ++s)
+            samples.push_back(sim_.package().sampleOutcome(state_, rng));
+        return samples;
+    }
+
+    double doExpectation(const PauliSum& observable, std::size_t shots,
+                         Rng& rng, ResultMeta& meta) override
+    {
+        if (circuit_.noiseCount() > 0)
+            return sampledExpectation(observable, shots, rng, meta);
+
+        // Native diagram walk: phi = P psi via one gate-DD apply per non-I
+        // Pauli, then the memoized two-diagram inner product <psi|phi>.
+        ensureState();
+        meta.exact = true;
+        DdPackage& pkg = sim_.package();
+        double total = 0.0;
+        for (const auto& [coeff, pauli] : observable.terms) {
+            if (pauli.isIdentity()) {
+                total += coeff;
+                continue;
+            }
+            VEdge phi = state_;
+            for (std::size_t q = 0; q < pauli.numQubits(); ++q) {
+                if (pauli.pauli(q) == 'I')
+                    continue;
+                phi = pkg.apply(
+                    pkg.makeGateDd(pauliMatrix(pauli.pauli(q)), {q}), phi);
+            }
+            total += coeff * pkg.innerProduct(state_, phi).real();
+        }
+        return total;
+    }
+
+    std::vector<Complex> doAmplitudes(
+        const std::vector<std::uint64_t>& bitstrings,
+        ResultMeta& meta) override
+    {
+        if (circuit_.noiseCount() > 0)
+            unsupported("Amplitudes",
+                        "noisy runs are trajectory mixtures");
+        ensureState();
+        meta.exact = true;
+        const DdPackage& pkg = sim_.package();
+        std::vector<Complex> out;
+        out.reserve(bitstrings.size());
+        const std::uint64_t dim = std::uint64_t{1} << circuit_.numQubits();
+        for (std::uint64_t b : bitstrings) {
+            if (b >= dim)
+                throw std::invalid_argument(
+                    "Amplitudes: bitstring out of range");
+            out.push_back(pkg.amplitude(state_, b));
+        }
+        return out;
+    }
+
+    std::vector<double> doProbabilities(const std::vector<std::size_t>& qubits,
+                                        ResultMeta& meta) override
+    {
+        if (circuit_.noiseCount() > 0)
+            unsupported("Probabilities",
+                        "the noisy decision-diagram path is "
+                        "trajectory-sampled; use the density-matrix backend");
+        ensureState();
+        meta.exact = true;
+        return marginalizeDistribution(sim_.package().probabilities(state_),
+                                       circuit_.numQubits(), qubits);
+    }
+
+    std::vector<std::uint64_t> sampleAdHoc(const Circuit& rotated,
+                                           std::size_t shots, Rng& rng,
+                                           ResultMeta& meta) override
+    {
+        DdSimulator fresh;
+        if (rotated.noiseCount() > 0) {
+            meta.trajectories += shots;
+            return fresh.sampleNoisy(rotated, shots, rng);
+        }
+        return fresh.sample(rotated, shots, rng);
+    }
+
+  private:
+    void ensureState()
+    {
+        if (built_)
+            return;
+        state_ = sim_.simulate(circuit_);
+        built_ = true;
+    }
+
+    DdSimulator sim_;
+    VEdge state_;
+    bool built_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Knowledge compilation
+// ---------------------------------------------------------------------------
+
+class KcSession final : public Session {
+  public:
+    KcSession(const Circuit& circuit, const BackendOptions& options)
+        : Session("knowledgecompilation", circuit)
+    {
+        gibbs_.burnIn = options.burnIn;
+        gibbs_.thin = options.thin;
+        sim_ = std::make_unique<KcSimulator>(circuit);
+    }
+
+  protected:
+    bool doBind(const Circuit& circuit, bool sameStructure) override
+    {
+        dist_.reset();
+        amps_.reset();
+        if (sameStructure) {
+            try {
+                sim_->refreshParams(circuit);
+                return true;
+            } catch (const std::invalid_argument&) {
+                // Fall through: compile from scratch.
+            }
+        }
+        sim_ = std::make_unique<KcSimulator>(circuit);
+        return false;
+    }
+
+    std::vector<std::uint64_t> doSample(std::size_t shots, Rng& rng,
+                                        ResultMeta& meta) override
+    {
+        (void)meta; // Gibbs sampling is MCMC: exact stays false
+        return sim_->sample(shots, rng, gibbs_);
+    }
+
+    double doExpectation(const PauliSum& observable, std::size_t shots,
+                         Rng& rng, ResultMeta& meta) override
+    {
+        // AC queries serve diagonal terms from the exact outcome
+        // distribution (noise included — probability() sums noise events)
+        // and, on ideal circuits, arbitrary Paulis from the amplitude
+        // vector. When the query cost is infeasible (the noise-assignment
+        // enumeration is exponential in the channel count) or a term needs
+        // rotated bases under noise, the whole sum falls back to Gibbs
+        // shots so the metadata stays a truthful all-or-nothing flag.
+        const bool distOk = distributionFeasible();
+        const bool ampsOk =
+            circuit_.noiseCount() == 0 &&
+            circuit_.numQubits() <= kMaxExactQubits;
+        bool allExact = true;
+        for (const auto& [coeff, pauli] : observable.terms) {
+            (void)coeff;
+            if (pauli.isIdentity())
+                continue;
+            if (pauli.isDiagonal() ? !distOk : !ampsOk) {
+                allExact = false;
+                break;
+            }
+        }
+        if (!allExact)
+            return sampledExpectation(observable, shots, rng, meta);
+
+        meta.exact = true;
+        double total = 0.0;
+        for (const auto& [coeff, pauli] : observable.terms) {
+            if (pauli.isIdentity()) {
+                total += coeff;
+                continue;
+            }
+            if (pauli.isDiagonal()) {
+                ensureDistribution();
+                total += coeff * pauli.expectationFromDistribution(*dist_);
+                continue;
+            }
+            ensureAmplitudes();
+            total += coeff * pauliExpectationFromAmplitudes(pauli);
+        }
+        return total;
+    }
+
+    std::vector<Complex> doAmplitudes(
+        const std::vector<std::uint64_t>& bitstrings,
+        ResultMeta& meta) override
+    {
+        if (circuit_.noiseCount() > 0)
+            unsupported("Amplitudes",
+                        "amplitudes of noisy circuits require an explicit "
+                        "noise-event assignment; query KcSimulator directly");
+        meta.exact = true;
+        const std::uint64_t dim = std::uint64_t{1} << circuit_.numQubits();
+        std::vector<Complex> out;
+        out.reserve(bitstrings.size());
+        for (std::uint64_t b : bitstrings) {
+            if (b >= dim)
+                throw std::invalid_argument(
+                    "Amplitudes: bitstring out of range");
+            out.push_back(sim_->amplitude(b));
+        }
+        return out;
+    }
+
+    std::vector<double> doProbabilities(const std::vector<std::size_t>& qubits,
+                                        ResultMeta& meta) override
+    {
+        if (!distributionFeasible())
+            unsupported("Probabilities",
+                        circuit_.noiseCount() == 0
+                            ? "the exact distribution costs 2^n AC "
+                              "evaluations and the circuit exceeds the "
+                              "qubit cap"
+                            : "the exact noise-assignment enumeration is "
+                              "exponential in the channel count and "
+                              "exceeds the feasibility limit here");
+        ensureDistribution();
+        meta.exact = true;
+        return marginalizeDistribution(*dist_, circuit_.numQubits(), qubits);
+    }
+
+    std::vector<std::uint64_t> sampleAdHoc(const Circuit& rotated,
+                                           std::size_t shots, Rng& rng,
+                                           ResultMeta& meta) override
+    {
+        (void)meta; // Gibbs shots are accounted via sampledShots
+        KcSimulator fresh(rotated);
+        return fresh.sample(shots, rng, gibbs_);
+    }
+
+  private:
+    /** Qubit cap for 2^n-query sweeps (distribution / amplitude vector). */
+    static constexpr std::size_t kMaxExactQubits = 16;
+    /** Evaluator-pass budget for exact queries (2^n x noise assignments). */
+    static constexpr double kMaxExactEvaluations = 1 << 16;
+
+    /** True when the exact outcome distribution is affordable to compute. */
+    bool distributionFeasible() const
+    {
+        const std::size_t n = circuit_.numQubits();
+        if (n > kMaxExactQubits)
+            return false;
+        double evaluations = static_cast<double>(std::uint64_t{1} << n);
+        const auto& bn = sim_->bayesNet();
+        for (std::size_t v : bn.noiseVars()) {
+            evaluations *= static_cast<double>(bn.variable(v).cardinality);
+            if (evaluations > kMaxExactEvaluations)
+                return false;
+        }
+        return evaluations <= kMaxExactEvaluations;
+    }
+
+    void ensureDistribution()
+    {
+        if (!dist_)
+            dist_ = sim_->outcomeDistribution();
+    }
+
+    void ensureAmplitudes()
+    {
+        if (amps_)
+            return;
+        const std::uint64_t dim = std::uint64_t{1} << circuit_.numQubits();
+        std::vector<Complex> amps;
+        amps.reserve(dim);
+        for (std::uint64_t x = 0; x < dim; ++x)
+            amps.push_back(sim_->amplitude(x));
+        amps_ = std::move(amps);
+    }
+
+    /** <psi|P|psi> = sum_x conj(psi_x) psi_{x^flip} f(x^flip). */
+    double pauliExpectationFromAmplitudes(const PauliString& pauli) const
+    {
+        const std::size_t n = circuit_.numQubits();
+        const std::uint64_t flip = pauliFlipMask(pauli, n);
+        Complex total{0.0, 0.0};
+        for (std::uint64_t x = 0; x < amps_->size(); ++x) {
+            const std::uint64_t y = x ^ flip;
+            total += std::conj((*amps_)[x]) * (*amps_)[y] *
+                     pauliPhase(pauli, n, y);
+        }
+        return total.real();
+    }
+
+    GibbsOptions gibbs_;
+    std::unique_ptr<KcSimulator> sim_;
+    std::optional<std::vector<double>> dist_;
+    std::optional<std::vector<Complex>> amps_;
+};
+
 } // namespace
 
-std::unique_ptr<SamplerBackend>
+// ---------------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Session>
+StateVectorBackend::open(const Circuit& circuit,
+                         const BackendOptions& options) const
+{
+    return std::make_unique<SvSession>(circuit, options);
+}
+
+std::unique_ptr<Session>
+DensityMatrixBackend::open(const Circuit& circuit,
+                           const BackendOptions& options) const
+{
+    return std::make_unique<DmSession>(circuit, options);
+}
+
+std::unique_ptr<Session>
+TensorNetworkBackend::open(const Circuit& circuit,
+                           const BackendOptions& options) const
+{
+    return std::make_unique<TnSession>(circuit, options);
+}
+
+std::unique_ptr<Session>
+DecisionDiagramBackend::open(const Circuit& circuit,
+                             const BackendOptions& options) const
+{
+    return std::make_unique<DdSession>(circuit, options);
+}
+
+std::unique_ptr<Session>
+KnowledgeCompilationBackend::open(const Circuit& circuit,
+                                  const BackendOptions& options) const
+{
+    return std::make_unique<KcSession>(circuit, options);
+}
+
+std::unique_ptr<Backend>
 makeBackend(const std::string& spec)
 {
-    std::string name;
-    OptionMap options = parseOptions(spec, name);
-
-    if (name == "statevector" || name == "sv") {
-        ExecPolicy policy = takeExecOptions(options);
-        rejectUnknown("statevector", options, "threads, fuse");
-        return std::make_unique<StateVectorBackend>(policy);
-    }
-    if (name == "densitymatrix" || name == "dm") {
-        ExecPolicy policy = takeExecOptions(options);
-        rejectUnknown("densitymatrix", options, "threads, fuse");
-        return std::make_unique<DensityMatrixBackend>(policy);
-    }
-    if (name == "tensornetwork" || name == "tn") {
-        rejectUnknown("tensornetwork", options, "");
-        return std::make_unique<TensorNetworkBackend>();
-    }
-    if (name == "decisiondiagram" || name == "dd") {
-        rejectUnknown("decisiondiagram", options, "");
-        return std::make_unique<DecisionDiagramBackend>();
-    }
-    if (name == "knowledgecompilation" || name == "kc") {
-        GibbsOptions gibbs;
-        if (auto it = options.find("burnin"); it != options.end()) {
-            const long v = parseIntOption("burnin", it->second);
-            if (v < 0)
-                throw std::invalid_argument(
-                    "makeBackend: option burnin must be >= 0");
-            gibbs.burnIn = static_cast<std::size_t>(v);
-            options.erase(it);
-        }
-        if (auto it = options.find("thin"); it != options.end()) {
-            const long v = parseIntOption("thin", it->second);
-            if (v < 1)
-                throw std::invalid_argument(
-                    "makeBackend: option thin must be >= 1");
-            gibbs.thin = static_cast<std::size_t>(v);
-            options.erase(it);
-        }
-        rejectUnknown("knowledgecompilation", options, "burnin, thin");
-        return std::make_unique<KnowledgeCompilationBackend>(CompileOptions{},
-                                                             gibbs);
-    }
-
-    std::string known;
-    for (const std::string& n : backendNames())
-        known += (known.empty() ? "" : ", ") + n;
-    throw std::invalid_argument("makeBackend: unknown backend \"" + name +
-                                "\" (known: " + known + ")");
+    const BackendSpec parsed = parseBackendSpec(spec);
+    if (parsed.name == "statevector")
+        return std::make_unique<StateVectorBackend>(parsed.options);
+    if (parsed.name == "densitymatrix")
+        return std::make_unique<DensityMatrixBackend>(parsed.options);
+    if (parsed.name == "tensornetwork")
+        return std::make_unique<TensorNetworkBackend>(parsed.options);
+    if (parsed.name == "decisiondiagram")
+        return std::make_unique<DecisionDiagramBackend>(parsed.options);
+    return std::make_unique<KnowledgeCompilationBackend>(parsed.options);
 }
 
 } // namespace qkc

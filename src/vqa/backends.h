@@ -1,136 +1,143 @@
 #ifndef QKC_VQA_BACKENDS_H
 #define QKC_VQA_BACKENDS_H
 
-#include <cstdint>
 #include <memory>
 #include <string>
-#include <vector>
 
-#include "ac/kc_simulator.h"
-#include "circuit/circuit.h"
-#include "exec/thread_pool.h"
-#include "util/rng.h"
+#include "vqa/simulator_api.h"
 
 namespace qkc {
 
 /**
- * A circuit-sampling backend: the quantum-computer stand-in that a
- * variational loop queries for measurement samples. One implementation per
- * simulator family the paper benchmarks (Figures 8 and 9).
+ * The five simulator families behind the task-based Session API (see
+ * simulator_api.h). Each Backend::open compiles the circuit structure once
+ * into a Session; the session then serves Sample / Expectation /
+ * Amplitudes / Probabilities tasks and rebinds parameters in place.
+ *
+ * Capability matrix (what each session serves, and how — "exact" means no
+ * Monte-Carlo error; the registry in backendRegistry() carries the same
+ * information as data):
+ *
+ *   backend        Sample          Expectation          Amplitudes  Probabilities
+ *   statevector    exact (ideal)   exact (ideal);       ideal       ideal
+ *                  trajectories    sampled under noise
+ *   densitymatrix  exact           exact (incl. noise)  —           exact (incl. noise)
+ *   tensornetwork  exact (ideal)   sampled              exact       exact marginals
+ *   decisiondiagram exact (ideal)  exact (ideal);       ideal       ideal
+ *                  trajectories    sampled under noise
+ *   knowledgecomp. Gibbs (MCMC)    exact (ideal; diag.  ideal       exact (incl. noise)
+ *                                  terms under noise)
  */
-class SamplerBackend {
-  public:
-    virtual ~SamplerBackend() = default;
-
-    /** Draws measurement outcomes from the circuit's final wavefunction. */
-    virtual std::vector<std::uint64_t> sample(const Circuit& circuit,
-                                              std::size_t numSamples,
-                                              Rng& rng) = 0;
-
-    virtual std::string name() const = 0;
-};
 
 /** qsim-style state-vector backend (trajectories when noise is present). */
-class StateVectorBackend : public SamplerBackend {
+class StateVectorBackend : public Backend {
   public:
     StateVectorBackend() = default;
-    explicit StateVectorBackend(const ExecPolicy& policy) : policy_(policy) {}
+    explicit StateVectorBackend(const BackendOptions& defaults)
+        : defaults_(defaults)
+    {
+    }
 
-    std::vector<std::uint64_t> sample(const Circuit& circuit,
-                                      std::size_t numSamples, Rng& rng) override;
     std::string name() const override { return "statevector"; }
+    std::unique_ptr<Session> open(const Circuit& circuit,
+                                  const BackendOptions& options) const override;
+    using Backend::open;
+    const BackendOptions& defaults() const override { return defaults_; }
 
   private:
-    ExecPolicy policy_;
+    BackendOptions defaults_;
 };
 
 /** Cirq-style density-matrix backend (handles all channels exactly). */
-class DensityMatrixBackend : public SamplerBackend {
+class DensityMatrixBackend : public Backend {
   public:
     DensityMatrixBackend() = default;
-    explicit DensityMatrixBackend(const ExecPolicy& policy) : policy_(policy) {}
+    explicit DensityMatrixBackend(const BackendOptions& defaults)
+        : defaults_(defaults)
+    {
+    }
 
-    std::vector<std::uint64_t> sample(const Circuit& circuit,
-                                      std::size_t numSamples, Rng& rng) override;
     std::string name() const override { return "densitymatrix"; }
+    std::unique_ptr<Session> open(const Circuit& circuit,
+                                  const BackendOptions& options) const override;
+    using Backend::open;
+    const BackendOptions& defaults() const override { return defaults_; }
 
   private:
-    ExecPolicy policy_;
+    BackendOptions defaults_;
 };
 
 /** qTorch-style tensor-network backend (ideal circuits only). */
-class TensorNetworkBackend : public SamplerBackend {
+class TensorNetworkBackend : public Backend {
   public:
-    std::vector<std::uint64_t> sample(const Circuit& circuit,
-                                      std::size_t numSamples, Rng& rng) override;
+    TensorNetworkBackend() = default;
+    explicit TensorNetworkBackend(const BackendOptions& defaults)
+        : defaults_(defaults)
+    {
+    }
+
     std::string name() const override { return "tensornetwork"; }
-};
-
-/**
- * DDSIM-style decision-diagram (QMDD) backend. Ideal circuits build the
- * final state once and sample in O(n) per shot by walking the diagram;
- * noisy circuits run Born-rule Kraus trajectories like the state-vector
- * backend. Structured/peaked states stay compact, so this is the closest
- * classical rival to knowledge compilation on the paper's workloads.
- */
-class DecisionDiagramBackend : public SamplerBackend {
-  public:
-    std::vector<std::uint64_t> sample(const Circuit& circuit,
-                                      std::size_t numSamples, Rng& rng) override;
-    std::string name() const override { return "decisiondiagram"; }
-};
-
-/**
- * The knowledge-compilation backend (this paper's system). The first call
- * compiles the circuit; later calls with the same structure only refresh
- * parameter leaves — the variational reuse that headlines Section 3.2.
- */
-class KnowledgeCompilationBackend : public SamplerBackend {
-  public:
-    explicit KnowledgeCompilationBackend(CompileOptions compileOptions = {},
-                                         GibbsOptions gibbsOptions = {});
-
-    std::vector<std::uint64_t> sample(const Circuit& circuit,
-                                      std::size_t numSamples, Rng& rng) override;
-    std::string name() const override { return "knowledgecompilation"; }
-
-    /** Number of full compilations performed (1 across a variational run). */
-    std::size_t compileCount() const { return compileCount_; }
-
-    /** The live simulator (null before the first sample call). */
-    KcSimulator* simulator() { return simulator_.get(); }
+    std::unique_ptr<Session> open(const Circuit& circuit,
+                                  const BackendOptions& options) const override;
+    using Backend::open;
+    const BackendOptions& defaults() const override { return defaults_; }
 
   private:
-    CompileOptions compileOptions_;
-    GibbsOptions gibbsOptions_;
-    std::unique_ptr<KcSimulator> simulator_;
-    std::size_t compileCount_ = 0;
+    BackendOptions defaults_;
 };
 
 /**
- * The unified backend registry: one string per simulator family, so the VQA
- * driver, the benches, and `qkc_cli --backend=` all construct backends the
- * same way and adding a sixth family is a one-line change here.
- *
- * Canonical names (with accepted aliases):
- *   "statevector" ("sv"), "densitymatrix" ("dm"), "tensornetwork" ("tn"),
- *   "decisiondiagram" ("dd"), "knowledgecompilation" ("kc").
- *
- * A spec may carry backend options after a colon, comma-separated:
- *
- *   "sv:threads=8,fuse=1"   state vector, 8 threads, gate fusion on
- *   "dm:threads=4,fuse=0"   density matrix, 4 threads, fusion off
- *   "kc:burnin=64,thin=2"   knowledge compilation Gibbs knobs
- *
- * Per-backend keys: sv/dm accept `threads` (>=1; 0 = machine default) and
- * `fuse` (0/1); kc accepts `burnin` and `thin`; tn and dd accept none.
- * Unknown backends *and* unknown or malformed options throw
- * std::invalid_argument listing what is valid.
+ * DDSIM-style decision-diagram (QMDD) backend. Ideal sessions build the
+ * final state as a diagram and serve samples in O(n) per shot, amplitudes
+ * by path walks and expectation values by a memoized two-diagram walk;
+ * noisy circuits run Born-rule Kraus trajectories. Diagram contents are
+ * value-dependent, so a bind rebuilds the state in a fresh package (the
+ * arena has no GC; keeping one package across a sweep would leak a
+ * diagram's worth of nodes per bind — see the ROADMAP GC item). Tasks
+ * between binds share the package, so repeated queries do reuse tables.
  */
-std::unique_ptr<SamplerBackend> makeBackend(const std::string& spec);
+class DecisionDiagramBackend : public Backend {
+  public:
+    DecisionDiagramBackend() = default;
+    explicit DecisionDiagramBackend(const BackendOptions& defaults)
+        : defaults_(defaults)
+    {
+    }
 
-/** The canonical registry names, in presentation order. */
-const std::vector<std::string>& backendNames();
+    std::string name() const override { return "decisiondiagram"; }
+    std::unique_ptr<Session> open(const Circuit& circuit,
+                                  const BackendOptions& options) const override;
+    using Backend::open;
+    const BackendOptions& defaults() const override { return defaults_; }
+
+  private:
+    BackendOptions defaults_;
+};
+
+/**
+ * The knowledge-compilation backend (this paper's system). open() compiles
+ * circuit -> Bayesian network -> CNF -> arithmetic circuit once; bind()
+ * only refreshes parameter leaves — the variational reuse that headlines
+ * Section 3.2 — and tasks query the compiled AC (Gibbs sampling, exact
+ * expectation values, amplitude and probability queries).
+ */
+class KnowledgeCompilationBackend : public Backend {
+  public:
+    KnowledgeCompilationBackend() = default;
+    explicit KnowledgeCompilationBackend(const BackendOptions& defaults)
+        : defaults_(defaults)
+    {
+    }
+
+    std::string name() const override { return "knowledgecompilation"; }
+    std::unique_ptr<Session> open(const Circuit& circuit,
+                                  const BackendOptions& options) const override;
+    using Backend::open;
+    const BackendOptions& defaults() const override { return defaults_; }
+
+  private:
+    BackendOptions defaults_;
+};
 
 } // namespace qkc
 

@@ -1,34 +1,57 @@
 #include "vqa/driver.h"
 
+#include <functional>
+
 #include "util/timer.h"
 
 namespace qkc {
 
 namespace {
 
-/** Shared loop body: builds circuits, samples, scores. */
+/**
+ * Shared loop body: builds circuits, binds them into one session, scores.
+ * `observable` is the workload objective as a Pauli sum (used when
+ * options.exactExpectation asks for the Expectation task); `sign` maps the
+ * expectation onto the minimized objective; `score` maps raw samples.
+ */
 VqaResult
 runLoop(std::size_t numParams,
         const std::function<Circuit(const std::vector<double>&)>& makeCircuit,
         const std::function<double(const std::vector<std::uint64_t>&)>& score,
-        SamplerBackend& backend, const VqaOptions& options)
+        const PauliSum& observable, double sign, const Backend& backend,
+        const VqaOptions& options)
 {
     VqaResult result;
     Rng rng(options.seed);
-    Timer sampleTimer;
-    double sampleSeconds = 0.0;
+    std::unique_ptr<Session> session;
     std::size_t evaluations = 0;
+    double sampleSeconds = 0.0;
 
     auto objective = [&](const std::vector<double>& params) {
         Circuit c = makeCircuit(params);
         if (options.noisy)
             c = c.withNoiseAfterEachGate(options.noiseKind,
                                          options.noiseStrength);
+        // One session per circuit structure: the first evaluation pays the
+        // plan/compile, every later one only rebinds parameter values. The
+        // bind/open is backend work too, so it counts toward sampleSeconds
+        // alongside the task time the Result metadata reports.
+        Timer bindTimer;
+        if (!session)
+            session = backend.open(c);
+        else
+            session->bind(c);
+        sampleSeconds += bindTimer.seconds();
         ++evaluations;
-        sampleTimer.reset();
-        auto samples = backend.sample(c, options.samplesPerEvaluation, rng);
-        sampleSeconds += sampleTimer.seconds();
-        return score(samples);
+        if (options.exactExpectation) {
+            Result r = session->run(
+                Expectation{observable, options.samplesPerEvaluation}, rng);
+            sampleSeconds += r.meta.seconds;
+            return sign * r.expectation;
+        }
+        Result r = session->run(Sample{options.samplesPerEvaluation}, rng);
+        sampleSeconds += r.meta.seconds;
+        return score(r.samples);
     };
 
     std::vector<double> initial(numParams);
@@ -41,13 +64,17 @@ runLoop(std::size_t numParams,
     result.bestObjective = nm.value;
     result.circuitEvaluations = evaluations;
     result.sampleSeconds = sampleSeconds;
+    if (session) {
+        result.planBuilds = session->planBuilds();
+        result.planReuses = session->planReuses();
+    }
     return result;
 }
 
 } // namespace
 
 VqaResult
-runQaoaMaxCut(const QaoaMaxCut& problem, SamplerBackend& backend,
+runQaoaMaxCut(const QaoaMaxCut& problem, const Backend& backend,
               const VqaOptions& options)
 {
     return runLoop(
@@ -56,11 +83,11 @@ runQaoaMaxCut(const QaoaMaxCut& problem, SamplerBackend& backend,
         [&](const std::vector<std::uint64_t>& samples) {
             return -problem.expectedCut(samples);
         },
-        backend, options);
+        problem.cutObservable(), /*sign=*/-1.0, backend, options);
 }
 
 VqaResult
-runVqeIsing(const VqeIsing& problem, SamplerBackend& backend,
+runVqeIsing(const VqeIsing& problem, const Backend& backend,
             const VqaOptions& options)
 {
     return runLoop(
@@ -69,7 +96,7 @@ runVqeIsing(const VqeIsing& problem, SamplerBackend& backend,
         [&](const std::vector<std::uint64_t>& samples) {
             return problem.expectedEnergy(samples);
         },
-        backend, options);
+        problem.hamiltonian(), /*sign=*/1.0, backend, options);
 }
 
 } // namespace qkc

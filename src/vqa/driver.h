@@ -1,8 +1,6 @@
 #ifndef QKC_VQA_DRIVER_H
 #define QKC_VQA_DRIVER_H
 
-#include <functional>
-
 #include "vqa/backends.h"
 #include "vqa/nelder_mead.h"
 #include "vqa/workloads.h"
@@ -18,6 +16,14 @@ struct VqaOptions {
     bool noisy = false;
     NoiseKind noiseKind = NoiseKind::Depolarizing;
     double noiseStrength = 0.005;
+    /**
+     * Score evaluations with the Expectation task on the workload's Pauli
+     * observable instead of shot estimates. Backends that serve it natively
+     * (sv/dm/kc/dd on these diagonal objectives) then optimize the exact
+     * value — no shot noise in the objective; samplesPerEvaluation only
+     * feeds the sampling fallback.
+     */
+    bool exactExpectation = false;
 };
 
 /** Outcome of a hybrid run. */
@@ -25,20 +31,35 @@ struct VqaResult {
     std::vector<double> bestParams;
     double bestObjective = 0.0;     ///< minimized objective
     std::size_t circuitEvaluations = 0;
-    double sampleSeconds = 0.0;     ///< total time inside the backend
+    /**
+     * Total wall time inside the backend: per-task seconds from the Result
+     * metadata plus the open/bind work (plan or compile on the first
+     * evaluation, parameter refresh on every later one).
+     */
+    double sampleSeconds = 0.0;
+    /**
+     * Session reuse metadata after the run: a backend with full variational
+     * reuse shows planBuilds == 1 and planReuses == circuitEvaluations - 1
+     * (one structure compilation, every later evaluation rebinds
+     * parameters) — the paper's Section 3.2 property, now measurable on
+     * every backend.
+     */
+    std::size_t planBuilds = 0;
+    std::size_t planReuses = 0;
 };
 
 /**
  * Full hybrid loop for QAOA Max-Cut: Nelder-Mead proposes (gamma, beta)
- * vectors, the backend samples the circuit, and the mean cut (negated)
- * feeds back as the objective (paper Section 2.3). Returns the best
- * parameters found; bestObjective is -E[cut].
+ * vectors, one backend session (opened on the first evaluation, rebound on
+ * every later one) serves the shots or exact expectation, and the mean cut
+ * (negated) feeds back as the objective (paper Section 2.3). Returns the
+ * best parameters found; bestObjective is -E[cut].
  */
-VqaResult runQaoaMaxCut(const QaoaMaxCut& problem, SamplerBackend& backend,
+VqaResult runQaoaMaxCut(const QaoaMaxCut& problem, const Backend& backend,
                         const VqaOptions& options);
 
 /** Same loop for the VQE Ising workload; objective is E[energy]. */
-VqaResult runVqeIsing(const VqeIsing& problem, SamplerBackend& backend,
+VqaResult runVqeIsing(const VqeIsing& problem, const Backend& backend,
                       const VqaOptions& options);
 
 } // namespace qkc

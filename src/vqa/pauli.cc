@@ -25,6 +25,15 @@ PauliString::isDiagonal() const
     return true;
 }
 
+bool
+PauliString::isIdentity() const
+{
+    for (char c : paulis_)
+        if (c != 'I')
+            return false;
+    return true;
+}
+
 Circuit
 PauliString::withMeasurementBasis(const Circuit& circuit) const
 {
@@ -68,23 +77,24 @@ PauliString::expectationFromSamples(
 }
 
 double
-PauliHamiltonian::expectation(const Circuit& circuit, SamplerBackend& backend,
-                              std::size_t samplesPerTerm, Rng& rng) const
+PauliString::expectationFromDistribution(
+    const std::vector<double>& distribution) const
 {
-    double total = 0.0;
+    double acc = 0.0;
+    for (std::uint64_t x = 0; x < distribution.size(); ++x)
+        acc += distribution[x] * eigenvalue(x);
+    return acc;
+}
+
+bool
+PauliSum::isDiagonal() const
+{
     for (const auto& [coeff, pauli] : terms) {
-        bool identity = true;
-        for (char c : pauli.text())
-            identity = identity && c == 'I';
-        if (identity) {
-            total += coeff;
-            continue;
-        }
-        Circuit rotated = pauli.withMeasurementBasis(circuit);
-        auto samples = backend.sample(rotated, samplesPerTerm, rng);
-        total += coeff * pauli.expectationFromSamples(samples);
+        (void)coeff;
+        if (!pauli.isDiagonal())
+            return false;
     }
-    return total;
+    return true;
 }
 
 } // namespace qkc

@@ -3,19 +3,19 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.h"
-#include "vqa/backends.h"
 
 namespace qkc {
 
 /**
  * A Pauli string observable, e.g. "XZIY": one Pauli per qubit (I for
  * untouched qubits). Generalizes the diagonal Ising objectives the paper's
- * VQE uses: non-diagonal terms are estimated by appending the standard
- * basis-change gates (H for X, Sdg+H for Y) and measuring in the
- * computational basis.
+ * VQE uses. This is a pure observable library — how a value is *obtained*
+ * (natively by a backend session's Expectation task, or estimated from
+ * shots in a rotated basis) lives in the simulator API, not here.
  */
 class PauliString {
   public:
@@ -25,12 +25,19 @@ class PauliString {
     std::size_t numQubits() const { return paulis_.size(); }
     const std::string& text() const { return text_; }
 
+    /** The Pauli on `qubit` ('I', 'X', 'Y' or 'Z'). */
+    char pauli(std::size_t qubit) const { return paulis_[qubit]; }
+
     /** True if the string is all I/Z (directly measurable). */
     bool isDiagonal() const;
 
+    /** True if the string is all I (a constant observable). */
+    bool isIdentity() const;
+
     /**
      * Returns `circuit` extended with the basis-change gates that map this
-     * observable's eigenbasis onto the computational basis.
+     * observable's eigenbasis onto the computational basis (H for X,
+     * Sdg then H for Y).
      */
     Circuit withMeasurementBasis(const Circuit& circuit) const;
 
@@ -41,6 +48,13 @@ class PauliString {
     double expectationFromSamples(
         const std::vector<std::uint64_t>& samples) const;
 
+    /**
+     * Exact eigenvalue mean under a full outcome distribution (diagonal
+     * strings only make sense here — callers check isDiagonal first).
+     */
+    double expectationFromDistribution(
+        const std::vector<double>& distribution) const;
+
   private:
     std::string text_;
     std::vector<char> paulis_;
@@ -48,17 +62,32 @@ class PauliString {
 
 /**
  * A weighted sum of Pauli strings H = sum_j c_j P_j — a general qubit
- * Hamiltonian. Expectation under a circuit's output state is estimated term
- * by term: each non-identity term gets its own measurement-basis circuit and
- * `samplesPerTerm` shots from the backend.
+ * Hamiltonian, and the payload of the simulator API's Expectation task.
+ * Backends that can evaluate <H> exactly (state vector, density matrix,
+ * decision diagram, knowledge compilation on ideal circuits) do so
+ * natively; the rest estimate it term by term from rotated-basis shots.
  */
-struct PauliHamiltonian {
+struct PauliSum {
     std::vector<std::pair<double, PauliString>> terms;
 
-    /** <H> estimated from samples of `backend`. */
-    double expectation(const Circuit& circuit, SamplerBackend& backend,
-                       std::size_t samplesPerTerm, Rng& rng) const;
+    PauliSum& add(double coeff, PauliString pauli)
+    {
+        terms.emplace_back(coeff, std::move(pauli));
+        return *this;
+    }
+
+    /** Qubit count of the first term (0 when empty; terms must agree). */
+    std::size_t numQubits() const
+    {
+        return terms.empty() ? 0 : terms.front().second.numQubits();
+    }
+
+    /** True if every term is all I/Z (computational-basis measurable). */
+    bool isDiagonal() const;
 };
+
+/** Pre-redesign name of PauliSum, kept for source compatibility. */
+using PauliHamiltonian = PauliSum;
 
 } // namespace qkc
 

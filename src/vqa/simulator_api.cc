@@ -1,0 +1,390 @@
+#include "vqa/simulator_api.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+
+#include "exec/execution_plan.h"
+#include "util/timer.h"
+
+namespace qkc {
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(std::string backendName, Circuit circuit)
+    : circuit_(std::move(circuit)), planBuilds_(1),
+      backendName_(std::move(backendName))
+{
+}
+
+void
+Session::bind(const Circuit& circuit)
+{
+    if (circuit.numQubits() != circuit_.numQubits()) {
+        throw std::invalid_argument(
+            "Session::bind: qubit count differs from the opened circuit; "
+            "open a new session instead");
+    }
+    const bool structureMatches = sameStructure(circuit_, circuit);
+    const bool reused = doBind(circuit, structureMatches);
+    circuit_ = circuit;
+    if (reused)
+        ++planReuses_;
+    else
+        ++planBuilds_;
+}
+
+Result
+Session::run(const Task& task, Rng& rng)
+{
+    Result result;
+    result.meta.backend = backendName_;
+    Timer timer;
+    std::visit(
+        [&](const auto& t) {
+            using T = std::decay_t<decltype(t)>;
+            if constexpr (std::is_same_v<T, Sample>) {
+                result.samples = doSample(t.shots, rng, result.meta);
+            } else if constexpr (std::is_same_v<T, Expectation>) {
+                checkObservable(t.observable);
+                result.expectation =
+                    doExpectation(t.observable, t.shots, rng, result.meta);
+            } else if constexpr (std::is_same_v<T, Amplitudes>) {
+                result.amplitudes = doAmplitudes(t.bitstrings, result.meta);
+            } else {
+                result.probabilities = doProbabilities(t.qubits, result.meta);
+            }
+        },
+        task);
+    result.meta.seconds = timer.seconds();
+    result.meta.planBuilds = planBuilds_;
+    result.meta.planReuses = planReuses_;
+    return result;
+}
+
+double
+Session::doExpectation(const PauliSum& observable, std::size_t shots,
+                       Rng& rng, ResultMeta& meta)
+{
+    return sampledExpectation(observable, shots, rng, meta);
+}
+
+std::vector<Complex>
+Session::doAmplitudes(const std::vector<std::uint64_t>&, ResultMeta&)
+{
+    unsupported("Amplitudes", "the backend has no per-basis amplitude query");
+}
+
+std::vector<double>
+Session::doProbabilities(const std::vector<std::size_t>&, ResultMeta&)
+{
+    unsupported("Probabilities",
+                "the backend has no exact outcome distribution");
+}
+
+double
+Session::sampledExpectation(const PauliSum& observable, std::size_t shots,
+                            Rng& rng, ResultMeta& meta)
+{
+    double total = 0.0;
+    // Diagonal terms share one batch of computational-basis samples from
+    // the session itself; each non-diagonal term pays its own rotated run.
+    std::vector<std::uint64_t> baseSamples;
+    bool haveBase = false;
+    bool sampled = false;
+    for (const auto& [coeff, pauli] : observable.terms) {
+        if (pauli.isIdentity()) {
+            total += coeff;
+            continue;
+        }
+        if (shots == 0) {
+            // Zero-shot requests are fine on native-exact paths, but here
+            // they would silently return garbage (a 0 "estimate" per term).
+            throw std::invalid_argument(
+                "Expectation: backend " + backendName() +
+                " must estimate this observable from samples for the bound "
+                "circuit, but shots == 0");
+        }
+        if (pauli.isDiagonal()) {
+            if (!haveBase) {
+                baseSamples = doSample(shots, rng, meta);
+                meta.sampledShots += shots;
+                haveBase = true;
+            }
+            total += coeff * pauli.expectationFromSamples(baseSamples);
+        } else {
+            auto rotated = pauli.withMeasurementBasis(circuit_);
+            total += coeff * pauli.expectationFromSamples(
+                                 sampleAdHoc(rotated, shots, rng, meta));
+            meta.sampledShots += shots;
+        }
+        sampled = true;
+    }
+    // Set last (a doSample hook above may flag its own draw as exact): the
+    // estimate is exact only if no term actually needed samples.
+    meta.exact = !sampled;
+    return total;
+}
+
+void
+Session::unsupported(const char* task, const char* why) const
+{
+    throw std::invalid_argument(std::string("Session::run: backend ") +
+                                backendName_ + " cannot serve " + task +
+                                " for the bound circuit (" + why + ")");
+}
+
+void
+Session::checkObservable(const PauliSum& observable) const
+{
+    if (observable.terms.empty())
+        throw std::invalid_argument("Expectation: empty observable");
+    for (const auto& [coeff, pauli] : observable.terms) {
+        (void)coeff;
+        if (pauli.numQubits() != circuit_.numQubits())
+            throw std::invalid_argument(
+                "Expectation: observable qubit count does not match the "
+                "bound circuit");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t>
+Backend::sample(const Circuit& circuit, std::size_t shots, Rng& rng) const
+{
+    return open(circuit)->run(Sample{shots}, rng).samples;
+}
+
+// ---------------------------------------------------------------------------
+// Registry metadata
+// ---------------------------------------------------------------------------
+
+const std::vector<BackendInfo>&
+backendRegistry()
+{
+    static const std::vector<BackendInfo> registry = {
+        {"statevector",
+         {"sv"},
+         {"threads", "fuse"},
+         "dense 2^n state vector (qsim-style); Kraus trajectories when "
+         "noise is present",
+         "sample; expectation (exact when ideal, sampled under noise); "
+         "amplitudes (ideal); probabilities (ideal)"},
+        {"densitymatrix",
+         {"dm"},
+         {"threads", "fuse"},
+         "dense 4^n density matrix (Cirq-style); every channel exact",
+         "sample; expectation (exact, ideal and noisy); probabilities "
+         "(exact, ideal and noisy)"},
+        {"tensornetwork",
+         {"tn"},
+         {},
+         "qTorch-style tensor-network contraction (ideal circuits only)",
+         "sample; expectation (sampled); amplitudes (exact); probabilities "
+         "(exact marginals by doubled-network contraction)"},
+        {"decisiondiagram",
+         {"dd"},
+         {},
+         "QMDD decision diagram (DDSIM-style); Kraus trajectories when "
+         "noise is present",
+         "sample; expectation (exact when ideal, via diagram walk); "
+         "amplitudes (ideal); probabilities (ideal)"},
+        {"knowledgecompilation",
+         {"kc"},
+         {"burnin", "thin"},
+         "knowledge compilation (this paper): compile once, refresh "
+         "parameter leaves across a variational sweep",
+         "sample (Gibbs); expectation (exact within the query-feasibility "
+         "limit: ideal circuits and diagonal observables under noise; "
+         "Gibbs-sampled beyond it); amplitudes (ideal); probabilities "
+         "(exact, ideal and noisy, within the same limit)"},
+    };
+    return registry;
+}
+
+const std::vector<std::string>&
+backendNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const BackendInfo& info : backendRegistry())
+            v.push_back(info.name);
+        return v;
+    }();
+    return names;
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using OptionMap = std::map<std::string, std::string>;
+
+/** Splits "name:k1=v1,k2=v2" into the base name and its option map. */
+OptionMap
+parseOptionString(const std::string& spec, std::string& name)
+{
+    OptionMap options;
+    const auto colon = spec.find(':');
+    name = spec.substr(0, colon);
+    if (colon == std::string::npos)
+        return options;
+
+    std::string rest = spec.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos <= rest.size()) {
+        const auto comma = rest.find(',', pos);
+        const std::string item =
+            rest.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        const auto eq = item.find('=');
+        if (item.empty() || eq == std::string::npos || eq == 0) {
+            throw std::invalid_argument(
+                "makeBackend: malformed option \"" + item + "\" in \"" +
+                spec + "\" (expected key=value, comma-separated)");
+        }
+        options[item.substr(0, eq)] = item.substr(eq + 1);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return options;
+}
+
+long
+parseIntOption(const std::string& key, const std::string& value)
+{
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        throw std::invalid_argument("makeBackend: option " + key +
+                                    " needs an in-range integer, got \"" +
+                                    value + "\"");
+    }
+    return v;
+}
+
+const BackendInfo*
+findBackendInfo(const std::string& name)
+{
+    for (const BackendInfo& info : backendRegistry()) {
+        if (info.name == name)
+            return &info;
+        for (const std::string& alias : info.aliases)
+            if (alias == name)
+                return &info;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+BackendSpec
+parseBackendSpec(const std::string& spec)
+{
+    std::string name;
+    OptionMap options = parseOptionString(spec, name);
+
+    const BackendInfo* info = findBackendInfo(name);
+    if (!info) {
+        std::string known;
+        for (const std::string& n : backendNames())
+            known += (known.empty() ? "" : ", ") + n;
+        throw std::invalid_argument("makeBackend: unknown backend \"" + name +
+                                    "\" (known: " + known + ")");
+    }
+
+    BackendSpec result;
+    result.name = info->name;
+
+    for (const auto& [key, value] : options) {
+        const bool accepted =
+            std::find(info->optionKeys.begin(), info->optionKeys.end(),
+                      key) != info->optionKeys.end();
+        if (!accepted) {
+            std::string known;
+            for (const std::string& k : info->optionKeys)
+                known += (known.empty() ? "" : ", ") + k;
+            throw std::invalid_argument(
+                "makeBackend: unknown option \"" + key + "\" for backend " +
+                info->name +
+                (known.empty() ? " (it accepts no options)"
+                               : " (valid: " + known + ")"));
+        }
+        const long v = parseIntOption(key, value);
+        if (key == "threads") {
+            if (v < 0)
+                throw std::invalid_argument(
+                    "makeBackend: option threads must be >= 0 "
+                    "(0 = machine default)");
+            result.options.threads = static_cast<std::size_t>(v);
+        } else if (key == "fuse") {
+            if (v != 0 && v != 1)
+                throw std::invalid_argument(
+                    "makeBackend: option fuse must be 0 or 1");
+            result.options.fuse = v == 1;
+        } else if (key == "burnin") {
+            if (v < 0)
+                throw std::invalid_argument(
+                    "makeBackend: option burnin must be >= 0");
+            result.options.burnIn = static_cast<std::size_t>(v);
+        } else if (key == "thin") {
+            if (v < 1)
+                throw std::invalid_argument(
+                    "makeBackend: option thin must be >= 1");
+            result.options.thin = static_cast<std::size_t>(v);
+        } else {
+            // A registry optionKey without a dispatch branch would
+            // otherwise be validated, parsed and then silently dropped.
+            throw std::logic_error(
+                "parseBackendSpec: registry advertises option \"" + key +
+                "\" but no dispatch branch stores it — add one here and a "
+                "field in BackendOptions");
+        }
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+std::vector<double>
+marginalizeDistribution(const std::vector<double>& dist,
+                        std::size_t numQubits,
+                        const std::vector<std::size_t>& qubits)
+{
+    if (qubits.empty())
+        return dist;
+    std::uint64_t seen = 0;
+    for (std::size_t q : qubits) {
+        if (q >= numQubits)
+            throw std::invalid_argument(
+                "Probabilities: marginal qubit out of range");
+        if (seen & (std::uint64_t{1} << q))
+            throw std::invalid_argument(
+                "Probabilities: repeated marginal qubit");
+        seen |= std::uint64_t{1} << q;
+    }
+    std::vector<double> out(std::size_t{1} << qubits.size(), 0.0);
+    for (std::size_t x = 0; x < dist.size(); ++x) {
+        std::size_t idx = 0;
+        for (std::size_t q : qubits)
+            idx = (idx << 1) |
+                  ((x >> (numQubits - 1 - q)) & std::size_t{1});
+        out[idx] += dist[x];
+    }
+    return out;
+}
+
+} // namespace qkc

@@ -1,0 +1,332 @@
+#ifndef QKC_VQA_SIMULATOR_API_H
+#define QKC_VQA_SIMULATOR_API_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/fusion.h"
+#include "linalg/types.h"
+#include "util/rng.h"
+#include "vqa/pauli.h"
+
+namespace qkc {
+
+// ---------------------------------------------------------------------------
+// Typed backend options
+// ---------------------------------------------------------------------------
+
+/**
+ * Every knob a backend accepts, in one typed struct. String specs like
+ * "sv:threads=8,fuse=1" are parsed into this by parseBackendSpec with
+ * per-backend key validation; programmatic callers fill it directly and
+ * pass it to Backend::open. Keys a backend does not consult are ignored at
+ * open time (validation is the parser's job, so typed callers can share one
+ * options value across backends).
+ */
+struct BackendOptions {
+    /**
+     * Dense-sweep threads for sv/dm (total, including the caller).
+     * 0 = machine default: the QKC_THREADS environment variable when set
+     * (clamped to >= 1), otherwise std::thread::hardware_concurrency().
+     * An explicit value here always wins over both.
+     */
+    std::size_t threads = 0;
+
+    /** Run the greedy gate-fusion pass at plan time (sv/dm). */
+    bool fuse = true;
+
+    /** Gibbs sweeps discarded before the first recorded sample (kc). */
+    std::size_t burnIn = 64;
+
+    /** Gibbs sweeps between recorded samples, >= 1 (kc). */
+    std::size_t thin = 1;
+};
+
+/** A parsed backend spec: canonical name plus its typed options. */
+struct BackendSpec {
+    std::string name;
+    BackendOptions options;
+};
+
+/**
+ * Parses "name[:k1=v1,k2=v2]" — name canonical or aliased — into a typed
+ * spec. Unknown backends *and* unknown or malformed options throw
+ * std::invalid_argument listing what is valid for that backend.
+ */
+BackendSpec parseBackendSpec(const std::string& spec);
+
+// ---------------------------------------------------------------------------
+// Registry metadata
+// ---------------------------------------------------------------------------
+
+/**
+ * One registry entry per simulator family. qkc_cli --list-backends and the
+ * README capability matrix render straight from this, so help text cannot
+ * drift from what parseBackendSpec actually accepts.
+ */
+struct BackendInfo {
+    std::string name;                      ///< canonical registry name
+    std::vector<std::string> aliases;      ///< e.g. {"sv"}
+    std::vector<std::string> optionKeys;   ///< keys parseBackendSpec accepts
+    std::string summary;                   ///< one-line cost-profile note
+    std::string tasks;                     ///< which tasks it serves, and how
+};
+
+/** The full registry, in presentation order. */
+const std::vector<BackendInfo>& backendRegistry();
+
+/** The canonical registry names, in presentation order. */
+const std::vector<std::string>& backendNames();
+
+// ---------------------------------------------------------------------------
+// Tasks
+// ---------------------------------------------------------------------------
+
+/** Draw `shots` measurement outcomes from the bound circuit. */
+struct Sample {
+    std::size_t shots = 1024;
+};
+
+/**
+ * Evaluate <H> for a Pauli-sum observable. Served natively (exactly) where
+ * the representation allows it — sv: <psi|P|psi> via the exec kernels,
+ * dm: tr(rho P), dd: a diagram walk, kc: AC queries — and estimated from
+ * `shots` rotated-basis samples per non-diagonal term otherwise (tn, and
+ * noisy trajectory paths). Result::meta.exact records which happened.
+ */
+struct Expectation {
+    PauliSum observable;
+    std::size_t shots = 4096; ///< only used by the sampling fallback
+};
+
+/** Read amplitudes <x|psi> for the given basis states (pure states only). */
+struct Amplitudes {
+    std::vector<std::uint64_t> bitstrings;
+};
+
+/**
+ * Exact outcome probabilities, marginalized onto `qubits` (empty = all
+ * qubits, i.e. the full 2^n distribution). Entry k of the payload is the
+ * probability that the selected qubits read out the bits of k, with
+ * qubits[0] the most significant bit — matching the circuit convention.
+ */
+struct Probabilities {
+    std::vector<std::size_t> qubits;
+};
+
+/** One typed query against an open session. */
+using Task = std::variant<Sample, Expectation, Amplitudes, Probabilities>;
+
+// ---------------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------------
+
+/** Execution metadata carried by every Result. */
+struct ResultMeta {
+    std::string backend;        ///< canonical backend name
+    double seconds = 0.0;       ///< wall time inside Session::run
+
+    /**
+     * Structure compilations this session has performed so far: execution
+     * plans (fusion + kernel classification) for sv/dm, diagram builds for
+     * dd, contraction plannings for tn, AC compilations for kc. A
+     * variational sweep over one circuit structure must show this stuck at
+     * 1 while planReuses grows — the paper's Section 3.2 reuse property,
+     * asserted by the session tests.
+     */
+    std::size_t planBuilds = 0;
+
+    /** Parameter binds served by refreshing the cached structure. */
+    std::size_t planReuses = 0;
+
+    /** Noisy Monte-Carlo trajectories run for this task. */
+    std::size_t trajectories = 0;
+
+    /** Shots drawn by the Expectation sampling fallback (0 when exact). */
+    std::size_t sampledShots = 0;
+
+    /** Payload computed without Monte-Carlo error. */
+    bool exact = false;
+
+    /** Gate-fusion stats of the active plan (dense backends; else zeros). */
+    FusionStats fusion{};
+};
+
+/**
+ * The payload of one task plus its metadata. Exactly one payload field is
+ * populated, matching the Task alternative that produced it.
+ */
+struct Result {
+    std::vector<std::uint64_t> samples;   ///< Sample
+    double expectation = 0.0;             ///< Expectation
+    std::vector<Complex> amplitudes;      ///< Amplitudes
+    std::vector<double> probabilities;    ///< Probabilities
+    ResultMeta meta;
+};
+
+// ---------------------------------------------------------------------------
+// Session and Backend
+// ---------------------------------------------------------------------------
+
+/**
+ * A live simulation of one circuit *structure* on one backend. Opening a
+ * session pays the structure cost once — execution plan (fusion + kernel
+ * classification) for the dense backends, compiled gate DDs for dd,
+ * contraction plans for tn, the compiled arithmetic circuit for kc — and
+ * every task then runs against that state. bind() swaps in new gate
+ * parameters without re-paying it, which generalizes the paper's
+ * compile-once/refresh-leaves reuse story (Section 3.2) from the kc backend
+ * to all five families.
+ *
+ * Sessions are not thread-safe; drive one session from one thread (the
+ * dense sweeps inside parallelize per BackendOptions::threads).
+ */
+class Session {
+  public:
+    virtual ~Session() = default;
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /** Canonical name of the owning backend. */
+    const std::string& backendName() const { return backendName_; }
+
+    /** The currently bound circuit. */
+    const Circuit& circuit() const { return circuit_; }
+
+    /**
+     * Rebinds the session to `circuit`. Same structure (gate kinds and
+     * wires; only parameters/values differ): the cached plan is refreshed
+     * in place and planReuses increments. Different structure on the same
+     * qubit count: the session transparently re-plans (planBuilds
+     * increments). A different qubit count throws std::invalid_argument.
+     */
+    void bind(const Circuit& circuit);
+
+    /** Runs one typed task and returns its payload plus metadata. */
+    Result run(const Task& task, Rng& rng);
+
+    std::size_t planBuilds() const { return planBuilds_; }
+    std::size_t planReuses() const { return planReuses_; }
+
+  protected:
+    Session(std::string backendName, Circuit circuit);
+
+    /**
+     * Backend hook for bind: refresh values for a same-structure circuit
+     * (sameStructure == true) or rebuild for a new structure. Returns true
+     * when the cached structure was reused; false when a full rebuild
+     * happened (structure change, or a parameter crossed a structural
+     * boundary such as a kernel class). The public wrapper maintains the
+     * planBuilds/planReuses counters from the return value.
+     */
+    virtual bool doBind(const Circuit& circuit, bool sameStructure) = 0;
+
+    virtual std::vector<std::uint64_t> doSample(std::size_t shots, Rng& rng,
+                                                ResultMeta& meta) = 0;
+
+    /** Default: the rotated-basis sampling fallback (sampledExpectation). */
+    virtual double doExpectation(const PauliSum& observable,
+                                 std::size_t shots, Rng& rng,
+                                 ResultMeta& meta);
+
+    /** Default: throws — the backend cannot serve amplitudes. */
+    virtual std::vector<Complex> doAmplitudes(
+        const std::vector<std::uint64_t>& bitstrings, ResultMeta& meta);
+
+    /** Default: throws — the backend cannot serve exact probabilities. */
+    virtual std::vector<double> doProbabilities(
+        const std::vector<std::size_t>& qubits, ResultMeta& meta);
+
+    /**
+     * One-shot samples from a structure-modified copy of the bound circuit
+     * (the Expectation fallback appends measurement-basis rotations). Not
+     * counted against the session's plan metadata; implementations must
+     * account Monte-Carlo cost (meta.trajectories) they incur.
+     */
+    virtual std::vector<std::uint64_t> sampleAdHoc(const Circuit& rotated,
+                                                   std::size_t shots,
+                                                   Rng& rng,
+                                                   ResultMeta& meta) = 0;
+
+    /**
+     * Shared CLT fallback: diagonal terms score one batch of computational-
+     * basis samples from the session itself; each non-diagonal term pays
+     * `shots` rotated-basis samples via sampleAdHoc.
+     */
+    double sampledExpectation(const PauliSum& observable, std::size_t shots,
+                              Rng& rng, ResultMeta& meta);
+
+    /** Throws std::invalid_argument naming the backend, task and reason. */
+    [[noreturn]] void unsupported(const char* task, const char* why) const;
+
+    /** Validates an Expectation observable against the bound circuit. */
+    void checkObservable(const PauliSum& observable) const;
+
+    Circuit circuit_;
+    std::size_t planBuilds_ = 0;
+    std::size_t planReuses_ = 0;
+
+  private:
+    std::string backendName_;
+};
+
+/**
+ * A simulator family. `open` compiles a circuit structure into a Session;
+ * `sample` is the pre-redesign convenience (open + one Sample task) kept
+ * for one-shot callers — anything that evaluates repeatedly should hold a
+ * Session and bind.
+ */
+class Backend {
+  public:
+    virtual ~Backend() = default;
+
+    /** Canonical registry name. */
+    virtual std::string name() const = 0;
+
+    /** Opens a session on `circuit` with explicit options. */
+    virtual std::unique_ptr<Session> open(const Circuit& circuit,
+                                          const BackendOptions& options) const = 0;
+
+    /** Opens a session with the backend's configured default options. */
+    std::unique_ptr<Session> open(const Circuit& circuit) const
+    {
+        return open(circuit, defaults());
+    }
+
+    /** The options this backend was constructed with (spec string, ctor). */
+    virtual const BackendOptions& defaults() const = 0;
+
+    /** Compatibility helper: open(circuit).run(Sample{shots}).samples. */
+    std::vector<std::uint64_t> sample(const Circuit& circuit,
+                                      std::size_t shots, Rng& rng) const;
+};
+
+/**
+ * The unified backend registry front-end: resolves a string spec
+ * ("sv:threads=8,fuse=1", "kc:burnin=64,thin=2", ...) through
+ * parseBackendSpec and constructs the backend with those options baked in
+ * as its defaults. See backendRegistry() for names, aliases and keys.
+ */
+std::unique_ptr<Backend> makeBackend(const std::string& spec);
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/**
+ * Marginalizes a full 2^n distribution onto `qubits` (Probabilities task
+ * semantics: qubits[0] = MSB of the output index; empty = identity copy).
+ * Throws on out-of-range or repeated qubits.
+ */
+std::vector<double> marginalizeDistribution(const std::vector<double>& dist,
+                                            std::size_t numQubits,
+                                            const std::vector<std::size_t>& qubits);
+
+} // namespace qkc
+
+#endif // QKC_VQA_SIMULATOR_API_H

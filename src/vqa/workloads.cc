@@ -76,6 +76,22 @@ QaoaMaxCut::expectedCutExact(const std::vector<double>& distribution) const
     return acc;
 }
 
+PauliSum
+QaoaMaxCut::cutObservable() const
+{
+    const std::size_t n = numQubits();
+    PauliSum h;
+    h.add(static_cast<double>(graph_.numEdges()) / 2.0,
+          PauliString(std::string(n, 'I')));
+    for (const auto& [u, v] : graph_.edges()) {
+        std::string term(n, 'I');
+        term[u] = 'Z';
+        term[v] = 'Z';
+        h.add(-0.5, PauliString(term));
+    }
+    return h;
+}
+
 // ---------------------------------------------------------------------------
 // VqeIsing
 // ---------------------------------------------------------------------------
@@ -153,6 +169,26 @@ VqeIsing::expectedEnergyExact(const std::vector<double>& distribution) const
     for (std::size_t x = 0; x < distribution.size(); ++x)
         acc += distribution[x] * energyOfOutcome(x);
     return acc;
+}
+
+PauliSum
+VqeIsing::hamiltonian() const
+{
+    const std::size_t n = numQubits();
+    PauliSum h;
+    const auto& edges = grid_.edges();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+        std::string term(n, 'I');
+        term[edges[e].first] = 'Z';
+        term[edges[e].second] = 'Z';
+        h.add(couplings_[e], PauliString(term));
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+        std::string term(n, 'I');
+        term[v] = 'Z';
+        h.add(fields_[v], PauliString(term));
+    }
+    return h;
 }
 
 double

@@ -7,6 +7,7 @@
 #include "circuit/circuit.h"
 #include "util/graph.h"
 #include "util/rng.h"
+#include "vqa/pauli.h"
 
 namespace qkc {
 
@@ -41,6 +42,13 @@ class QaoaMaxCut {
     /** Exact expected cut under a full distribution (for tests/benches). */
     double expectedCutExact(const std::vector<double>& distribution) const;
 
+    /**
+     * The cut as a Pauli observable, |E|/2 - 1/2 sum_{(i,j) in E} Z_i Z_j,
+     * for the Expectation task: backends with native expectation values
+     * evaluate E[cut] exactly instead of estimating it from shots.
+     */
+    PauliSum cutObservable() const;
+
   private:
     Graph graph_;
     std::size_t iterations_;
@@ -70,6 +78,13 @@ class VqeIsing {
 
     double expectedEnergy(const std::vector<std::uint64_t>& samples) const;
     double expectedEnergyExact(const std::vector<double>& distribution) const;
+
+    /**
+     * H = sum_{<ij>} J_ij Z_i Z_j + sum_i h_i Z_i as a Pauli sum — the
+     * Expectation-task form of the objective (diagonal, so every backend
+     * with an exact distribution serves it without sampling).
+     */
+    PauliSum hamiltonian() const;
 
     /** Exact ground state energy by enumeration (tests; <= 20 qubits). */
     double groundStateEnergy() const;

@@ -148,6 +148,76 @@ TEST(FusionTest, RandomizedCircuitsFusedEqualsUnfused)
     }
 }
 
+TEST(FusionTest, RecipeMaterializesNewParameters)
+{
+    // Plan once, replay on a same-structure circuit with different angles:
+    // the result must equal fusing the new circuit from scratch.
+    Circuit a(3);
+    a.h(0).rz(0, 0.3).cnot(0, 1).rx(1, 0.7).rz(2, 1.1).zz(1, 2, 0.5).h(2);
+    Circuit b(3);
+    b.h(0).rz(0, 1.9).cnot(0, 1).rx(1, -0.2).rz(2, 0.4).zz(1, 2, 2.2).h(2);
+
+    const FusionRecipe recipe = planFusion(a);
+    auto viaRecipe = materializeFusion(recipe, b);
+    ASSERT_TRUE(viaRecipe.has_value());
+    const Circuit direct = fuseGates(b);
+    ASSERT_EQ(viaRecipe->size(), direct.size());
+    expectSameState(b, *viaRecipe);
+}
+
+TEST(FusionTest, RecipeDetectsIdentityBoundaryCrossing)
+{
+    // H;H fuses to the identity and is dropped at plan time. Replaying the
+    // recipe on H;T (same structure, different values) crosses the drop
+    // boundary and must refuse rather than silently drop the product.
+    Circuit a(1);
+    a.h(0).h(0);
+    Circuit b(1);
+    b.h(0).t(0);
+
+    const FusionRecipe recipe = planFusion(a);
+    EXPECT_EQ(recipe.stats.droppedIdentity, 1u);
+    EXPECT_FALSE(materializeFusion(recipe, b).has_value());
+
+    // And the reverse: a kept product that becomes the identity.
+    const FusionRecipe keepRecipe = planFusion(b);
+    EXPECT_FALSE(materializeFusion(keepRecipe, a).has_value());
+}
+
+TEST(FusionTest, RecipeRefusesTrailingOps)
+{
+    // The recipe must cover the whole circuit: replaying it on a circuit
+    // with extra trailing ops must refuse, not silently drop them.
+    Circuit a(2);
+    a.h(0).cnot(0, 1);
+    Circuit b = a;
+    b.x(1);
+    const FusionRecipe recipe = planFusion(a);
+    EXPECT_FALSE(materializeFusion(recipe, b).has_value());
+
+    FusionCache cache;
+    cache.build(a);
+    EXPECT_FALSE(cache.rebind(b)); // refused, rebuilt from b internally
+    expectSameState(b, cache.fused());
+}
+
+TEST(FusionTest, RecipeRefusesWireMismatch)
+{
+    // Same op kinds and arities but different operand wires: replaying the
+    // recipe must refuse, not emit a fused gate on the recorded wires.
+    Circuit a(2);
+    a.rz(0, 0.3).rz(0, 0.4).cnot(0, 1);
+    Circuit b(2);
+    b.rz(1, 0.3).rz(1, 0.4).cnot(0, 1);
+    EXPECT_FALSE(materializeFusion(planFusion(a), b).has_value());
+
+    FusionCache cache;
+    cache.build(a);
+    EXPECT_FALSE(cache.rebind(b)); // refused, then rebuilt internally
+    EXPECT_EQ(cache.fused().gateCount(), fuseGates(b).gateCount());
+    expectSameState(b, cache.fused());
+}
+
 TEST(FusionTest, SimulatorFusionPolicyMatchesExplicitFusion)
 {
     Circuit c(3);

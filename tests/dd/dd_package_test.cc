@@ -235,6 +235,44 @@ TEST(DdPackageTest, MatrixNormalizationBoundsWeights)
     EXPECT_DOUBLE_EQ(maxMag, 1.0);
 }
 
+TEST(DdPackageTest, InnerProductMatchesAmplitudeSums)
+{
+    // <a|b> from the memoized two-diagram walk must equal the brute-force
+    // sum over basis amplitudes.
+    DdPackage pkg(3);
+    VEdge a = pkg.makeZeroState();
+    a = pkg.apply(pkg.makeGateDd(Gate(GateKind::H, {0}).unitary(), {0}), a);
+    a = pkg.apply(pkg.makeGateDd(Gate(GateKind::CNOT, {0, 1}).unitary(),
+                                 {0, 1}),
+                  a);
+    a = pkg.apply(pkg.makeGateDd(Gate(GateKind::T, {2}).unitary(), {2}), a);
+
+    VEdge b = pkg.makeZeroState();
+    b = pkg.apply(pkg.makeGateDd(Gate(GateKind::Ry, {0}, 0.9).unitary(), {0}),
+                  b);
+    b = pkg.apply(pkg.makeGateDd(Gate(GateKind::H, {1}).unitary(), {1}), b);
+
+    Complex brute{0.0, 0.0};
+    for (std::uint64_t x = 0; x < 8; ++x)
+        brute += std::conj(pkg.amplitude(a, x)) * pkg.amplitude(b, x);
+
+    const Complex ip = pkg.innerProduct(a, b);
+    EXPECT_NEAR(ip.real(), brute.real(), 1e-12);
+    EXPECT_NEAR(ip.imag(), brute.imag(), 1e-12);
+
+    // <a|a> = 1 for a normalized state; conjugate symmetry holds.
+    EXPECT_NEAR(pkg.innerProduct(a, a).real(), 1.0, 1e-12);
+    EXPECT_NEAR(pkg.innerProduct(a, a).imag(), 0.0, 1e-12);
+    const Complex flipped = pkg.innerProduct(b, a);
+    EXPECT_NEAR(flipped.real(), ip.real(), 1e-12);
+    EXPECT_NEAR(flipped.imag(), -ip.imag(), 1e-12);
+
+    // The zero edge is orthogonal to everything.
+    const Complex zero = pkg.innerProduct(VEdge{}, a);
+    EXPECT_EQ(zero.real(), 0.0);
+    EXPECT_EQ(zero.imag(), 0.0);
+}
+
 TEST(DdPackageTest, RejectsInvalidInputs)
 {
     EXPECT_THROW(DdPackage(0), std::invalid_argument);

@@ -140,5 +140,29 @@ TEST(ThreadPoolTest, DefaultThreadsRespectsOverride)
     setDefaultThreads(saved);
 }
 
+TEST(ThreadPoolTest, ThreadsZeroMeansMachineDefault)
+{
+    // threads=0 is the documented "machine default": resolvedThreads()
+    // always tracks defaultThreads() (QKC_THREADS / hardware concurrency /
+    // setDefaultThreads, in the ExecPolicy-documented precedence), and is
+    // never resolved to zero.
+    const std::size_t saved = defaultThreads();
+
+    ExecPolicy p; // threads defaults to 0
+    EXPECT_EQ(p.threads, 0u);
+    EXPECT_EQ(p.resolvedThreads(), defaultThreads());
+    EXPECT_GE(p.resolvedThreads(), 1u);
+
+    setDefaultThreads(7);
+    EXPECT_EQ(p.resolvedThreads(), 7u);
+
+    // setDefaultThreads clamps nonsense to 1, so 0 can never leak through.
+    setDefaultThreads(0);
+    EXPECT_EQ(defaultThreads(), 1u);
+    EXPECT_EQ(p.resolvedThreads(), 1u);
+
+    setDefaultThreads(saved);
+}
+
 } // namespace
 } // namespace qkc

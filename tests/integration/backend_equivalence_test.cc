@@ -146,12 +146,40 @@ TEST_P(GhzFamilyEquivalenceTest, RegistryBackendsSampleOnlyGhzOutcomes)
     const char* const names[] = {"decisiondiagram", "statevector",
                                  "knowledgecompilation"};
     for (const char* name : names) {
-        auto backend = makeBackend(name);
+        auto session = makeBackend(name)->open(c);
         Rng rng(29);
-        for (std::uint64_t s : backend->sample(c, 64, rng)) {
+        const Result r = session->run(Sample{64}, rng);
+        for (std::uint64_t s : r.samples) {
             EXPECT_TRUE(s == 0 || s == all)
                 << name << " sampled non-GHZ outcome " << s;
         }
+    }
+}
+
+TEST_P(GhzFamilyEquivalenceTest, SessionTasksAgreeOnGhz)
+{
+    // The task API's exact payloads on one session: probabilities and
+    // amplitudes both match the closed-form GHZ state.
+    const std::size_t n = GetParam();
+    Circuit c = ghzCircuit(n);
+    const std::uint64_t all = (std::uint64_t{1} << n) - 1;
+    const double amp = 1.0 / std::sqrt(2.0);
+
+    for (const char* name : {"statevector", "decisiondiagram",
+                             "knowledgecompilation"}) {
+        auto session = makeBackend(name)->open(c);
+        Rng rng(31);
+
+        auto probs = session->run(Probabilities{{}}, rng).probabilities;
+        EXPECT_NEAR(probs[0], 0.5, 1e-9) << name;
+        EXPECT_NEAR(probs[all], 0.5, 1e-9) << name;
+
+        auto amps =
+            session->run(Amplitudes{{0, all}}, rng).amplitudes;
+        EXPECT_NEAR(amps[0].real(), amp, 1e-9) << name;
+        EXPECT_NEAR(amps[1].real(), amp, 1e-9) << name;
+        EXPECT_NEAR(amps[0].imag(), 0.0, 1e-9) << name;
+        EXPECT_NEAR(amps[1].imag(), 0.0, 1e-9) << name;
     }
 }
 

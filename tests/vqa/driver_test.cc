@@ -29,17 +29,31 @@ TEST(VqaDriverTest, QaoaImprovesOverUniformWithKc)
     EXPECT_GT(result.circuitEvaluations, 10u);
 }
 
-TEST(VqaDriverTest, KcBackendCompilesOnce)
+TEST(VqaDriverTest, KcSessionCompilesOnce)
 {
     // Every Nelder-Mead evaluation uses the same circuit structure, so the
-    // KC backend must compile exactly once and only refresh weights — the
-    // paper's central reuse claim.
+    // KC session must compile exactly once and only refresh weights — the
+    // paper's central reuse claim, reported by the driver's metadata.
     Rng rng(7);
     auto problem = QaoaMaxCut::randomRegular(6, 3, 1, rng);
     KnowledgeCompilationBackend backend;
     auto result = runQaoaMaxCut(problem, backend, smallRun(9));
-    EXPECT_EQ(backend.compileCount(), 1u);
+    EXPECT_EQ(result.planBuilds, 1u);
+    EXPECT_EQ(result.planReuses, result.circuitEvaluations - 1);
     EXPECT_GT(result.circuitEvaluations, 10u);
+}
+
+TEST(VqaDriverTest, StateVectorSessionPlansOnce)
+{
+    // The redesign generalizes the reuse story beyond kc: the sv session
+    // runs circuit fusion + kernel classification once per structure and
+    // every later evaluation rebinds parameters in place.
+    Rng rng(7);
+    auto problem = QaoaMaxCut::randomRegular(6, 3, 1, rng);
+    StateVectorBackend backend;
+    auto result = runQaoaMaxCut(problem, backend, smallRun(9));
+    EXPECT_EQ(result.planBuilds, 1u);
+    EXPECT_EQ(result.planReuses, result.circuitEvaluations - 1);
 }
 
 TEST(VqaDriverTest, StateVectorAndKcFindSimilarOptima)
@@ -64,6 +78,28 @@ TEST(VqaDriverTest, VqeLowersEnergy)
     // ground state.
     EXPECT_LT(result.bestObjective, -0.2);
     EXPECT_GE(result.bestObjective, problem.groundStateEnergy() - 1e-9);
+}
+
+TEST(VqaDriverTest, ExactExpectationObjectiveMatchesWorkload)
+{
+    // With exactExpectation the sv session scores the Expectation task:
+    // the objective at the optimum must equal the exact expected energy of
+    // the optimal circuit (no shot noise), and stay above the ground state.
+    Rng rng(17);
+    VqeIsing problem(2, 2, 1, rng);
+    StateVectorBackend backend;
+    VqaOptions options = smallRun(19);
+    options.exactExpectation = true;
+    auto result = runVqeIsing(problem, backend, options);
+    EXPECT_GE(result.bestObjective, problem.groundStateEnergy() - 1e-9);
+
+    // Re-evaluate the reported optimum exactly via the distribution.
+    Circuit best = problem.circuit(result.bestParams);
+    auto session = backend.open(best);
+    Rng queryRng(1);
+    auto dist = session->run(Probabilities{{}}, queryRng).probabilities;
+    EXPECT_NEAR(result.bestObjective, problem.expectedEnergyExact(dist),
+                1e-9);
 }
 
 TEST(VqaDriverTest, NoisyRunUsesChannels)

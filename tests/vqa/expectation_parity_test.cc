@@ -1,0 +1,201 @@
+/**
+ * Expectation parity across backends (ISSUE 4 acceptance): exact
+ * Expectation results agree across sv/dm/kc/dd to 1e-9 on analytically
+ * known GHZ values and on the VQE Ising Hamiltonian — without sampling —
+ * and sampled estimates converge to the exact values within CLT bounds.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/algorithms.h"
+#include "vqa/backends.h"
+#include "vqa/driver.h"
+
+namespace qkc {
+namespace {
+
+constexpr const char* kExactBackends[] = {"sv", "dm", "kc", "dd"};
+
+double
+exactExpectation(const char* name, const Circuit& c, const PauliSum& h)
+{
+    auto session = makeBackend(name)->open(c);
+    Rng rng(1);
+    Result r = session->run(Expectation{h, 0}, rng);
+    EXPECT_TRUE(r.meta.exact) << name;
+    EXPECT_EQ(r.meta.sampledShots, 0u) << name;
+    return r.expectation;
+}
+
+TEST(ExpectationParityTest, GhzStabilizersAreExactOnAllFourBackends)
+{
+    // |GHZ_4>: <Z_i Z_j> = 1, <X X X X> = 1, <Z_i> = 0, <X I I I> = 0.
+    const Circuit c = ghzCircuit(4);
+    PauliSum zz, xxxx, z1, x1;
+    zz.add(1.0, PauliString("ZIIZ"));
+    xxxx.add(1.0, PauliString("XXXX"));
+    z1.add(1.0, PauliString("IZII"));
+    x1.add(1.0, PauliString("XIII"));
+
+    for (const char* name : kExactBackends) {
+        EXPECT_NEAR(exactExpectation(name, c, zz), 1.0, 1e-9) << name;
+        EXPECT_NEAR(exactExpectation(name, c, xxxx), 1.0, 1e-9) << name;
+        EXPECT_NEAR(exactExpectation(name, c, z1), 0.0, 1e-9) << name;
+        EXPECT_NEAR(exactExpectation(name, c, x1), 0.0, 1e-9) << name;
+    }
+}
+
+TEST(ExpectationParityTest, AsymmetricObservablesPinQubitIndexing)
+{
+    // Qubit-asymmetric state and observables: Ry(0.8) on qubit 0 and
+    // Rx(0.5) on qubit 1 give <XI> = sin 0.8, <IX> = 0, <IY> = -sin 0.5,
+    // <YI> = 0, <ZI> = cos 0.8, <IZ> = cos 0.5. A swapped qubit index or
+    // bit convention in any native expectation path cannot survive these
+    // (the GHZ/Bell cases are permutation-invariant and would).
+    Circuit c(2);
+    c.ry(0, 0.8).rx(1, 0.5);
+    const struct {
+        const char* pauli;
+        double value;
+    } cases[] = {
+        {"XI", std::sin(0.8)}, {"IX", 0.0},
+        {"YI", 0.0},           {"IY", -std::sin(0.5)},
+        {"ZI", std::cos(0.8)}, {"IZ", std::cos(0.5)},
+    };
+    for (const char* name : kExactBackends) {
+        for (const auto&[text, value] : cases) {
+            PauliSum h;
+            h.add(1.0, PauliString(text));
+            EXPECT_NEAR(exactExpectation(name, c, h), value, 1e-9)
+                << name << " <" << text << ">";
+        }
+    }
+}
+
+TEST(ExpectationParityTest, VqeIsingHamiltonianAgreesAcrossBackends)
+{
+    // The full VQE Ising Hamiltonian on a mid-optimization ansatz state:
+    // every exact backend must agree with the brute-force value from the
+    // state-vector distribution to 1e-9.
+    Rng modelRng(5);
+    VqeIsing problem(2, 3, 1, modelRng);
+    const Circuit c = problem.circuit({0.37, 0.81});
+    const PauliSum h = problem.hamiltonian();
+
+    Rng distRng(1);
+    auto dist = makeBackend("sv")->open(c)->run(Probabilities{{}}, distRng);
+    const double reference = problem.expectedEnergyExact(dist.probabilities);
+
+    for (const char* name : kExactBackends)
+        EXPECT_NEAR(exactExpectation(name, c, h), reference, 1e-9) << name;
+}
+
+TEST(ExpectationParityTest, NoisyDiagonalExpectationExactOnDmAndKc)
+{
+    // Channels included: dm via tr(rho P), kc via the noise-summed outcome
+    // distribution (feasible here: two channels). Both must agree to 1e-9
+    // on a diagonal observable.
+    Circuit bell(2);
+    bell.h(0).cnot(0, 1);
+    const Circuit noisy =
+        bell.withNoiseAfterEachGate(NoiseKind::Depolarizing, 0.03);
+    PauliSum h;
+    h.add(0.8, PauliString("ZZ")).add(-0.3, PauliString("ZI"));
+
+    const double dm = exactExpectation("dm", noisy, h);
+    const double kc = exactExpectation("kc", noisy, h);
+    EXPECT_NEAR(dm, kc, 1e-9);
+
+    // And the noise moves the value: it must differ from the ideal one.
+    const double ideal = exactExpectation("dm", bell, h);
+    EXPECT_GT(std::abs(dm - ideal), 1e-6);
+}
+
+TEST(ExpectationParityTest, KcFallsBackToGibbsBeyondTheFeasibilityLimit)
+{
+    // A heavily-noised VQE circuit has too many noise assignments for the
+    // exact AC sweep: the kc session must degrade to Gibbs shots (flagged
+    // non-exact) instead of hanging on the enumeration, and the estimate
+    // must still land near the exact dm value.
+    Rng modelRng(5);
+    VqeIsing problem(2, 2, 1, modelRng);
+    const Circuit noisy =
+        problem.circuit({0.37, 0.81})
+            .withNoiseAfterEachGate(NoiseKind::Depolarizing, 0.01);
+    const PauliSum h = problem.hamiltonian();
+
+    auto session = makeBackend("kc:burnin=32")->open(noisy);
+    Rng rng(31);
+    Result r = session->run(Expectation{h, 2048}, rng);
+    EXPECT_FALSE(r.meta.exact);
+    EXPECT_GT(r.meta.sampledShots, 0u);
+
+    const double reference = exactExpectation("dm", noisy, h);
+    double coeffSum = 0.0;
+    for (const auto& [coeff, pauli] : h.terms) {
+        (void)pauli;
+        coeffSum += std::abs(coeff);
+    }
+    EXPECT_NEAR(r.expectation, reference,
+                5.0 * coeffSum / std::sqrt(2048.0) + 0.05);
+}
+
+TEST(ExpectationParityTest, SampledEstimatesConvergeWithinCltBounds)
+{
+    // tn (always sampled) and sv-under-noise (trajectory fallback for the
+    // non-diagonal term) must land within 5 sigma of the exact value.
+    Rng modelRng(5);
+    VqeIsing problem(2, 2, 1, modelRng);
+    const Circuit c = problem.circuit({0.37, 0.81});
+    const PauliSum h = problem.hamiltonian();
+    const double reference = exactExpectation("sv", c, h);
+
+    double coeffSum = 0.0;
+    for (const auto& [coeff, pauli] : h.terms) {
+        (void)pauli;
+        coeffSum += std::abs(coeff);
+    }
+
+    const std::size_t shots = 8192;
+    // Each term's estimator has variance <= coeff^2 / shots; bound the sum
+    // conservatively by (sum |coeff|)^2 / shots.
+    const double bound = 5.0 * coeffSum / std::sqrt(double(shots));
+
+    auto session = makeBackend("tn")->open(c);
+    Rng rng(23);
+    Result r = session->run(Expectation{h, shots}, rng);
+    EXPECT_FALSE(r.meta.exact);
+    EXPECT_GT(r.meta.sampledShots, 0u);
+    EXPECT_NEAR(r.expectation, reference, bound);
+}
+
+TEST(ExpectationParityTest, NoisyNonDiagonalFallsBackToShotsOnSv)
+{
+    // Bell pair + depolarizing noise: <XX> is non-diagonal, so the noisy
+    // sv session samples rotated trajectories; the estimate must still
+    // track the exact dm value within CLT distance.
+    Circuit bell(2);
+    bell.h(0).cnot(0, 1);
+    const Circuit noisy =
+        bell.withNoiseAfterEachGate(NoiseKind::Depolarizing, 0.02);
+    PauliSum h;
+    h.add(1.0, PauliString("XX"));
+
+    const double reference = exactExpectation("dm", noisy, h);
+
+    auto session = makeBackend("sv")->open(noisy);
+    Rng rng(29);
+    const std::size_t shots = 8192;
+    Result r = session->run(Expectation{h, shots}, rng);
+    EXPECT_FALSE(r.meta.exact);
+    EXPECT_EQ(r.meta.sampledShots, shots);
+    // The rotated-basis fallback runs one Kraus trajectory per shot, and
+    // the metadata must account for them.
+    EXPECT_EQ(r.meta.trajectories, shots);
+    EXPECT_NEAR(r.expectation, reference,
+                5.0 / std::sqrt(double(shots)));
+}
+
+} // namespace
+} // namespace qkc

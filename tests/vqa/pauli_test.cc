@@ -6,6 +6,7 @@
 
 #include "algorithms/algorithms.h"
 #include "statevector/statevector_simulator.h"
+#include "vqa/backends.h"
 
 namespace qkc {
 namespace {
@@ -68,32 +69,66 @@ TEST(PauliStringTest, SingleQubitRotationExpectations)
     EXPECT_NEAR(exactExpectation(c, PauliString("Y")), 0.0, 1e-9);
 }
 
-TEST(PauliHamiltonianTest, SampledExpectationMatchesExact)
+TEST(PauliSumTest, ClassifiesDiagonality)
 {
-    // H = 0.5 XX + 0.25 ZZ - 0.75 YY + 1.5 I on the Bell state:
-    // 0.5 + 0.25 + 0.75 + 1.5 = 3.0.
-    PauliHamiltonian h;
-    h.terms = {{0.5, PauliString("XX")},
-               {0.25, PauliString("ZZ")},
-               {-0.75, PauliString("YY")},
-               {1.5, PauliString("II")}};
+    PauliSum diag;
+    diag.add(1.0, PauliString("ZZ")).add(-0.5, PauliString("IZ"));
+    EXPECT_TRUE(diag.isDiagonal());
+    EXPECT_EQ(diag.numQubits(), 2u);
 
-    StateVectorBackend backend;
-    Rng rng(3);
-    double estimate = h.expectation(bellCircuit(), backend, 20000, rng);
-    EXPECT_NEAR(estimate, 3.0, 0.05);
+    PauliSum mixed = diag;
+    mixed.add(0.25, PauliString("XI"));
+    EXPECT_FALSE(mixed.isDiagonal());
 }
 
-TEST(PauliHamiltonianTest, KcBackendAgrees)
+TEST(PauliSumTest, SessionExpectationMatchesBellValues)
 {
-    PauliHamiltonian h;
-    h.terms = {{1.0, PauliString("XX")}, {1.0, PauliString("ZZ")}};
+    // H = 0.5 XX + 0.25 ZZ - 0.75 YY + 1.5 I on the Bell state:
+    // 0.5 + 0.25 + 0.75 + 1.5 = 3.0 — exact through the sv session.
+    PauliSum h;
+    h.add(0.5, PauliString("XX"))
+        .add(0.25, PauliString("ZZ"))
+        .add(-0.75, PauliString("YY"))
+        .add(1.5, PauliString("II"));
+
+    StateVectorBackend backend;
+    auto session = backend.open(bellCircuit());
+    Rng rng(3);
+    Result r = session->run(Expectation{h, 0}, rng);
+    EXPECT_TRUE(r.meta.exact);
+    EXPECT_NEAR(r.expectation, 3.0, 1e-9);
+}
+
+TEST(PauliSumTest, KcSessionServesNonDiagonalTermsExactly)
+{
+    // XX is non-diagonal: the kc session answers it from AC amplitude
+    // queries on ideal circuits — no rotated-basis sampling, no recompile.
+    PauliSum h;
+    h.add(1.0, PauliString("XX")).add(1.0, PauliString("ZZ"));
     KnowledgeCompilationBackend kc;
+    auto session = kc.open(bellCircuit());
     Rng rng(5);
-    double estimate = h.expectation(bellCircuit(), kc, 6000, rng);
-    EXPECT_NEAR(estimate, 2.0, 0.1);
-    // Two differently-rotated circuits were sampled: two compilations.
-    EXPECT_EQ(kc.compileCount(), 2u);
+    Result r = session->run(Expectation{h, 0}, rng);
+    EXPECT_TRUE(r.meta.exact);
+    EXPECT_EQ(r.meta.sampledShots, 0u);
+    EXPECT_NEAR(r.expectation, 2.0, 1e-9);
+    EXPECT_EQ(session->planBuilds(), 1u);
+}
+
+TEST(PauliSumTest, TnSessionFallsBackToSampling)
+{
+    // The tensor-network session estimates <H> from rotated-basis shots;
+    // the estimate must land within CLT distance of the exact value and be
+    // flagged as non-exact.
+    PauliSum h;
+    h.add(0.5, PauliString("XX")).add(0.25, PauliString("ZZ"));
+    TensorNetworkBackend tn;
+    auto session = tn.open(bellCircuit());
+    Rng rng(7);
+    Result r = session->run(Expectation{h, 4000}, rng);
+    EXPECT_FALSE(r.meta.exact);
+    EXPECT_GT(r.meta.sampledShots, 0u);
+    EXPECT_NEAR(r.expectation, 0.75, 0.08);
 }
 
 TEST(PauliStringTest, QubitCountMismatchThrows)
