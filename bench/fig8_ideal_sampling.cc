@@ -6,10 +6,12 @@
  * (this paper). For KC the compile time is reported separately — it is paid
  * once per variational run and amortized over every optimizer iteration.
  *
- * The state-vector family prints three rows — the seed configuration
- * (serial, unfused), `sv+fused`, and `sv+fused+tN` (shared thread pool) —
- * so the fusion and threading gains are visible side by side. --threads=N
- * controls the third row (defaults to the machine / QKC_THREADS).
+ * The state-vector family prints four rows — the seed configuration
+ * (serial, unfused), `sv+fused`, `sv+fused+tN` (shared thread pool), and
+ * `sv+tN+batchB` (one Session::runBatch over B parameter bindings, fanned
+ * across the pool) — so the fusion, threading and batching gains are
+ * visible side by side. --threads=N controls the threaded rows (defaults
+ * to the machine / QKC_THREADS); --batch=B sizes the batch row.
  *
  * Defaults are reduced (200 samples, <= 24 qubits) for a single core; use
  * --samples=1000 --max-qubits=32 to approach the paper's setting.
@@ -57,10 +59,52 @@ runBackendRow(const std::string& spec, const std::string& label,
     std::fflush(stdout);
 }
 
+/**
+ * The batch= row: `batch` same-structure parameter bindings of the circuit
+ * (values jittered deterministically) served by ONE Session::runBatch —
+ * the structure is planned once and the bindings fan out across the thread
+ * pool, each from its own RNG stream. The sample_sec column is the batch
+ * wall time divided by the batch size, directly comparable to the
+ * per-circuit rows above it.
+ */
+void
+runSvBatchRow(const Row& row, const Circuit& circuit, std::size_t samples,
+              std::size_t threads, std::size_t batch, std::uint64_t seed)
+{
+    auto backend = makeBackend("statevector:threads=" +
+                               std::to_string(threads) + ",fuse=1");
+    Rng rng(seed);
+    Timer setup;
+    auto session = backend->open(circuit);
+    const double setupSeconds = setup.seconds();
+
+    const auto paramIdx = circuit.parameterizedGateIndices();
+    std::vector<ParamBinding> bindings;
+    bindings.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        Circuit c = circuit;
+        for (std::size_t idx : paramIdx)
+            c.setGateParam(idx, 0.3 + 0.05 * static_cast<double>(b + 1));
+        bindings.push_back(std::move(c));
+    }
+
+    Timer wall;
+    const auto results = session->runBatch(bindings, Sample{samples}, rng);
+    const double perBinding = wall.seconds() / static_cast<double>(batch);
+    (void)results;
+    std::printf("%-6s %2zu %4zu %-20s %10.4f %10.4f\n", row.workload,
+                row.iterations, row.qubits,
+                ("sv+t" + std::to_string(threads) + "+batch" +
+                 std::to_string(batch))
+                    .c_str(),
+                perBinding, setupSeconds);
+    std::fflush(stdout);
+}
+
 void
 runRow(const Row& row, const Circuit& circuit, std::size_t samples,
        std::size_t svMax, std::size_t tnMax, std::size_t ddMax,
-       std::size_t kcP2Max, std::size_t threads)
+       std::size_t kcP2Max, std::size_t threads, std::size_t batch)
 {
     if (row.qubits <= svMax) {
         // Three state-vector rows: the seed configuration (serial,
@@ -76,6 +120,8 @@ runRow(const Row& row, const Circuit& circuit, std::size_t samples,
                           "sv+fused+t" + std::to_string(threads), row,
                           circuit, samples, 1);
         }
+        if (batch > 1)
+            runSvBatchRow(row, circuit, samples, threads, batch, 1);
     }
 
     // Diagram size tracks state structure: QAOA on expander graphs loses
@@ -126,6 +172,9 @@ main(int argc, char** argv)
     // Extra sv rows: fused and fused+threaded (--threads=1 drops the row).
     const std::size_t threads = static_cast<std::size_t>(
         cli.getInt("threads", static_cast<std::int64_t>(defaultThreads())));
+    // Bindings per Session::runBatch for the batch= row (--batch=1 drops it).
+    const std::size_t batch =
+        static_cast<std::size_t>(cli.getInt("batch", 8));
 
     bench::printHeader(
         "Figure 8: ideal sampling time vs qubits (samples=" +
@@ -136,14 +185,14 @@ main(int argc, char** argv)
         for (std::size_t n = 4; n <= maxQubits; n += 4) {
             Row row{"qaoa", p, n};
             runRow(row, bench::qaoaCircuit(n, p, 19), samples, svMax, tnMax,
-                   ddMax, kcP2Max, threads);
+                   ddMax, kcP2Max, threads, batch);
         }
         for (std::size_t n : {4, 6, 9, 12, 16, 20}) {
             if (n > maxQubits)
                 break;
             Row row{"vqe", p, n};
             runRow(row, bench::vqeCircuit(n, p, 19), samples, svMax, tnMax,
-                   ddMax, kcP2Max, threads);
+                   ddMax, kcP2Max, threads, batch);
         }
     }
     return 0;

@@ -11,8 +11,58 @@
 #include "bench_common.h"
 #include "util/cli.h"
 #include "util/timer.h"
+#include "vqa/backends.h"
 
 using namespace qkc;
+
+namespace {
+
+/**
+ * The same ablation through the Session API, for the dense backends: the
+ * per-iteration *structure* cost of reopening a session — greedy fusion
+ * plus kernel classification — versus rebinding one open session, which
+ * replays the recorded fusion recipe and refreshes the compiled kernels
+ * in place. Task execution time is identical either way, so the loops
+ * time open/bind alone: exactly the work a planReuses increment certifies
+ * was skipped. The dm row is the point of the ISSUE 5 fix — it previously
+ * claimed reuse while re-running both inside every simulate call.
+ */
+void
+sessionRebindRow(const char* spec, std::size_t qubits, std::size_t iterations)
+{
+    auto backend = makeBackend(spec);
+    Circuit base = bench::qaoaCircuit(qubits, 2, 19);
+    const auto paramIdx = base.parameterizedGateIndices();
+
+    auto bindingAt = [&](std::size_t it) {
+        Circuit c = base;
+        for (std::size_t idx : paramIdx)
+            c.setGateParam(idx, -0.5 + 0.01 * static_cast<double>(it));
+        return c;
+    };
+
+    // Strategy A: reopen (re-plan) each iteration.
+    Timer tA;
+    for (std::size_t it = 0; it < iterations; ++it)
+        backend->open(bindingAt(it));
+    const double reopen = tA.seconds();
+
+    // Strategy B: open once, rebind parameters.
+    auto session = backend->open(base);
+    Timer tB;
+    for (std::size_t it = 0; it < iterations; ++it)
+        session->bind(bindingAt(it));
+    const double rebind = tB.seconds();
+
+    std::printf("%-14s %zu\t%.3f\t%.3f\t%.1fx\t(planBuilds=%zu "
+                "planReuses=%zu)\n",
+                backend->name().c_str(), qubits, reopen, rebind,
+                reopen / rebind, session->planBuilds(),
+                session->planReuses());
+    std::fflush(stdout);
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -59,5 +109,16 @@ main(int argc, char** argv)
                     recompile / refresh);
         std::fflush(stdout);
     }
+
+    bench::printHeader(
+        "Session rebind vs reopen, dense backends (" +
+            std::to_string(iterations) + " iterations)",
+        "backend        qubits\treopen_s\trebind_s\tspeedup");
+    sessionRebindRow("sv:threads=1", std::min<std::size_t>(maxQubits, 16),
+                     iterations);
+    // dm at 8 qubits: past this the 4^n superoperator sweeps drown the
+    // classification cost the rebind saves, understating the plan's value.
+    sessionRebindRow("dm:threads=1", std::min<std::size_t>(maxQubits, 8),
+                     iterations);
     return 0;
 }

@@ -82,6 +82,7 @@ main(int argc, char** argv)
                         keys.empty() ? "(none)" : keys.c_str());
             std::printf("  profile:  %s\n", info.summary.c_str());
             std::printf("  tasks:    %s\n", info.tasks.c_str());
+            std::printf("  batch:    %s\n", info.batch.c_str());
         }
         return 0;
     }

@@ -35,23 +35,31 @@ DensityMatrix::DensityMatrix(std::size_t numQubits)
 }
 
 DensityMatrix::SuperKernel
-DensityMatrix::compileSuper(const Matrix& m,
-                            const std::vector<std::size_t>& qubits) const
+DensityMatrix::compileSuperKernel(const Matrix& m,
+                                  const std::vector<std::size_t>& qubits,
+                                  std::size_t numQubits)
 {
     std::vector<std::uint32_t> rowBits, colBits;
     rowBits.reserve(qubits.size());
     colBits.reserve(qubits.size());
     for (std::size_t q : qubits) {
-        assert(q < numQubits_);
+        assert(q < numQubits);
         const std::uint32_t s =
-            static_cast<std::uint32_t>(numQubits_ - 1 - q);
-        rowBits.push_back(s + static_cast<std::uint32_t>(numQubits_));
+            static_cast<std::uint32_t>(numQubits - 1 - q);
+        rowBits.push_back(s + static_cast<std::uint32_t>(numQubits));
         colBits.push_back(s);
     }
     // (rho M^dagger)(., c) = sum_k rho(., k) conj(M(c, k)): the column-space
     // operator is the elementwise conjugate of M (no transpose).
     return SuperKernel{compileKernel(m, rowBits),
                        compileKernel(conjugated(m), colBits)};
+}
+
+bool
+DensityMatrix::tryRefreshSuperKernel(SuperKernel& k, const Matrix& m)
+{
+    return tryRefreshKernel(k.left, m) &&
+           tryRefreshKernel(k.right, conjugated(m));
 }
 
 void
@@ -66,7 +74,7 @@ void
 DensityMatrix::applyUnitary(const Matrix& u,
                             const std::vector<std::size_t>& qubits)
 {
-    applySuper(compileSuper(u, qubits));
+    applySuper(compileSuperKernel(u, qubits, numQubits_));
 }
 
 void
@@ -99,17 +107,27 @@ void
 DensityMatrix::applyChannel(const std::vector<Matrix>& kraus,
                             const std::vector<std::size_t>& qubits)
 {
+    std::vector<SuperKernel> kernels;
+    kernels.reserve(kraus.size());
+    for (const Matrix& e : kraus)
+        kernels.push_back(compileSuperKernel(e, qubits, numQubits_));
+    applyChannelSuper(kernels);
+}
+
+void
+DensityMatrix::applyChannelSuper(const std::vector<SuperKernel>& kraus)
+{
     const std::uint64_t flatDim = static_cast<std::uint64_t>(dim_) * dim_;
     std::vector<Complex> acc(data_.size(), Complex{});
     const std::vector<Complex> original = data_;
-    for (const Matrix& e : kraus) {
-        applySuper(compileSuper(e, qubits));
+    for (const SuperKernel& k : kraus) {
+        applySuper(k);
         parallelFor(policy_, flatDim,
                     [&](std::uint64_t b, std::uint64_t end) {
             for (std::uint64_t i = b; i < end; ++i)
                 acc[i] += data_[i];
         });
-        if (&e != &kraus.back()) {
+        if (&k != &kraus.back()) {
             parallelFor(policy_, flatDim,
                         [&](std::uint64_t b, std::uint64_t end) {
                 for (std::uint64_t i = b; i < end; ++i)

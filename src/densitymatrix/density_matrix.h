@@ -33,6 +33,18 @@ namespace qkc {
  */
 class DensityMatrix {
   public:
+    /**
+     * Kernels for one conjugation rho <- M rho M^dagger: `left` acts on the
+     * row bits (flat positions + n), `right` is conj(M) on the column bits.
+     * Compiled once per circuit structure by the dm execution plan (see
+     * densitymatrix_simulator.h) and refreshed in place across parameter
+     * rebinds.
+     */
+    struct SuperKernel {
+        GateKernel left;
+        GateKernel right;
+    };
+
     /** Initializes |0...0><0...0|. */
     explicit DensityMatrix(std::size_t numQubits);
 
@@ -72,6 +84,29 @@ class DensityMatrix {
     void applyChannel(const std::vector<Matrix>& kraus,
                       const std::vector<std::size_t>& qubits);
 
+    /**
+     * Compiles the left/right kernel pair for M acting on `qubits` of an
+     * n-qubit density matrix — the classification work applyUnitary pays
+     * per call, exposed so an execution plan can pay it once per structure.
+     */
+    static SuperKernel compileSuperKernel(const Matrix& m,
+                                          const std::vector<std::size_t>& qubits,
+                                          std::size_t numQubits);
+
+    /**
+     * Refreshes a compiled pair for a new matrix on the same qubits without
+     * re-classification (the variational fast path; see tryRefreshKernel).
+     * Returns false — pair unmodified on the left side only at worst — when
+     * the new matrix no longer fits the stored kernel classes.
+     */
+    static bool tryRefreshSuperKernel(SuperKernel& k, const Matrix& m);
+
+    /** rho <- M rho M^dagger via a precompiled pair. */
+    void applySuper(const SuperKernel& k);
+
+    /** rho <- sum_k E_k rho E_k^dagger via precompiled pairs. */
+    void applyChannelSuper(const std::vector<SuperKernel>& kraus);
+
     /** Tr(rho). */
     Complex trace() const;
 
@@ -82,18 +117,6 @@ class DensityMatrix {
     Matrix toMatrix() const;
 
   private:
-    /**
-     * Kernels for one conjugation rho <- M rho M^dagger: `left` acts on the
-     * row bits (flat positions + n), `right` is conj(M) on the column bits.
-     */
-    struct SuperKernel {
-        GateKernel left;
-        GateKernel right;
-    };
-    SuperKernel compileSuper(const Matrix& m,
-                             const std::vector<std::size_t>& qubits) const;
-    void applySuper(const SuperKernel& k);
-
     std::size_t numQubits_;
     std::size_t dim_;
     std::vector<Complex> data_;

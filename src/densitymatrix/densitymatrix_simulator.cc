@@ -3,24 +3,102 @@
 #include <stdexcept>
 
 #include "circuit/fusion.h"
+#include "exec/execution_plan.h"
 #include "statevector/statevector_simulator.h"
 
 namespace qkc {
 
+DmExecutionPlan
+planCircuitDm(const Circuit& circuit, const ExecPolicy& policy)
+{
+    DmExecutionPlan plan;
+    plan.numQubits = circuit.numQubits();
+    plan.fusionEnabled = policy.fuseGates;
+    if (policy.fuseGates) {
+        plan.recipe = planFusion(circuit, {});
+        plan.circuit = *materializeFusion(plan.recipe, circuit, &plan.fusion);
+    } else {
+        plan.circuit = circuit;
+    }
+
+    const auto& ops = plan.circuit.operations();
+    plan.ops.reserve(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        DmPlannedOp p;
+        p.opIndex = i;
+        if (const Gate* g = std::get_if<Gate>(&ops[i])) {
+            p.gate = DensityMatrix::compileSuperKernel(g->unitary(),
+                                                       g->qubits(),
+                                                       plan.numQubits);
+        } else {
+            const auto& ch = std::get<NoiseChannel>(ops[i]);
+            p.isChannel = true;
+            p.kraus.reserve(ch.krausOperators().size());
+            for (const Matrix& e : ch.krausOperators())
+                p.kraus.push_back(DensityMatrix::compileSuperKernel(
+                    e, ch.qubits(), plan.numQubits));
+        }
+        plan.ops.push_back(std::move(p));
+    }
+    return plan;
+}
+
+bool
+tryRebindDmPlan(DmExecutionPlan& plan, const Circuit& circuit)
+{
+    // On any failure the caller re-plans from scratch, so a partially
+    // refreshed plan is never executed.
+    if (circuit.numQubits() != plan.numQubits)
+        return false;
+
+    if (plan.fusionEnabled) {
+        // materializeFusion validates indices, kinds and wires itself.
+        auto fused = materializeFusion(plan.recipe, circuit, &plan.fusion);
+        if (!fused || fused->size() != plan.circuit.size())
+            return false;
+        plan.circuit = std::move(*fused);
+    } else {
+        if (!sameStructure(plan.circuit, circuit))
+            return false;
+        plan.circuit = circuit;
+    }
+
+    for (DmPlannedOp& op : plan.ops) {
+        const Operation& o = plan.circuit.operations()[op.opIndex];
+        if (op.isChannel) {
+            const auto* ch = std::get_if<NoiseChannel>(&o);
+            if (!ch || ch->krausOperators().size() != op.kraus.size())
+                return false;
+            for (std::size_t k = 0; k < op.kraus.size(); ++k)
+                if (!DensityMatrix::tryRefreshSuperKernel(
+                        op.kraus[k], ch->krausOperators()[k]))
+                    return false;
+        } else {
+            const Gate* g = std::get_if<Gate>(&o);
+            if (!g || !DensityMatrix::tryRefreshSuperKernel(op.gate,
+                                                            g->unitary()))
+                return false;
+        }
+    }
+    return true;
+}
+
 DensityMatrix
 DensityMatrixSimulator::simulate(const Circuit& circuit) const
 {
-    const Circuit fused =
-        policy_.fuseGates ? fuseGates(circuit) : circuit;
-    DensityMatrix rho(circuit.numQubits());
+    return simulatePlanned(planCircuitDm(circuit, policy_));
+}
+
+DensityMatrix
+DensityMatrixSimulator::simulatePlanned(const DmExecutionPlan& plan) const
+{
+    DensityMatrix rho(plan.numQubits);
     rho.setExecPolicy(policy_);
-    for (const auto& op : fused.operations()) {
-        if (const Gate* g = std::get_if<Gate>(&op)) {
-            rho.applyUnitary(g->unitary(), g->qubits());
-        } else {
-            const auto& ch = std::get<NoiseChannel>(op);
-            rho.applyChannel(ch.krausOperators(), ch.qubits());
-        }
+    for (const auto& op : plan.ops) {
+        if (op.isChannel)
+            rho.applyChannelSuper(op.kraus);
+        else
+            rho.applySuper(op.gate);
     }
     return rho;
 }

@@ -5,11 +5,55 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "circuit/fusion.h"
 #include "densitymatrix/density_matrix.h"
 #include "exec/thread_pool.h"
 #include "util/rng.h"
 
 namespace qkc {
+
+/**
+ * One circuit operation lowered for superoperator execution: a left/right
+ * kernel pair per gate, or one pair per Kraus operator for a channel.
+ * `opIndex` refers into the owning plan's (possibly fused) circuit.
+ */
+struct DmPlannedOp {
+    std::size_t opIndex = 0;
+    bool isChannel = false;
+    DensityMatrix::SuperKernel gate;               ///< valid when !isChannel
+    std::vector<DensityMatrix::SuperKernel> kraus; ///< valid when isChannel
+};
+
+/**
+ * A circuit prepared for repeated density-matrix execution — the dm
+ * counterpart of exec's ExecutionPlan: fusion has run (if the policy asks
+ * for it) and every gate and Kraus matrix has been classified into its
+ * left/right superoperator kernel pair exactly once. A session holds one of
+ * these per circuit structure and refreshes it across parameter rebinds, so
+ * its planReuses metadata corresponds to classification work actually saved.
+ */
+struct DmExecutionPlan {
+    std::size_t numQubits = 0;
+    Circuit circuit{1};       ///< the (possibly fused) circuit kernels map to
+    std::vector<DmPlannedOp> ops;
+    FusionStats fusion;       ///< zeros when fusion was disabled
+    bool fusionEnabled = false;
+    FusionRecipe recipe;      ///< valid when fusionEnabled
+};
+
+/** Builds the superoperator plan for `circuit` under `policy`. */
+DmExecutionPlan planCircuitDm(const Circuit& circuit, const ExecPolicy& policy);
+
+/**
+ * Rebinds `plan` to a same-structure circuit (the variational fast path):
+ * replays the recorded fusion recipe on the new gate values and refreshes
+ * every kernel pair in place — no greedy fusion pass, no re-classification.
+ * Returns false when the structure differs, a fused product crossed the
+ * identity boundary, or a parameter change invalidated a stored kernel
+ * class; the plan may then be partially refreshed and the caller must
+ * re-plan before executing it.
+ */
+bool tryRebindDmPlan(DmExecutionPlan& plan, const Circuit& circuit);
 
 /**
  * Density matrix circuit simulator — the stand-in for the Cirq
@@ -33,6 +77,13 @@ class DensityMatrixSimulator {
 
     /** Evolves |0..0><0..0| through all gates and channels. */
     DensityMatrix simulate(const Circuit& circuit) const;
+
+    /**
+     * Evolves |0..0><0..0| through a pre-built plan. Backend sessions plan
+     * a circuit structure once and re-execute it across parameter binds
+     * without re-paying fusion or kernel classification.
+     */
+    DensityMatrix simulatePlanned(const DmExecutionPlan& plan) const;
 
     /** Exact outcome distribution: diagonal of the final density matrix. */
     std::vector<double> distribution(const Circuit& circuit) const;

@@ -5,6 +5,24 @@
 
 namespace qkc {
 
+namespace {
+
+/** Depth of pool chunk bodies on this thread (see inParallelRegion). */
+thread_local std::size_t tlsRegionDepth = 0;
+
+struct RegionScope {
+    RegionScope() { ++tlsRegionDepth; }
+    ~RegionScope() { --tlsRegionDepth; }
+};
+
+} // namespace
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return tlsRegionDepth > 0;
+}
+
 ThreadPool::ThreadPool(std::size_t numWorkers)
 {
     workers_.reserve(numWorkers);
@@ -26,6 +44,7 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::runChunks(Job& job)
 {
+    RegionScope region;
     for (;;) {
         const std::uint64_t chunk =
             job.nextChunk.fetch_add(1, std::memory_order_relaxed);
@@ -81,6 +100,7 @@ ThreadPool::run(std::uint64_t n, std::uint64_t grain, std::size_t maxThreads,
         busy_.compare_exchange_strong(expected, true,
                                       std::memory_order_acquire);
     if (!claimed) {
+        RegionScope region;
         for (std::uint64_t c = 0; c < numChunks; ++c)
             fn(static_cast<std::size_t>(c), c * grain,
                std::min(n, (c + 1) * grain));

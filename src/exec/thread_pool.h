@@ -58,6 +58,19 @@ class ThreadPool {
     void run(std::uint64_t n, std::uint64_t grain, std::size_t maxThreads,
              const ChunkFn& fn);
 
+    /**
+     * True while the calling thread is executing pool work — inside a chunk
+     * body, whether as a pool worker or as a caller participating in its own
+     * region. The nested-submission guard for layered parallelism: the pool
+     * itself already degrades a nested run() to inline execution (the single
+     * job slot is taken, so chunks run on the calling thread — no deadlock),
+     * but coarse-grained fan-outs such as Session::runBatch check this to
+     * skip their setup cost (worker clones) when the parallelism would be
+     * nested anyway, e.g. a batched task issued from inside a trajectory
+     * sweep.
+     */
+    static bool inParallelRegion();
+
   private:
     struct Job {
         const ChunkFn* fn = nullptr;

@@ -85,12 +85,35 @@ pauliPhase(const PauliString& pauli, std::size_t n, std::uint64_t y)
 class SvSession final : public Session {
   public:
     SvSession(const Circuit& circuit, const BackendOptions& options)
-        : Session("statevector", circuit), policy_(execPolicyFrom(options)),
-          sim_(policy_), plan_(planCircuit(circuit, policy_))
+        : Session("statevector", circuit), options_(options),
+          policy_(execPolicyFrom(options)), sim_(policy_),
+          plan_(planCircuit(circuit, policy_))
     {
     }
 
   protected:
+    std::unique_ptr<Session> cloneForBatch() const override
+    {
+        // The batch strategy ISSUE 5 names for sv: copy the compiled
+        // ExecutionPlan into the lane (kernel classification is *not*
+        // re-run) and let each lane rebind it per binding.
+        auto lane = std::unique_ptr<SvSession>(new SvSession(*this));
+        lane->clearInitialBuild();
+        return lane;
+    }
+
+    std::size_t batchThreads() const override
+    {
+        return policy_.resolvedThreads();
+    }
+
+    void trimBatchLane() override
+    {
+        // Keep the plan (cheap, and the point of the lane); drop the 2^n
+        // state and probability table the last binding left behind.
+        state_.reset();
+        probs_.reset();
+    }
     bool doBind(const Circuit& circuit, bool sameStructure) override
     {
         state_.reset();
@@ -181,18 +204,19 @@ class SvSession final : public Session {
         return marginalizeDistribution(*probs_, circuit_.numQubits(), qubits);
     }
 
-    std::vector<std::uint64_t> sampleAdHoc(const Circuit& rotated,
-                                           std::size_t shots, Rng& rng,
-                                           ResultMeta& meta) override
+    std::unique_ptr<Session> openAdHoc(const Circuit& rotated) const override
     {
-        if (rotated.noiseCount() > 0) {
-            meta.trajectories += shots;
-            return sim_.sampleNoisy(rotated, shots, rng);
-        }
-        return sim_.sample(rotated, shots, rng);
+        return std::make_unique<SvSession>(rotated, options_);
     }
 
   private:
+    /** Batch-lane clone: copies the compiled plan instead of re-planning. */
+    SvSession(const SvSession& parent)
+        : Session("statevector", parent.circuit_), options_(parent.options_),
+          policy_(parent.policy_), sim_(parent.policy_), plan_(parent.plan_)
+    {
+    }
+
     void ensureState()
     {
         if (!state_)
@@ -207,6 +231,7 @@ class SvSession final : public Session {
             probs_ = state_->probabilities();
     }
 
+    BackendOptions options_;
     ExecPolicy policy_;
     StateVectorSimulator sim_;
     ExecutionPlan plan_;
@@ -221,33 +246,31 @@ class SvSession final : public Session {
 class DmSession final : public Session {
   public:
     DmSession(const Circuit& circuit, const BackendOptions& options)
-        : Session("densitymatrix", circuit), fusionEnabled_(options.fuse),
-          sim_(unfusedPolicy(options))
+        : Session("densitymatrix", circuit), options_(options),
+          policy_(execPolicyFrom(options)), sim_(policy_),
+          plan_(planCircuitDm(circuit, policy_))
     {
-        if (fusionEnabled_)
-            fusion_.build(circuit);
-        else
-            plain_ = circuit;
     }
 
   protected:
+    // cloneForBatch stays at the serializing default: a second 4^n
+    // superoperator plan (and a second 4^n rho in flight) per lane would
+    // multiply peak memory for sweeps that the dense kernels already
+    // parallelize internally via the shared pool, so a batched dm task
+    // gains little from lane fan-out. runBatch therefore binds and runs on
+    // this session in batch order — still one plan, rebound per binding.
+
     bool doBind(const Circuit& circuit, bool sameStructure) override
     {
         rho_.reset();
         probs_.reset();
-        if (!fusionEnabled_) {
-            // Nothing is cached per structure in this configuration, so
-            // counting the bind as a "reuse" would make the Section 3.2
-            // metadata vacuous — every bind is honestly a rebuild.
-            (void)sameStructure;
-            plain_ = circuit;
-            return false;
-        }
         // Same structure: replay the recorded fusion recipe on the new
-        // values (no greedy pass); the cache rebuilds itself on refusal.
-        if (sameStructure)
-            return fusion_.rebind(circuit);
-        fusion_.build(circuit);
+        // values and refresh every superoperator kernel pair in place — no
+        // greedy pass, no re-classification (this is what planReuses now
+        // certifies; the old session re-ran both inside every ensureRho).
+        if (sameStructure && tryRebindDmPlan(plan_, circuit))
+            return true;
+        plan_ = planCircuitDm(circuit, policy_);
         return false;
     }
 
@@ -256,7 +279,7 @@ class DmSession final : public Session {
     {
         ensureRho();
         meta.exact = true;
-        meta.fusion = fusionEnabled_ ? fusion_.stats() : FusionStats{};
+        meta.fusion = plan_.fusion;
         return StateVectorSimulator::sampleFromDistribution(*probs_, shots,
                                                             rng);
     }
@@ -271,7 +294,7 @@ class DmSession final : public Session {
         // O(2^n * n) traversal per term reads the trace off rho directly.
         ensureRho();
         meta.exact = true;
-        meta.fusion = fusionEnabled_ ? fusion_.stats() : FusionStats{};
+        meta.fusion = plan_.fusion;
         double total = 0.0;
         for (const auto& [coeff, pauli] : observable.terms) {
             if (pauli.isIdentity()) {
@@ -288,32 +311,21 @@ class DmSession final : public Session {
     {
         ensureRho();
         meta.exact = true;
-        meta.fusion = fusionEnabled_ ? fusion_.stats() : FusionStats{};
+        meta.fusion = plan_.fusion;
         return marginalizeDistribution(*probs_, circuit_.numQubits(), qubits);
     }
 
-    std::vector<std::uint64_t> sampleAdHoc(const Circuit& rotated,
-                                           std::size_t shots, Rng& rng,
-                                           ResultMeta& meta) override
+    std::unique_ptr<Session> openAdHoc(const Circuit& rotated) const override
     {
-        (void)meta; // exact distribution: no Monte-Carlo cost to account
-        return sim_.sample(rotated, shots, rng);
+        return std::make_unique<DmSession>(rotated, options_);
     }
 
   private:
-    /** The session pre-fuses via the cache; the simulator must not. */
-    static ExecPolicy unfusedPolicy(const BackendOptions& options)
-    {
-        ExecPolicy policy = execPolicyFrom(options);
-        policy.fuseGates = false;
-        return policy;
-    }
-
     void ensureRho()
     {
         if (rho_)
             return;
-        rho_ = sim_.simulate(fusionEnabled_ ? fusion_.fused() : plain_);
+        rho_ = sim_.simulatePlanned(plan_);
         probs_ = rho_->diagonalProbabilities();
     }
 
@@ -328,10 +340,10 @@ class DmSession final : public Session {
         return total.real();
     }
 
-    bool fusionEnabled_;
+    BackendOptions options_;
+    ExecPolicy policy_;
     DensityMatrixSimulator sim_;
-    FusionCache fusion_;                 ///< valid when fusionEnabled_
-    Circuit plain_{1};                   ///< the circuit when fusion is off
+    DmExecutionPlan plan_;
     std::optional<DensityMatrix> rho_;   ///< final state (per bind)
     std::optional<std::vector<double>> probs_;
 };
@@ -343,12 +355,19 @@ class DmSession final : public Session {
 class TnSession final : public Session {
   public:
     TnSession(const Circuit& circuit, const BackendOptions& options)
-        : Session("tensornetwork", circuit), sampler_(circuit)
+        : Session("tensornetwork", circuit), options_(options),
+          sampler_(circuit)
     {
-        (void)options;
     }
 
   protected:
+    // cloneForBatch stays at the serializing default: the sampler's
+    // per-prefix conditional-marginal plans are grown lazily *during*
+    // sampling, so a lane clone would either deep-copy that mutable cache
+    // or silently re-pay contraction planning per lane; contraction
+    // arithmetic dominates tn runtime anyway, so runBatch binds and runs on
+    // this session in batch order.
+
     bool doBind(const Circuit& circuit, bool sameStructure) override
     {
         if (sameStructure) {
@@ -428,12 +447,11 @@ class TnSession final : public Session {
         return out;
     }
 
-    std::vector<std::uint64_t> sampleAdHoc(const Circuit& rotated,
-                                           std::size_t shots, Rng& rng,
-                                           ResultMeta& meta) override
+    std::unique_ptr<Session> openAdHoc(const Circuit& rotated) const override
     {
-        (void)meta; // exact conditional sampling: no trajectories
-        return TnSampler(rotated).sample(shots, rng);
+        // The cached sub-session is the tn fallback's big win: the rotated
+        // network's contraction plans used to be rebuilt per term per call.
+        return std::make_unique<TnSession>(rotated, options_);
     }
 
   private:
@@ -445,6 +463,7 @@ class TnSession final : public Session {
         return qs;
     }
 
+    BackendOptions options_;
     TnSampler sampler_;
     std::optional<TnSampler::MarginalPlan> marginal_; ///< last proper subset
     std::vector<std::size_t> marginalQubits_;
@@ -458,12 +477,30 @@ class TnSession final : public Session {
 class DdSession final : public Session {
   public:
     DdSession(const Circuit& circuit, const BackendOptions& options)
-        : Session("decisiondiagram", circuit)
+        : Session("decisiondiagram", circuit), options_(options)
     {
-        (void)options;
     }
 
   protected:
+    std::unique_ptr<Session> cloneForBatch() const override
+    {
+        // The batch strategy ISSUE 5 names for dd: a DdPackage per lane.
+        // Diagram contents are value-dependent, so every bind rebuilds the
+        // state in a fresh package anyway (see doBind) — a lane is simply a
+        // session of its own, with its own arena, unique tables and compute
+        // caches; nothing is shared across threads.
+        auto lane = std::make_unique<DdSession>(circuit_, options_);
+        lane->clearInitialBuild(); // construction compiles nothing
+        return lane;
+    }
+
+    void trimBatchLane() override
+    {
+        // Drop the lane's diagram arena (no GC — it holds every node the
+        // last binding allocated); the next bind starts fresh anyway.
+        sim_ = DdSimulator();
+        built_ = false;
+    }
     bool doBind(const Circuit& circuit, bool sameStructure) override
     {
         (void)circuit;
@@ -557,16 +594,9 @@ class DdSession final : public Session {
                                        circuit_.numQubits(), qubits);
     }
 
-    std::vector<std::uint64_t> sampleAdHoc(const Circuit& rotated,
-                                           std::size_t shots, Rng& rng,
-                                           ResultMeta& meta) override
+    std::unique_ptr<Session> openAdHoc(const Circuit& rotated) const override
     {
-        DdSimulator fresh;
-        if (rotated.noiseCount() > 0) {
-            meta.trajectories += shots;
-            return fresh.sampleNoisy(rotated, shots, rng);
-        }
-        return fresh.sample(rotated, shots, rng);
+        return std::make_unique<DdSession>(rotated, options_);
     }
 
   private:
@@ -578,6 +608,7 @@ class DdSession final : public Session {
         built_ = true;
     }
 
+    BackendOptions options_;
     DdSimulator sim_;
     VEdge state_;
     bool built_ = false;
@@ -590,7 +621,7 @@ class DdSession final : public Session {
 class KcSession final : public Session {
   public:
     KcSession(const Circuit& circuit, const BackendOptions& options)
-        : Session("knowledgecompilation", circuit)
+        : Session("knowledgecompilation", circuit), options_(options)
     {
         gibbs_.burnIn = options.burnIn;
         gibbs_.thin = options.thin;
@@ -598,6 +629,24 @@ class KcSession final : public Session {
     }
 
   protected:
+    std::unique_ptr<Session> cloneForBatch() const override
+    {
+        // The batch strategy ISSUE 5 names for kc: each worker lane holds
+        // its own compiled AC and refreshes its parameter leaves per
+        // binding. The compiled structure is pointer-rich (AC nodes,
+        // evaluator tapes), so a lane pays one honest compile — counted as
+        // a planBuild — and amortizes it across every batch this session
+        // runs (lanes persist for the session lifetime).
+        return std::make_unique<KcSession>(circuit_, options_);
+    }
+
+    void trimBatchLane() override
+    {
+        // Keep the compiled AC (the expensive part); drop the 2^n query
+        // caches the last binding materialized.
+        dist_.reset();
+        amps_.reset();
+    }
     bool doBind(const Circuit& circuit, bool sameStructure) override
     {
         dist_.reset();
@@ -704,13 +753,12 @@ class KcSession final : public Session {
         return marginalizeDistribution(*dist_, circuit_.numQubits(), qubits);
     }
 
-    std::vector<std::uint64_t> sampleAdHoc(const Circuit& rotated,
-                                           std::size_t shots, Rng& rng,
-                                           ResultMeta& meta) override
+    std::unique_ptr<Session> openAdHoc(const Circuit& rotated) const override
     {
-        (void)meta; // Gibbs shots are accounted via sampledShots
-        KcSimulator fresh(rotated);
-        return fresh.sample(shots, rng, gibbs_);
+        // Gibbs shots are accounted via fallbackShots; caching the rotated
+        // sub-session means the AC for a term signature compiles once per
+        // session instead of once per Expectation call.
+        return std::make_unique<KcSession>(rotated, options_);
     }
 
   private:
@@ -767,6 +815,7 @@ class KcSession final : public Session {
         return total.real();
     }
 
+    BackendOptions options_;
     GibbsOptions gibbs_;
     std::unique_ptr<KcSimulator> sim_;
     std::optional<std::vector<double>> dist_;

@@ -27,6 +27,12 @@ namespace qkc {
  *                  trajectories    sampled under noise
  *   knowledgecomp. Gibbs (MCMC)    exact (ideal; diag.  ideal       exact (incl. noise)
  *                                  terms under noise)
+ *
+ * Batched execution (Session::runBatch) fans parameter bindings across
+ * thread-pool lanes: sv clones its ExecutionPlan per lane, dd gives each
+ * lane a private DdPackage, kc compiles one AC per lane and refreshes its
+ * leaves per binding; dm and tn serialize with documented reasons. The
+ * per-backend strategy is data in backendRegistry() (the `batch` field).
  */
 
 /** qsim-style state-vector backend (trajectories when noise is present). */

@@ -1,10 +1,78 @@
 #include "vqa/driver.h"
 
+#include <cmath>
 #include <functional>
+#include <stdexcept>
 
 #include "util/timer.h"
 
 namespace qkc {
+
+GradientResult
+parameterShiftGradient(Session& session, const CircuitBuilder& makeCircuit,
+                       const PauliSum& observable,
+                       const std::vector<double>& params, Rng& rng,
+                       double shift, std::size_t shots)
+{
+    if (params.empty())
+        throw std::invalid_argument("parameterShiftGradient: no parameters");
+    // Exact-zero compare would wave through shift = pi (sin ~ 1e-16) and
+    // return gradients scaled by ~1e16; any |sin| this small means the two
+    // shifted points coincide to machine precision.
+    if (std::abs(std::sin(shift)) < 1e-12)
+        throw std::invalid_argument(
+            "parameterShiftGradient: sin(shift) ~ 0 (shift a multiple of "
+            "pi) leaves the two-point rule undefined");
+
+    // Batch layout: [value, p+s e_0, p-s e_0, p+s e_1, p-s e_1, ...].
+    std::vector<ParamBinding> bindings;
+    bindings.reserve(2 * params.size() + 1);
+    bindings.push_back(makeCircuit(params));
+    std::vector<double> shifted = params;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        shifted[i] = params[i] + shift;
+        bindings.push_back(makeCircuit(shifted));
+        shifted[i] = params[i] - shift;
+        bindings.push_back(makeCircuit(shifted));
+        shifted[i] = params[i];
+    }
+
+    Timer timer;
+    const std::vector<Result> results =
+        session.runBatch(bindings, Expectation{observable, shots}, rng);
+
+    GradientResult out;
+    out.seconds = timer.seconds();
+    out.batchSize = bindings.size();
+    out.value = results[0].expectation;
+    out.gradient.resize(params.size());
+    const double denom = 2.0 * std::sin(shift);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        out.gradient[i] = (results[1 + 2 * i].expectation -
+                           results[2 + 2 * i].expectation) /
+                          denom;
+    }
+    return out;
+}
+
+std::vector<double>
+batchedExpectationSweep(Session& session, const CircuitBuilder& makeCircuit,
+                        const PauliSum& observable,
+                        const std::vector<std::vector<double>>& points,
+                        Rng& rng, std::size_t shots)
+{
+    std::vector<ParamBinding> bindings;
+    bindings.reserve(points.size());
+    for (const auto& p : points)
+        bindings.push_back(makeCircuit(p));
+    const std::vector<Result> results =
+        session.runBatch(bindings, Expectation{observable, shots}, rng);
+    std::vector<double> values;
+    values.reserve(results.size());
+    for (const Result& r : results)
+        values.push_back(r.expectation);
+    return values;
+}
 
 namespace {
 
@@ -58,6 +126,53 @@ runLoop(std::size_t numParams,
     Rng initRng(options.seed ^ 0x5deece66dULL);
     for (double& p : initial)
         p = initRng.uniform(0.1, 1.0);
+
+    if (options.batchedStarts > 1) {
+        // Batched simplex seeding: score a population of random starts in
+        // ONE Session::runBatch — the bindings fan out across the thread
+        // pool — and let Nelder-Mead begin from the winner.
+        std::vector<std::vector<double>> points;
+        points.reserve(options.batchedStarts);
+        points.push_back(initial);
+        while (points.size() < options.batchedStarts) {
+            std::vector<double> p(numParams);
+            for (double& v : p)
+                v = initRng.uniform(0.1, 1.0);
+            points.push_back(std::move(p));
+        }
+        std::vector<ParamBinding> bindings;
+        bindings.reserve(points.size());
+        for (const auto& p : points) {
+            Circuit c = makeCircuit(p);
+            if (options.noisy)
+                c = c.withNoiseAfterEachGate(options.noiseKind,
+                                             options.noiseStrength);
+            bindings.push_back(std::move(c));
+        }
+        Timer batchTimer;
+        if (!session)
+            session = backend.open(bindings.front());
+        const Task task =
+            options.exactExpectation
+                ? Task(Expectation{observable, options.samplesPerEvaluation})
+                : Task(Sample{options.samplesPerEvaluation});
+        const std::vector<Result> scored =
+            session->runBatch(bindings, task, rng);
+        sampleSeconds += batchTimer.seconds();
+        evaluations += scored.size();
+        std::size_t best = 0;
+        double bestValue = 0.0;
+        for (std::size_t i = 0; i < scored.size(); ++i) {
+            const double value = options.exactExpectation
+                                     ? sign * scored[i].expectation
+                                     : score(scored[i].samples);
+            if (i == 0 || value < bestValue) {
+                best = i;
+                bestValue = value;
+            }
+        }
+        initial = points[best];
+    }
 
     NelderMeadResult nm = nelderMead(objective, initial, options.optimizer);
     result.bestParams = nm.best;

@@ -1,11 +1,62 @@
 #ifndef QKC_VQA_DRIVER_H
 #define QKC_VQA_DRIVER_H
 
+#include <functional>
+
 #include "vqa/backends.h"
 #include "vqa/nelder_mead.h"
 #include "vqa/workloads.h"
 
 namespace qkc {
+
+/** Builds the circuit for one parameter vector (ansatz closure). */
+using CircuitBuilder = std::function<Circuit(const std::vector<double>&)>;
+
+/** Outcome of one batched gradient evaluation (parameterShiftGradient). */
+struct GradientResult {
+    std::vector<double> gradient;  ///< d<H>/dparam_i
+    double value = 0.0;            ///< <H> at the unshifted point
+    std::size_t batchSize = 0;     ///< bindings evaluated: 2*numParams + 1
+    double seconds = 0.0;          ///< wall time of the single runBatch call
+};
+
+/**
+ * Gradient of <H> by the two-point shift rule, evaluated as ONE
+ * Session::runBatch of 2*numParams + 1 bindings (the unshifted point plus
+ * a +/- shift per parameter) fanned across the thread pool:
+ *
+ *   grad_i = (E(p + s e_i) - E(p - s e_i)) / (2 sin s)
+ *
+ * With the default s = pi/2 this is the parameter-shift rule — *exact* (up
+ * to the backend's own estimator noise) whenever parameter i feeds a single
+ * gate of the form exp(-i theta G / 2) with G^2 = I (Rx/Ry/Rz and their
+ * controlled/two-qubit forms), because <H>(theta) is then a frequency-1
+ * sinusoid. For parameters reused across several gates (a QAOA gamma
+ * multiplying every edge) pass a small s instead: 2 sin s -> 2s turns the
+ * same batch into a central finite difference.
+ *
+ * `shots` only feeds the Expectation sampling fallback; exact backends
+ * ignore it. Results are bit-identical for every thread count (runBatch's
+ * determinism discipline).
+ */
+GradientResult parameterShiftGradient(Session& session,
+                                      const CircuitBuilder& makeCircuit,
+                                      const PauliSum& observable,
+                                      const std::vector<double>& params,
+                                      Rng& rng,
+                                      double shift = 1.5707963267948966,
+                                      std::size_t shots = 4096);
+
+/**
+ * Scores a whole population of parameter vectors — a simplex, a multi-start
+ * seed set, a line search — in one batched Expectation call. Returns one
+ * <H> value per point, in point order.
+ */
+std::vector<double> batchedExpectationSweep(
+    Session& session, const CircuitBuilder& makeCircuit,
+    const PauliSum& observable,
+    const std::vector<std::vector<double>>& points, Rng& rng,
+    std::size_t shots = 4096);
 
 /** Configuration of one hybrid quantum-classical run. */
 struct VqaOptions {
@@ -24,6 +75,13 @@ struct VqaOptions {
      * feeds the sampling fallback.
      */
     bool exactExpectation = false;
+    /**
+     * When > 1, score this many random starting points in one
+     * Session::runBatch (fanned across the thread pool) and hand the best
+     * one to Nelder-Mead as its initial vertex — the batched simplex-seeding
+     * sweep. 0 or 1 keeps the single deterministic start.
+     */
+    std::size_t batchedStarts = 0;
 };
 
 /** Outcome of a hybrid run. */

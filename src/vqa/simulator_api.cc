@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <exception>
 #include <map>
 #include <stdexcept>
 
 #include "exec/execution_plan.h"
+#include "exec/thread_pool.h"
 #include "util/timer.h"
 
 namespace qkc {
@@ -66,6 +68,135 @@ Session::run(const Task& task, Rng& rng)
     return result;
 }
 
+std::vector<Result>
+Session::runBatch(const std::vector<ParamBinding>& bindings, const Task& task,
+                  Rng& rng)
+{
+    std::vector<Result> results(bindings.size());
+    if (bindings.empty())
+        return results;
+    for (const Circuit& b : bindings) {
+        if (b.numQubits() != circuit_.numQubits())
+            throw std::invalid_argument(
+                "Session::runBatch: binding qubit count differs from the "
+                "opened circuit; open a new session instead");
+    }
+
+    // Per-binding RNG streams, seeded from the caller's generator in batch
+    // order *before* any parallel work: the seed sequence — and with it
+    // every payload — is identical for every thread count, and matches a
+    // sequential bind/run loop driven from the same per-binding seeds.
+    std::vector<std::uint64_t> seeds(bindings.size());
+    for (auto& s : seeds)
+        s = rng.next();
+
+    // A batch issued from inside pool work would only run inline anyway
+    // (the pool's nested-submission guard), so skip the lane setup and
+    // serialize outright — this is what makes a batched task safe to issue
+    // from arbitrary calling contexts.
+    const std::size_t lanes =
+        std::min<std::size_t>(batchThreads(), bindings.size());
+    bool parallel =
+        lanes > 1 && !batchSerialized_ && !ThreadPool::inParallelRegion();
+    if (parallel) {
+        while (batchLanes_.size() < lanes) {
+            auto lane = cloneForBatch();
+            if (!lane) {
+                // The backend documents why its per-structure cache does
+                // not clone (see cloneForBatch); remember the refusal.
+                batchSerialized_ = true;
+                parallel = false;
+                break;
+            }
+            batchLanes_.push_back(std::move(lane));
+        }
+    }
+
+    if (!parallel) {
+        for (std::size_t i = 0; i < bindings.size(); ++i) {
+            bind(bindings[i]);
+            Rng bindingRng(seeds[i]);
+            results[i] = run(task, bindingRng);
+        }
+    } else {
+        // One clone per lane; lanes claim contiguous blocks as pool chunks
+        // (chunk index == lane index, so each clone is driven by exactly
+        // one thread at a time). Results land at their binding index — the
+        // batch-ordered merge — so payloads are independent of which lane
+        // ran which block.
+        std::vector<std::size_t> laneBuilds(lanes), laneReuses(lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            laneBuilds[l] = batchLanes_[l]->planBuilds_;
+            laneReuses[l] = batchLanes_[l]->planReuses_;
+        }
+        // A task exception must not unwind through the pool (a throwing
+        // worker chunk would std::terminate; a throwing caller chunk would
+        // leave the pool's job slot claimed forever). Each chunk captures
+        // its first exception; the lowest chunk's one is rethrown after the
+        // region completes — deterministic, and the same error the
+        // sequential loop would have surfaced first.
+        std::vector<std::exception_ptr> chunkErrors(lanes);
+        ExecPolicy fanout;
+        fanout.threads = lanes;
+        fanout.serialThreshold = 1;
+        fanout.grain = (bindings.size() + lanes - 1) / lanes;
+        parallelForChunks(
+            fanout, bindings.size(),
+            [&](std::size_t chunk, std::uint64_t b, std::uint64_t e) {
+                try {
+                    Session& lane = *batchLanes_[chunk];
+                    for (std::uint64_t i = b; i < e; ++i) {
+                        lane.bind(bindings[i]);
+                        Rng bindingRng(seeds[i]);
+                        results[i] = lane.run(task, bindingRng);
+                    }
+                } catch (...) {
+                    chunkErrors[chunk] = std::current_exception();
+                }
+            });
+        // Fold the lanes' bind bookkeeping into this session so the
+        // Section 3.2 reuse metadata counts the batch's real work, and
+        // drop the lanes' transient payload caches — a lane must not pin a
+        // dense state (or diagram arena) per thread between batches; only
+        // the per-structure plan is worth keeping.
+        for (std::size_t l = 0; l < lanes; ++l) {
+            planBuilds_ += batchLanes_[l]->planBuilds_ - laneBuilds[l];
+            planReuses_ += batchLanes_[l]->planReuses_ - laneReuses[l];
+            batchLanes_[l]->trimBatchLane();
+        }
+        for (const std::exception_ptr& err : chunkErrors)
+            if (err)
+                std::rethrow_exception(err);
+        // Sync the session itself onto the final binding — the same
+        // observable state the sequential loop leaves behind. The sync
+        // repeats work a lane already performed (and counted), so it is
+        // deliberately not counted again.
+        doBind(bindings.back(), sameStructure(circuit_, bindings.back()));
+        circuit_ = bindings.back();
+    }
+
+    // Stamp every result with the session's final counters (run() stamps
+    // "counters so far", which mid-batch is a moving target — and lane
+    // counters are meaningless to callers).
+    for (Result& r : results) {
+        r.meta.planBuilds = planBuilds_;
+        r.meta.planReuses = planReuses_;
+    }
+    return results;
+}
+
+std::unique_ptr<Session>
+Session::cloneForBatch() const
+{
+    return nullptr;
+}
+
+std::size_t
+Session::batchThreads() const
+{
+    return defaultThreads();
+}
+
 double
 Session::doExpectation(const PauliSum& observable, std::size_t shots,
                        Rng& rng, ResultMeta& meta)
@@ -92,7 +223,9 @@ Session::sampledExpectation(const PauliSum& observable, std::size_t shots,
 {
     double total = 0.0;
     // Diagonal terms share one batch of computational-basis samples from
-    // the session itself; each non-diagonal term pays its own rotated run.
+    // the session itself; each non-diagonal term draws from its cached
+    // rotated-basis sub-session (one per rotation signature, rebound across
+    // calls — the fallback no longer re-pays structure planning per call).
     std::vector<std::uint64_t> baseSamples;
     bool haveBase = false;
     bool sampled = false;
@@ -112,15 +245,15 @@ Session::sampledExpectation(const PauliSum& observable, std::size_t shots,
         if (pauli.isDiagonal()) {
             if (!haveBase) {
                 baseSamples = doSample(shots, rng, meta);
-                meta.sampledShots += shots;
+                meta.fallbackShots += shots;
                 haveBase = true;
             }
             total += coeff * pauli.expectationFromSamples(baseSamples);
         } else {
-            auto rotated = pauli.withMeasurementBasis(circuit_);
-            total += coeff * pauli.expectationFromSamples(
-                                 sampleAdHoc(rotated, shots, rng, meta));
-            meta.sampledShots += shots;
+            const Result r = rotatedSession(pauli).run(Sample{shots}, rng);
+            meta.trajectories += r.meta.trajectories;
+            meta.fallbackShots += shots;
+            total += coeff * pauli.expectationFromSamples(r.samples);
         }
         sampled = true;
     }
@@ -128,6 +261,29 @@ Session::sampledExpectation(const PauliSum& observable, std::size_t shots,
     // estimate is exact only if no term actually needed samples.
     meta.exact = !sampled;
     return total;
+}
+
+Session&
+Session::rotatedSession(const PauliString& pauli)
+{
+    // Key on the rotation pattern: the X/Y factors determine the appended
+    // basis-change gates (H for X, Sdg-then-H for Y); Z and I add nothing.
+    // Terms sharing the pattern share one sub-session, and parameter
+    // rebinds of the base circuit flow through Session::bind — the cached
+    // sub-plan is refreshed, never rebuilt.
+    std::string key(circuit_.numQubits(), 'I');
+    for (std::size_t q = 0; q < pauli.numQubits(); ++q) {
+        const char p = pauli.pauli(q);
+        if (p == 'X' || p == 'Y')
+            key[q] = p;
+    }
+    const Circuit rotated = pauli.withMeasurementBasis(circuit_);
+    auto it = rotatedSessions_.find(key);
+    if (it == rotatedSessions_.end())
+        it = rotatedSessions_.emplace(key, openAdHoc(rotated)).first;
+    else
+        it->second->bind(rotated);
+    return *it->second;
 }
 
 void
@@ -162,6 +318,15 @@ Backend::sample(const Circuit& circuit, std::size_t shots, Rng& rng) const
     return open(circuit)->run(Sample{shots}, rng).samples;
 }
 
+std::vector<Result>
+Backend::runBatch(const std::vector<ParamBinding>& bindings, const Task& task,
+                  Rng& rng) const
+{
+    if (bindings.empty())
+        return {};
+    return open(bindings.front())->runBatch(bindings, task, rng);
+}
+
 // ---------------------------------------------------------------------------
 // Registry metadata
 // ---------------------------------------------------------------------------
@@ -176,26 +341,34 @@ backendRegistry()
          "dense 2^n state vector (qsim-style); Kraus trajectories when "
          "noise is present",
          "sample; expectation (exact when ideal, sampled under noise); "
-         "amplitudes (ideal); probabilities (ideal)"},
+         "amplitudes (ideal); probabilities (ideal)",
+         "parallel lanes (threads option): each lane clones the compiled "
+         "ExecutionPlan and rebinds it per binding"},
         {"densitymatrix",
          {"dm"},
          {"threads", "fuse"},
          "dense 4^n density matrix (Cirq-style); every channel exact",
          "sample; expectation (exact, ideal and noisy); probabilities "
-         "(exact, ideal and noisy)"},
+         "(exact, ideal and noisy)",
+         "serialized: a 4^n plan + rho per lane would multiply peak memory "
+         "and the superoperator sweeps already parallelize internally"},
         {"tensornetwork",
          {"tn"},
          {},
          "qTorch-style tensor-network contraction (ideal circuits only)",
          "sample; expectation (sampled); amplitudes (exact); probabilities "
-         "(exact marginals by doubled-network contraction)"},
+         "(exact marginals by doubled-network contraction)",
+         "serialized: the sampler's per-prefix contraction caches mutate "
+         "during sampling and do not clone cheaply"},
         {"decisiondiagram",
          {"dd"},
          {},
          "QMDD decision diagram (DDSIM-style); Kraus trajectories when "
          "noise is present",
          "sample; expectation (exact when ideal, via diagram walk); "
-         "amplitudes (ideal); probabilities (ideal)"},
+         "amplitudes (ideal); probabilities (ideal)",
+         "parallel lanes (QKC_THREADS): a private DdPackage (arena, unique "
+         "and compute tables) per lane"},
         {"knowledgecompilation",
          {"kc"},
          {"burnin", "thin"},
@@ -204,7 +377,10 @@ backendRegistry()
          "sample (Gibbs); expectation (exact within the query-feasibility "
          "limit: ideal circuits and diagonal observables under noise; "
          "Gibbs-sampled beyond it); amplitudes (ideal); probabilities "
-         "(exact, ideal and noisy, within the same limit)"},
+         "(exact, ideal and noisy, within the same limit)",
+         "parallel lanes (QKC_THREADS): one compiled AC per lane (one "
+         "honest compile each, kept for the session), leaf refresh per "
+         "binding"},
     };
     return registry;
 }

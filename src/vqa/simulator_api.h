@@ -2,6 +2,7 @@
 #define QKC_VQA_SIMULATOR_API_H
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <variant>
@@ -74,6 +75,7 @@ struct BackendInfo {
     std::vector<std::string> optionKeys;   ///< keys parseBackendSpec accepts
     std::string summary;                   ///< one-line cost-profile note
     std::string tasks;                     ///< which tasks it serves, and how
+    std::string batch;                     ///< runBatch strategy, one line
 };
 
 /** The full registry, in presentation order. */
@@ -121,6 +123,14 @@ struct Probabilities {
 /** One typed query against an open session. */
 using Task = std::variant<Sample, Expectation, Amplitudes, Probabilities>;
 
+/**
+ * One entry of a batched run: a full set of gate parameters, expressed as a
+ * same-structure circuit — the same currency Session::bind takes. (A
+ * different structure on the same qubit count is legal but re-plans; a
+ * different qubit count throws.)
+ */
+using ParamBinding = Circuit;
+
 // ---------------------------------------------------------------------------
 // Results
 // ---------------------------------------------------------------------------
@@ -147,7 +157,7 @@ struct ResultMeta {
     std::size_t trajectories = 0;
 
     /** Shots drawn by the Expectation sampling fallback (0 when exact). */
-    std::size_t sampledShots = 0;
+    std::size_t fallbackShots = 0;
 
     /** Payload computed without Monte-Carlo error. */
     bool exact = false;
@@ -210,8 +220,35 @@ class Session {
     /** Runs one typed task and returns its payload plus metadata. */
     Result run(const Task& task, Rng& rng);
 
+    /**
+     * Runs one task against every binding and returns the results in batch
+     * order — the unit of execution for a parameter-shift gradient or a
+     * simplex sweep. The circuit structure is planned once (the session's
+     * cached plan) and the bindings fan out across the exec thread pool:
+     * each worker lane drives its own clone of the per-structure state
+     * (cloneForBatch) and every binding draws from its own RNG stream,
+     * seeded from `rng` in batch order before any parallel work. Payloads
+     * are therefore bit-identical for every thread count, and match a
+     * sequential bind/run loop driven from the same per-binding seeds.
+     *
+     * Backends whose per-structure cache cannot be cloned cheaply (dm, tn)
+     * serialize the batch on the session itself — see batchStrategy() in
+     * the registry table. A batch issued from inside pool work (a nested
+     * parallel region) also serializes, so a batched task can never
+     * deadlock a pool already running trajectories.
+     *
+     * Afterwards the session is bound to bindings.back() — exactly as after
+     * the equivalent sequential loop — and planBuilds/planReuses have
+     * counted one bind per binding.
+     */
+    std::vector<Result> runBatch(const std::vector<ParamBinding>& bindings,
+                                 const Task& task, Rng& rng);
+
     std::size_t planBuilds() const { return planBuilds_; }
     std::size_t planReuses() const { return planReuses_; }
+
+    /** Cached rotated-basis fallback sub-sessions (one per term signature). */
+    std::size_t rotatedSessionCount() const { return rotatedSessions_.size(); }
 
   protected:
     Session(std::string backendName, Circuit circuit);
@@ -243,23 +280,54 @@ class Session {
         const std::vector<std::size_t>& qubits, ResultMeta& meta);
 
     /**
-     * One-shot samples from a structure-modified copy of the bound circuit
-     * (the Expectation fallback appends measurement-basis rotations). Not
-     * counted against the session's plan metadata; implementations must
-     * account Monte-Carlo cost (meta.trajectories) they incur.
+     * Opens a session of this backend family on a structure-modified copy
+     * of the bound circuit (the Expectation fallback appends measurement-
+     * basis rotations). The base class caches one sub-session per rotation
+     * signature and rebinds it across calls, extending the compile-once/
+     * rebind-many discipline to the fallback path; the sub-session's own
+     * metadata accounts the Monte-Carlo cost it incurs.
      */
-    virtual std::vector<std::uint64_t> sampleAdHoc(const Circuit& rotated,
-                                                   std::size_t shots,
-                                                   Rng& rng,
-                                                   ResultMeta& meta) = 0;
+    virtual std::unique_ptr<Session> openAdHoc(const Circuit& rotated) const = 0;
+
+    /**
+     * Batch fan-out hook: a fresh session sharing this one's options whose
+     * per-structure state was *cloned* (not re-planned) wherever the
+     * representation allows it. Returning nullptr (the default) serializes
+     * runBatch on the session itself — the documented strategy for backends
+     * whose cache is too large or too entangled to clone (dm: a second 4^n
+     * plan per lane buys little when the superoperator sweeps already
+     * parallelize internally; tn: the sampler's per-prefix contraction
+     * caches mutate during sampling).
+     */
+    virtual std::unique_ptr<Session> cloneForBatch() const;
+
+    /** Worker lanes runBatch may use (default: the machine/QKC_THREADS). */
+    virtual std::size_t batchThreads() const;
+
+    /**
+     * Called on every lane after a batch completes: drop transient payload
+     * caches (dense final states, probability tables, diagram arenas) so a
+     * persistent lane pins only its per-structure plan between batches,
+     * not a full simulation result per thread. Default: no-op.
+     */
+    virtual void trimBatchLane() {}
 
     /**
      * Shared CLT fallback: diagonal terms score one batch of computational-
      * basis samples from the session itself; each non-diagonal term pays
-     * `shots` rotated-basis samples via sampleAdHoc.
+     * `shots` samples from its cached rotated-basis sub-session.
      */
     double sampledExpectation(const PauliSum& observable, std::size_t shots,
                               Rng& rng, ResultMeta& meta);
+
+    /**
+     * Cancels the nominal first build the Session constructor records.
+     * Called by cloneForBatch implementations whose construction copies an
+     * existing plan instead of compiling one, so the fold of lane counters
+     * back into the parent session stays an honest count of structure
+     * compilations actually performed.
+     */
+    void clearInitialBuild() { planBuilds_ = 0; }
 
     /** Throws std::invalid_argument naming the backend, task and reason. */
     [[noreturn]] void unsupported(const char* task, const char* why) const;
@@ -272,7 +340,27 @@ class Session {
     std::size_t planReuses_ = 0;
 
   private:
+    /** The cached fallback sub-session for `pauli`'s rotation signature. */
+    Session& rotatedSession(const PauliString& pauli);
+
     std::string backendName_;
+
+    /**
+     * Rotated-basis fallback sub-sessions, keyed by rotation signature (the
+     * X/Y pattern of the term — Z and I need no basis change, so terms
+     * sharing the pattern share one sub-session and only rebind it).
+     */
+    std::map<std::string, std::unique_ptr<Session>> rotatedSessions_;
+
+    /**
+     * Worker-lane clones kept across runBatch calls, so backends whose
+     * clone pays a real compilation (kc) pay it once per lane for the
+     * session lifetime, not once per batch.
+     */
+    std::vector<std::unique_ptr<Session>> batchLanes_;
+
+    /** cloneForBatch declined once; every later batch serializes. */
+    bool batchSerialized_ = false;
 };
 
 /**
@@ -304,6 +392,15 @@ class Backend {
     /** Compatibility helper: open(circuit).run(Sample{shots}).samples. */
     std::vector<std::uint64_t> sample(const Circuit& circuit,
                                       std::size_t shots, Rng& rng) const;
+
+    /**
+     * Convenience for one-shot batch callers: opens a session on the first
+     * binding (paying the structure cost once) and runs the batch through
+     * it. Anything that evaluates batches repeatedly should hold the
+     * Session and call Session::runBatch so lane state persists.
+     */
+    std::vector<Result> runBatch(const std::vector<ParamBinding>& bindings,
+                                 const Task& task, Rng& rng) const;
 };
 
 /**

@@ -63,6 +63,72 @@ TEST(DensityMatrixSimulatorTest, TraceStaysOneThroughDeepNoisyCircuit)
     EXPECT_TRUE(approxEqual(rho.trace(), Complex{1.0}, 1e-9));
 }
 
+/** A parameterized noisy circuit for the plan rebind tests. */
+Circuit
+parameterized(double a, double b)
+{
+    Circuit c(3);
+    c.h(0).rz(1, a).cnot(0, 1).zz(1, 2, b).rx(2, a + b);
+    c.append(NoiseChannel::depolarizing(1, 0.03));
+    return c;
+}
+
+void
+expectSameRho(const DensityMatrix& x, const DensityMatrix& y)
+{
+    ASSERT_EQ(x.dimension(), y.dimension());
+    for (std::uint64_t r = 0; r < x.dimension(); ++r)
+        for (std::uint64_t cc = 0; cc < x.dimension(); ++cc) {
+            EXPECT_EQ(x.at(r, cc).real(), y.at(r, cc).real());
+            EXPECT_EQ(x.at(r, cc).imag(), y.at(r, cc).imag());
+        }
+}
+
+TEST(DmExecutionPlanTest, PlannedExecutionMatchesDirectSimulation)
+{
+    const Circuit c = parameterized(0.4, -0.9);
+    DensityMatrixSimulator sim;
+    const DmExecutionPlan plan = planCircuitDm(c, sim.execPolicy());
+    expectSameRho(sim.simulatePlanned(plan), sim.simulate(c));
+}
+
+TEST(DmExecutionPlanTest, RebindRefreshesValuesWithoutReclassification)
+{
+    // The ISSUE 5 dm fix: a same-structure rebind replays the fusion recipe
+    // and refreshes the compiled superoperator kernels in place; executing
+    // the rebound plan must be bit-identical to planning from scratch.
+    DensityMatrixSimulator sim;
+    DmExecutionPlan plan = planCircuitDm(parameterized(0.4, -0.9),
+                                         sim.execPolicy());
+    const Circuit next = parameterized(-1.3, 0.2);
+    ASSERT_TRUE(tryRebindDmPlan(plan, next));
+    expectSameRho(sim.simulatePlanned(plan), sim.simulate(next));
+}
+
+TEST(DmExecutionPlanTest, RebindRefusesStructureChange)
+{
+    DensityMatrixSimulator sim;
+    DmExecutionPlan plan = planCircuitDm(parameterized(0.4, -0.9),
+                                         sim.execPolicy());
+    Circuit different(3);
+    different.h(0).h(1).h(2);
+    EXPECT_FALSE(tryRebindDmPlan(plan, different));
+    Circuit wrongQubits(2);
+    wrongQubits.h(0);
+    EXPECT_FALSE(tryRebindDmPlan(plan, wrongQubits));
+}
+
+TEST(DmExecutionPlanTest, UnfusedPlanAlsoRebinds)
+{
+    ExecPolicy policy;
+    policy.fuseGates = false;
+    DensityMatrixSimulator sim(policy);
+    DmExecutionPlan plan = planCircuitDm(parameterized(0.1, 0.2), policy);
+    const Circuit next = parameterized(0.9, -0.4);
+    ASSERT_TRUE(tryRebindDmPlan(plan, next));
+    expectSameRho(sim.simulatePlanned(plan), sim.simulate(next));
+}
+
 TEST(DensityMatrixSimulatorTest, SamplesFollowDiagonal)
 {
     DensityMatrixSimulator sim;

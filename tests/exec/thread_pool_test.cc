@@ -105,6 +105,50 @@ TEST(ThreadPoolTest, NestedRunDoesNotDeadlock)
     EXPECT_EQ(total.load(), 8 * 256);
 }
 
+TEST(ThreadPoolTest, InParallelRegionTracksChunkBodies)
+{
+    // The nested-submission guard for coarse fan-outs (Session::runBatch):
+    // false at top level, true inside any chunk body — pool-claimed or
+    // inline — and restored afterwards.
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+    std::atomic<int> insideCount{0};
+    parallelFor(forcedParallel(4, 8), 64,
+                [&](std::uint64_t, std::uint64_t) {
+        if (ThreadPool::inParallelRegion())
+            insideCount.fetch_add(1);
+    });
+    EXPECT_EQ(insideCount.load(), 64 / 8);
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+
+    // The serial path (threads=1) is not pool work and must not claim it.
+    bool inside = false;
+    parallelFor(forcedParallel(1), 16,
+                [&](std::uint64_t, std::uint64_t) {
+        inside = ThreadPool::inParallelRegion();
+    });
+    EXPECT_FALSE(inside);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionRunsInlineWithoutDeadlock)
+{
+    // A chunk body that submits its own parallel region must complete (the
+    // pool's single job slot degrades the nested region to inline
+    // execution) and cover every index of both regions exactly once.
+    std::atomic<int> outer{0}, inner{0};
+    parallelFor(forcedParallel(4, 16), 64,
+                [&](std::uint64_t b, std::uint64_t e) {
+        outer.fetch_add(static_cast<int>(e - b));
+        EXPECT_TRUE(ThreadPool::inParallelRegion());
+        parallelFor(forcedParallel(4, 8), 32,
+                    [&](std::uint64_t ib, std::uint64_t ie) {
+            inner.fetch_add(static_cast<int>(ie - ib));
+        });
+    });
+    EXPECT_EQ(outer.load(), 64);
+    EXPECT_EQ(inner.load(), 4 * 32);
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+}
+
 TEST(ThreadPoolTest, ManySmallJobsReusePool)
 {
     for (int round = 0; round < 200; ++round) {

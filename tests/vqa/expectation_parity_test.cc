@@ -24,7 +24,7 @@ exactExpectation(const char* name, const Circuit& c, const PauliSum& h)
     Rng rng(1);
     Result r = session->run(Expectation{h, 0}, rng);
     EXPECT_TRUE(r.meta.exact) << name;
-    EXPECT_EQ(r.meta.sampledShots, 0u) << name;
+    EXPECT_EQ(r.meta.fallbackShots, 0u) << name;
     return r.expectation;
 }
 
@@ -129,7 +129,7 @@ TEST(ExpectationParityTest, KcFallsBackToGibbsBeyondTheFeasibilityLimit)
     Rng rng(31);
     Result r = session->run(Expectation{h, 2048}, rng);
     EXPECT_FALSE(r.meta.exact);
-    EXPECT_GT(r.meta.sampledShots, 0u);
+    EXPECT_GT(r.meta.fallbackShots, 0u);
 
     const double reference = exactExpectation("dm", noisy, h);
     double coeffSum = 0.0;
@@ -166,7 +166,7 @@ TEST(ExpectationParityTest, SampledEstimatesConvergeWithinCltBounds)
     Rng rng(23);
     Result r = session->run(Expectation{h, shots}, rng);
     EXPECT_FALSE(r.meta.exact);
-    EXPECT_GT(r.meta.sampledShots, 0u);
+    EXPECT_GT(r.meta.fallbackShots, 0u);
     EXPECT_NEAR(r.expectation, reference, bound);
 }
 
@@ -189,7 +189,7 @@ TEST(ExpectationParityTest, NoisyNonDiagonalFallsBackToShotsOnSv)
     const std::size_t shots = 8192;
     Result r = session->run(Expectation{h, shots}, rng);
     EXPECT_FALSE(r.meta.exact);
-    EXPECT_EQ(r.meta.sampledShots, shots);
+    EXPECT_EQ(r.meta.fallbackShots, shots);
     // The rotated-basis fallback runs one Kraus trajectory per shot, and
     // the metadata must account for them.
     EXPECT_EQ(r.meta.trajectories, shots);

@@ -110,7 +110,7 @@ TEST(PauliSumTest, KcSessionServesNonDiagonalTermsExactly)
     Rng rng(5);
     Result r = session->run(Expectation{h, 0}, rng);
     EXPECT_TRUE(r.meta.exact);
-    EXPECT_EQ(r.meta.sampledShots, 0u);
+    EXPECT_EQ(r.meta.fallbackShots, 0u);
     EXPECT_NEAR(r.expectation, 2.0, 1e-9);
     EXPECT_EQ(session->planBuilds(), 1u);
 }
@@ -127,7 +127,7 @@ TEST(PauliSumTest, TnSessionFallsBackToSampling)
     Rng rng(7);
     Result r = session->run(Expectation{h, 4000}, rng);
     EXPECT_FALSE(r.meta.exact);
-    EXPECT_GT(r.meta.sampledShots, 0u);
+    EXPECT_GT(r.meta.fallbackShots, 0u);
     EXPECT_NEAR(r.expectation, 0.75, 0.08);
 }
 

@@ -50,6 +50,7 @@ TEST(BackendSpecTest, RegistryCoversEveryBackend)
         EXPECT_FALSE(info.aliases.empty()) << info.name;
         EXPECT_FALSE(info.summary.empty()) << info.name;
         EXPECT_FALSE(info.tasks.empty()) << info.name;
+        EXPECT_FALSE(info.batch.empty()) << info.name;
         // Aliases resolve to the canonical name.
         for (const std::string& alias : info.aliases)
             EXPECT_EQ(parseBackendSpec(alias).name, info.name);
@@ -337,6 +338,89 @@ TEST(SessionTest, ZeroShotExpectationOnlyValidWhereExact)
     EXPECT_THROW(tn->run(Expectation{h, 0}, rng), std::invalid_argument);
 }
 
+TEST(SessionTest, KcOverFeasibilityLimitFallsBackToGibbs)
+{
+    // Regression (ISSUE 5): a noisy circuit just over kMaxExactEvaluations
+    // (2^16 evaluator passes) must fall back to Gibbs sampling with
+    // meta.exact == false — not throw, and not return a silently truncated
+    // enumeration. Eight depolarizing channels on 2 qubits cost
+    // 2^2 * 4^8 = 2^18 passes; seven cost exactly 2^16 and stay exact.
+    auto withChannels = [](std::size_t channels) {
+        Circuit c(2);
+        c.h(0).cnot(0, 1);
+        for (std::size_t k = 0; k < channels; ++k)
+            c.append(NoiseChannel::depolarizing(k % 2, 0.01));
+        return c;
+    };
+    PauliSum h;
+    h.add(1.0, PauliString("ZZ"));
+
+    auto over = makeBackend("kc:burnin=8")->open(withChannels(8));
+    Rng rng(5);
+    Result fallback;
+    ASSERT_NO_THROW(fallback = over->run(Expectation{h, 256}, rng));
+    EXPECT_FALSE(fallback.meta.exact);
+    EXPECT_EQ(fallback.meta.fallbackShots, 256u);
+    // The infeasible exact distribution must refuse, not truncate.
+    EXPECT_THROW(over->run(Probabilities{{}}, rng), std::invalid_argument);
+
+    auto under = makeBackend("kc")->open(withChannels(7));
+    Result exact = under->run(Expectation{h, 256}, rng);
+    EXPECT_TRUE(exact.meta.exact);
+    EXPECT_EQ(exact.meta.fallbackShots, 0u);
+    // The Gibbs estimate and the exact value agree statistically (the
+    // channels only perturb the Bell correlations slightly).
+    EXPECT_NEAR(fallback.expectation, exact.expectation, 0.25);
+}
+
+TEST(SessionTest, RotatedFallbackSubSessionIsCachedPerSignature)
+{
+    // Non-diagonal terms share one cached rotated sub-session per X/Y
+    // pattern; parameter rebinds of the base circuit rebind the sub-session
+    // instead of re-paying structure planning (ISSUE 5 satellite).
+    PauliSum h;
+    h.add(0.5, PauliString("XZ")); // rotation signature XI
+    h.add(0.5, PauliString("XI")); // same signature -> same sub-session
+    h.add(0.5, PauliString("IY")); // new signature IY
+
+    Circuit base(2);
+    base.h(0).rz(1, 0.3).cnot(0, 1);
+
+    auto session = makeBackend("tn")->open(base);
+    Rng rng(7);
+    EXPECT_EQ(session->rotatedSessionCount(), 0u);
+    session->run(Expectation{h, 64}, rng);
+    EXPECT_EQ(session->rotatedSessionCount(), 2u);
+
+    // Repeat calls and same-structure rebinds reuse the cache.
+    session->run(Expectation{h, 64}, rng);
+    Circuit rebound(2);
+    rebound.h(0).rz(1, 0.9).cnot(0, 1);
+    session->bind(rebound);
+    session->run(Expectation{h, 64}, rng);
+    EXPECT_EQ(session->rotatedSessionCount(), 2u);
+}
+
+TEST(SessionTest, RotatedFallbackAccountsShotsAndTrajectories)
+{
+    // The noisy sv fallback runs trajectories inside the cached sub-session;
+    // they must surface in the outer task's metadata, and every non-diagonal
+    // term must account its fallback shots (the dm path used to drop this
+    // meta on the floor).
+    PauliSum h;
+    h.add(1.0, PauliString("XZ"));
+    h.add(1.0, PauliString("ZI")); // diagonal: one base-sample batch
+    const Circuit noisy =
+        bell().withNoiseAfterEachGate(NoiseKind::Depolarizing, 0.02);
+    auto session = makeBackend("sv")->open(noisy);
+    Rng rng(9);
+    const Result r = session->run(Expectation{h, 32}, rng);
+    EXPECT_FALSE(r.meta.exact);
+    EXPECT_EQ(r.meta.fallbackShots, 64u); // 32 rotated + 32 base
+    EXPECT_GE(r.meta.trajectories, 64u);  // both draws are trajectories
+    EXPECT_EQ(session->rotatedSessionCount(), 1u);
+}
+
 TEST(SessionTest, IdentityOnlyObservableIsExactEverywhere)
 {
     // A constant observable needs no samples, so even fallback paths must
@@ -351,7 +435,7 @@ TEST(SessionTest, IdentityOnlyObservableIsExactEverywhere)
         Rng rng(3);
         Result r = session->run(Expectation{h, 0}, rng);
         EXPECT_TRUE(r.meta.exact) << spec;
-        EXPECT_EQ(r.meta.sampledShots, 0u) << spec;
+        EXPECT_EQ(r.meta.fallbackShots, 0u) << spec;
         EXPECT_NEAR(r.expectation, 2.5, 1e-12) << spec;
     }
 }
