@@ -62,6 +62,68 @@ sessionRebindRow(const char* spec, std::size_t qubits, std::size_t iterations)
     std::fflush(stdout);
 }
 
+/**
+ * The dd flavor of the rebind ablation. Diagram contents are
+ * value-dependent, so a dd bind is lazy — open/bind alone measures
+ * nothing. Each iteration therefore runs one cheap task (a single
+ * amplitude), forcing the state build either into a brand-new package
+ * (reopen) or into the session's persistent, garbage-collected package
+ * (rebind), where collected nodes come back through the free lists and
+ * the unique/complex tables keep their bucket storage warm. Before
+ * ISSUE 6 gave DdPackage a GC, rebinding rebuilt the world exactly like
+ * reopening and this row would sit at 1.0x.
+ *
+ * The workload is a GHZ ladder with parameterized rotation layers — the
+ * structured, linear-size-diagram regime dd exists for. On a dense-state
+ * workload (QAOA on a random graph) the 2^n-path diagram build dominates
+ * both strategies identically and the structural saving is invisible,
+ * the same reason the dm row caps its qubit count above.
+ */
+void
+ddRebindRow(std::size_t qubits, std::size_t iterations)
+{
+    auto backend = makeBackend("dd:gc=1");
+    Circuit base(qubits);
+    base.h(0);
+    for (std::size_t q = 1; q < qubits; ++q)
+        base.cnot(q - 1, q);
+    for (std::size_t q = 0; q < qubits; ++q)
+        base.rz(q, 0.3);
+    const auto paramIdx = base.parameterizedGateIndices();
+
+    auto bindingAt = [&](std::size_t it) {
+        Circuit c = base;
+        for (std::size_t idx : paramIdx)
+            c.setGateParam(idx, -0.5 + 0.01 * static_cast<double>(it));
+        return c;
+    };
+    const Task task = Amplitudes{{0}};
+
+    // Strategy A: reopen (fresh package) each iteration.
+    Rng rngA(19);
+    Timer tA;
+    for (std::size_t it = 0; it < iterations; ++it)
+        backend->open(bindingAt(it))->run(task, rngA);
+    const double reopen = tA.seconds();
+
+    // Strategy B: open once, rebind into the persistent package.
+    auto session = backend->open(base);
+    Rng rngB(19);
+    Timer tB;
+    for (std::size_t it = 0; it < iterations; ++it) {
+        session->bind(bindingAt(it));
+        session->run(task, rngB);
+    }
+    const double rebind = tB.seconds();
+
+    std::printf("%-14s %zu\t%.3f\t%.3f\t%.1fx\t(planBuilds=%zu "
+                "planReuses=%zu)\n",
+                backend->name().c_str(), qubits, reopen, rebind,
+                reopen / rebind, session->planBuilds(),
+                session->planReuses());
+    std::fflush(stdout);
+}
+
 } // namespace
 
 int
@@ -120,5 +182,6 @@ main(int argc, char** argv)
     // classification cost the rebind saves, understating the plan's value.
     sessionRebindRow("dm:threads=1", std::min<std::size_t>(maxQubits, 8),
                      iterations);
+    ddRebindRow(maxQubits, iterations);
     return 0;
 }

@@ -36,17 +36,48 @@ ComplexTable::intern(double x)
                 return v;
         }
     }
-    storage_.push_back(x);
-    const double* stored = &storage_.back();
-    buckets_[b].push_back(stored);
-    return stored;
+    double* slot;
+    if (!freeSlots_.empty()) {
+        // Reuse a slot a sweep recycled; addresses of live entries are
+        // untouched either way (deque storage never relocates).
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        *slot = x;
+    } else {
+        storage_.push_back(x);
+        slot = &storage_.back();
+    }
+    buckets_[b].push_back(slot);
+    ++liveCount_;
+    return slot;
+}
+
+void
+ComplexTable::sweep(const std::unordered_set<const double*>& live)
+{
+    std::unordered_map<std::int64_t, std::vector<const double*>> kept;
+    std::size_t keptCount = 0;
+    for (auto& [bucket, entries] : buckets_) {
+        for (const double* p : entries) {
+            if (live.count(p) != 0) {
+                kept[bucket].push_back(p);
+                ++keptCount;
+            } else {
+                freeSlots_.push_back(const_cast<double*>(p));
+            }
+        }
+    }
+    buckets_ = std::move(kept);
+    liveCount_ = keptCount;
 }
 
 void
 ComplexTable::clear()
 {
     buckets_.clear();
+    freeSlots_.clear();
     storage_.clear();
+    liveCount_ = 0;
 }
 
 } // namespace qkc

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "linalg/types.h"
@@ -40,14 +41,28 @@ class ComplexTable {
     /** Canonical representative within kTolerance of x (inserts if none). */
     const double* intern(double x);
 
-    /** Number of distinct stored components. */
-    std::size_t size() const { return storage_.size(); }
+    /** Number of distinct live components. */
+    std::size_t size() const { return liveCount_; }
+
+    /** Storage slots ever allocated (live + free-listed). */
+    std::size_t allocated() const { return storage_.size(); }
+
+    /**
+     * Garbage-collection hook: drops every entry whose pointer is not in
+     * `live`, recycling its storage slot for future interns. Pointers in
+     * `live` stay valid and canonical; swept pointers must no longer be
+     * referenced anywhere (DdPackage::garbageCollect computes `live` from
+     * the surviving unique-table keys, which are the only holders).
+     */
+    void sweep(const std::unordered_set<const double*>& live);
 
     /** Drops every entry; previously returned pointers become invalid. */
     void clear();
 
   private:
     std::deque<double> storage_;
+    std::vector<double*> freeSlots_;
+    std::size_t liveCount_ = 0;
     std::unordered_map<std::int64_t, std::vector<const double*>> buckets_;
 };
 

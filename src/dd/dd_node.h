@@ -57,23 +57,33 @@ using MEdge = DdEdge<MNode>;
  * DdPackage::makeVNode): |w0|^2 + |w1|^2 = 1 and the first non-zero child
  * weight is real non-negative, so outcome probabilities can be read off
  * edge weights directly during sampling.
+ *
+ * `ref` is the DDSIM-style reference count maintained by
+ * DdPackage::incRef/decRef (recursive over child edges; a count of
+ * UINT32_MAX is saturated and pins the node forever). `mark` is the
+ * generation stamp of the last mark-and-sweep pass that reached this node;
+ * `nextFree` chains collected nodes on the package's free list for reuse.
  */
 struct VNode {
     std::array<VEdge, 2> children;
     std::size_t level = 0;
-    VNode* nextInBucket = nullptr;
+    VNode* nextFree = nullptr;
+    std::uint32_t ref = 0;
+    std::uint32_t mark = 0;
 };
 
 /**
  * Matrix-DD node: branches on one qubit's (row bit, column bit) pair;
  * children[2*r + c] is the sub-matrix block. Normalization invariant: the
  * largest-magnitude child weight is exactly 1 (the first such child under
- * the fixed 00,01,10,11 order).
+ * the fixed 00,01,10,11 order). Lifecycle fields as in VNode.
  */
 struct MNode {
     std::array<MEdge, 4> children;
     std::size_t level = 0;
-    MNode* nextInBucket = nullptr;
+    MNode* nextFree = nullptr;
+    std::uint32_t ref = 0;
+    std::uint32_t mark = 0;
 };
 
 /**

@@ -1,6 +1,8 @@
 #include "dd/dd_package.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -129,10 +131,19 @@ DdPackage::makeVNode(std::size_t level, const VEdge& e0, const VEdge& e1)
         ++stats_.vHits;
         return VEdge{it->second, factor};
     }
-    vArena_.push_back(VNode{{c0, c1}, level, nullptr});
-    VNode* node = &vArena_.back();
+    VNode* node;
+    if (vFree_ != nullptr) {
+        node = vFree_;
+        vFree_ = node->nextFree;
+    } else {
+        vArena_.emplace_back();
+        node = &vArena_.back();
+    }
+    *node = VNode{{c0, c1}, level, nullptr, 0, 0};
     vUnique_.emplace(key, node);
-    ++stats_.uniqueVNodes;
+    ++stats_.allocatedVNodes;
+    ++stats_.liveVNodes;
+    notePeak();
     return VEdge{node, factor};
 }
 
@@ -171,10 +182,19 @@ DdPackage::makeMNode(std::size_t level, const std::array<MEdge, 4>& children)
         ++stats_.mHits;
         return MEdge{it->second, factor};
     }
-    mArena_.push_back(MNode{c, level, nullptr});
-    MNode* node = &mArena_.back();
+    MNode* node;
+    if (mFree_ != nullptr) {
+        node = mFree_;
+        mFree_ = node->nextFree;
+    } else {
+        mArena_.emplace_back();
+        node = &mArena_.back();
+    }
+    *node = MNode{c, level, nullptr, 0, 0};
     mUnique_.emplace(key, node);
-    ++stats_.uniqueMNodes;
+    ++stats_.allocatedMNodes;
+    ++stats_.liveMNodes;
+    notePeak();
     return MEdge{node, factor};
 }
 
@@ -230,6 +250,43 @@ DdPackage::buildGateLevel(const Matrix& u,
         }
     }
     return makeMNode(level, c);
+}
+
+MEdge
+DdPackage::makePauliDd(const std::string& paulis)
+{
+    if (paulis.size() != numQubits_)
+        throw std::invalid_argument("DdPackage::makePauliDd: string length "
+                                    "does not match the qubit count");
+    MEdge e{nullptr, Complex(1.0, 0.0)};
+    for (std::size_t l = numQubits_; l-- > 0;) {
+        const MEdge sub = e;
+        auto scaled = [&](double re, double im) {
+            MEdge s = sub;
+            s.weight = s.weight * Complex(re, im);
+            return s;
+        };
+        std::array<MEdge, 4> c;
+        switch (paulis[l]) {
+          case 'I':
+            c = {sub, zeroM(), zeroM(), sub};
+            break;
+          case 'X':
+            c = {zeroM(), sub, sub, zeroM()};
+            break;
+          case 'Y':
+            c = {zeroM(), scaled(0.0, -1.0), scaled(0.0, 1.0), zeroM()};
+            break;
+          case 'Z':
+            c = {sub, zeroM(), zeroM(), scaled(-1.0, 0.0)};
+            break;
+          default:
+            throw std::invalid_argument(
+                "DdPackage::makePauliDd: factors must be one of I, X, Y, Z");
+        }
+        e = makeMNode(l, c);
+    }
+    return e;
 }
 
 MEdge
@@ -478,6 +535,267 @@ DdPackage::nodeCount(const VEdge& state) const
     return seen.size();
 }
 
+namespace {
+
+void
+countMNodes(const MNode* node, std::unordered_set<const MNode*>& seen)
+{
+    if (node == nullptr || !seen.insert(node).second)
+        return;
+    for (const MEdge& c : node->children)
+        countMNodes(c.node, seen);
+}
+
+} // namespace
+
+std::size_t
+DdPackage::nodeCount(const MEdge& op) const
+{
+    std::unordered_set<const MNode*> seen;
+    countMNodes(op.node, seen);
+    return seen.size();
+}
+
+// ---------------------------------------------------------------------------
+// Memory lifecycle
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kRefSaturated =
+    std::numeric_limits<std::uint32_t>::max();
+
+/** Removes one root entry matching `node` (registration is per-protect). */
+template <typename EdgeT, typename NodeT>
+void
+dropRoot(std::vector<EdgeT>& roots, const NodeT* node, const char* what)
+{
+    auto it = std::find_if(roots.begin(), roots.end(),
+                           [&](const EdgeT& r) { return r.node == node; });
+    if (it == roots.end())
+        throw std::logic_error(std::string("DdPackage::unprotect: ") + what +
+                               " edge was not protected");
+    roots.erase(it);
+}
+
+} // namespace
+
+void
+DdPackage::setGc(bool enabled, std::size_t threshold)
+{
+    if (threshold == 0)
+        throw std::invalid_argument("DdPackage::setGc: threshold must be "
+                                    ">= 1 node");
+    gcEnabled_ = enabled;
+    gcThreshold_ = threshold;
+}
+
+void
+DdPackage::incRef(const VEdge& e)
+{
+    VNode* n = e.node;
+    if (n == nullptr || n->ref == kRefSaturated)
+        return;
+    if (n->ref++ == 0) {
+        incRef(n->children[0]);
+        incRef(n->children[1]);
+    }
+}
+
+void
+DdPackage::decRef(const VEdge& e)
+{
+    VNode* n = e.node;
+    if (n == nullptr || n->ref == kRefSaturated)
+        return;
+    if (n->ref == 0)
+        throw std::logic_error("DdPackage::decRef: vector node has no "
+                               "references");
+    if (--n->ref == 0) {
+        decRef(n->children[0]);
+        decRef(n->children[1]);
+    }
+}
+
+void
+DdPackage::incRef(const MEdge& e)
+{
+    MNode* n = e.node;
+    if (n == nullptr || n->ref == kRefSaturated)
+        return;
+    if (n->ref++ == 0)
+        for (const MEdge& c : n->children)
+            incRef(c);
+}
+
+void
+DdPackage::decRef(const MEdge& e)
+{
+    MNode* n = e.node;
+    if (n == nullptr || n->ref == kRefSaturated)
+        return;
+    if (n->ref == 0)
+        throw std::logic_error("DdPackage::decRef: matrix node has no "
+                               "references");
+    if (--n->ref == 0)
+        for (const MEdge& c : n->children)
+            decRef(c);
+}
+
+void
+DdPackage::protect(const VEdge& e)
+{
+    incRef(e);
+    if (e.node != nullptr)
+        vRoots_.push_back(e);
+}
+
+void
+DdPackage::unprotect(const VEdge& e)
+{
+    if (e.node == nullptr)
+        return;
+    dropRoot(vRoots_, e.node, "vector");
+    decRef(e);
+}
+
+void
+DdPackage::protect(const MEdge& e)
+{
+    incRef(e);
+    if (e.node != nullptr)
+        mRoots_.push_back(e);
+}
+
+void
+DdPackage::unprotect(const MEdge& e)
+{
+    if (e.node == nullptr)
+        return;
+    dropRoot(mRoots_, e.node, "matrix");
+    decRef(e);
+}
+
+void
+DdPackage::markV(VNode* node)
+{
+    if (node == nullptr || node->mark == gcGeneration_)
+        return;
+    node->mark = gcGeneration_;
+    markV(node->children[0].node);
+    markV(node->children[1].node);
+}
+
+void
+DdPackage::markM(MNode* node)
+{
+    if (node == nullptr || node->mark == gcGeneration_)
+        return;
+    node->mark = gcGeneration_;
+    for (const MEdge& c : node->children)
+        markM(c.node);
+}
+
+std::size_t
+DdPackage::garbageCollect()
+{
+    // Mark: everything reachable from a protected root or a node some
+    // caller still references. Reference counts are recursive, so marking
+    // each ref > 0 table entry (plus its descendants, which covers
+    // saturated counts) is exactly the live set.
+    ++gcGeneration_;
+    for (const VEdge& r : vRoots_)
+        markV(r.node);
+    for (const MEdge& r : mRoots_)
+        markM(r.node);
+    for (const auto& [key, node] : vUnique_) {
+        (void)key;
+        if (node->ref > 0)
+            markV(node);
+    }
+    for (const auto& [key, node] : mUnique_) {
+        (void)key;
+        if (node->ref > 0)
+            markM(node);
+    }
+
+    // Sweep: evict dead unique-table entries onto the free lists. The
+    // compute tables key on raw node pointers — a recycled address would
+    // serve a stale result — so they are dropped wholesale.
+    std::size_t collected = 0;
+    for (auto it = vUnique_.begin(); it != vUnique_.end();) {
+        VNode* node = it->second;
+        if (node->mark != gcGeneration_) {
+            it = vUnique_.erase(it);
+            node->nextFree = vFree_;
+            vFree_ = node;
+            --stats_.liveVNodes;
+            ++collected;
+        } else {
+            ++it;
+        }
+    }
+    for (auto it = mUnique_.begin(); it != mUnique_.end();) {
+        MNode* node = it->second;
+        if (node->mark != gcGeneration_) {
+            it = mUnique_.erase(it);
+            node->nextFree = mFree_;
+            mFree_ = node;
+            --stats_.liveMNodes;
+            ++collected;
+        } else {
+            ++it;
+        }
+    }
+    clearComputeTables();
+
+    // Surviving unique-table keys are the only holders of interned weight
+    // pointers (nodes store snapped values); sweep the rest.
+    std::unordered_set<const double*> liveWeights;
+    for (const auto& [key, node] : vUnique_) {
+        (void)node;
+        for (const InternedComplex& w : key.weights) {
+            liveWeights.insert(w.re);
+            liveWeights.insert(w.im);
+        }
+    }
+    for (const auto& [key, node] : mUnique_) {
+        (void)node;
+        for (const InternedComplex& w : key.weights) {
+            liveWeights.insert(w.re);
+            liveWeights.insert(w.im);
+        }
+    }
+    weights_.sweep(liveWeights);
+
+    ++stats_.gcRuns;
+    stats_.nodesCollected += collected;
+    return collected;
+}
+
+bool
+DdPackage::maybeGarbageCollect()
+{
+    if (!gcEnabled_ ||
+        stats_.liveVNodes + stats_.liveMNodes < gcThreshold_)
+        return false;
+    garbageCollect();
+    // Anti-thrash: when the table was mostly live, the working set has
+    // outgrown the trigger — raise it so the next sweep waits for a
+    // comparable amount of new garbage.
+    const std::size_t live = stats_.liveVNodes + stats_.liveMNodes;
+    if (live * 2 > gcThreshold_)
+        gcThreshold_ = live * 2;
+    return true;
+}
+
+void
+DdPackage::notePeak()
+{
+    stats_.peakLiveNodes = std::max(stats_.peakLiveNodes,
+                                    stats_.liveVNodes + stats_.liveMNodes);
+}
+
 void
 DdPackage::clearComputeTables()
 {
@@ -493,6 +811,10 @@ DdPackage::reset()
     mUnique_.clear();
     vArena_.clear();
     mArena_.clear();
+    vFree_ = nullptr;
+    mFree_ = nullptr;
+    vRoots_.clear();
+    mRoots_.clear();
     weights_.clear();
     stats_ = DdStats{};
 }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -17,13 +18,18 @@ namespace qkc {
 
 /** Operation counters exposed for tests and the compile-metrics CLI. */
 struct DdStats {
-    std::size_t uniqueVNodes = 0;   ///< live vector nodes in the unique table
-    std::size_t uniqueMNodes = 0;   ///< live matrix nodes in the unique table
-    std::size_t vHits = 0;          ///< vector unique-table hits (dedups)
-    std::size_t mHits = 0;          ///< matrix unique-table hits (dedups)
-    std::size_t applyHits = 0;      ///< matrix-vector compute-table hits
+    std::size_t liveVNodes = 0;      ///< vector nodes currently in the unique table
+    std::size_t liveMNodes = 0;      ///< matrix nodes currently in the unique table
+    std::size_t allocatedVNodes = 0; ///< lifetime vector-node constructions (free-list reuses included)
+    std::size_t allocatedMNodes = 0; ///< lifetime matrix-node constructions
+    std::size_t peakLiveNodes = 0;   ///< max of liveVNodes + liveMNodes ever reached
+    std::size_t gcRuns = 0;          ///< completed garbageCollect() sweeps
+    std::size_t nodesCollected = 0;  ///< unique-table evictions across all sweeps
+    std::size_t vHits = 0;           ///< vector unique-table hits (dedups)
+    std::size_t mHits = 0;           ///< matrix unique-table hits (dedups)
+    std::size_t applyHits = 0;       ///< matrix-vector compute-table hits
     std::size_t applyMisses = 0;
-    std::size_t addHits = 0;        ///< vector-add compute-table hits
+    std::size_t addHits = 0;         ///< vector-add compute-table hits
     std::size_t addMisses = 0;
 };
 
@@ -33,17 +39,82 @@ struct DdStats {
  * operations — vector addition and matrix-vector application — in compute
  * tables.
  *
- * Lifetime model: nodes live in an arena owned by the package and are only
- * released when the package is destroyed or reset(); there is no reference
- * counting or garbage collection (adequate for the circuit sizes the test
- * and bench suites run; see ROADMAP for the GC follow-up). Every VEdge /
- * MEdge handed out is valid for the lifetime of the package.
+ * Lifetime model: nodes live in an arena owned by the package and are
+ * recycled by a reference-counted mark-and-sweep garbage collector.
+ * Callers holding an edge across package operations keep it alive either
+ * by protect()/unprotect() (root registration — what sessions use for
+ * their state and cached gate DDs) or by incRef()/decRef() (recursive
+ * reference counts walking child edges). garbageCollect() marks everything
+ * reachable from a protected root or a referenced node, evicts the rest
+ * from the unique tables onto per-arena free lists for reuse, invalidates
+ * the apply/add compute tables (they key on raw node pointers), and sweeps
+ * ComplexTable weights no surviving unique-table key references.
+ *
+ * Collection only runs inside garbageCollect()/maybeGarbageCollect() —
+ * never spontaneously mid-operation — so unprotected intermediate edges
+ * are safe within a call chain; callers trigger maybeGarbageCollect() at
+ * safe points (between trajectories, between parameter binds). The
+ * threshold trigger fires once liveVNodes + liveMNodes reaches
+ * gcThreshold(), and after a sweep the threshold grows to twice the
+ * surviving live count when most of the table was genuinely live, so a
+ * large working set cannot thrash the collector.
  */
 class DdPackage {
   public:
+    /** Default maybeGarbageCollect() trigger: live nodes before a sweep. */
+    static constexpr std::size_t kDefaultGcThreshold = 1u << 16;
+
     explicit DdPackage(std::size_t numQubits);
 
     std::size_t numQubits() const { return numQubits_; }
+
+    // -- Memory lifecycle ----------------------------------------------------
+
+    /** Enables/disables the threshold trigger and sets its node count. */
+    void setGc(bool enabled, std::size_t threshold = kDefaultGcThreshold);
+
+    bool gcEnabled() const { return gcEnabled_; }
+    std::size_t gcThreshold() const { return gcThreshold_; }
+
+    /**
+     * Recursive reference counting: a 0 -> 1 transition increments every
+     * child edge (and so on down), 1 -> 0 symmetrically. A saturated count
+     * (UINT32_MAX) pins the node for the package lifetime.
+     */
+    void incRef(const VEdge& e);
+    void decRef(const VEdge& e);
+    void incRef(const MEdge& e);
+    void decRef(const MEdge& e);
+
+    /**
+     * Root registration for session-held edges: a protected edge (and its
+     * descendants) survives every sweep until unprotected. Protecting an
+     * edge twice requires two unprotects; unprotect of an unregistered
+     * edge throws std::logic_error.
+     */
+    void protect(const VEdge& e);
+    void unprotect(const VEdge& e);
+    void protect(const MEdge& e);
+    void unprotect(const MEdge& e);
+
+    /** Registered (still-protected) roots, both kinds. */
+    std::size_t protectedRootCount() const
+    {
+        return vRoots_.size() + mRoots_.size();
+    }
+
+    /**
+     * Mark-and-sweep collection (runs regardless of the enabled flag):
+     * marks from protected roots and referenced nodes, evicts dead unique-
+     * table entries onto the free lists, drops both compute tables and
+     * sweeps unreferenced interned weights. Returns nodes collected.
+     * Only call at safe points — any unprotected, unreferenced edge held
+     * by a caller dangles afterwards.
+     */
+    std::size_t garbageCollect();
+
+    /** Runs garbageCollect() iff enabled and past the threshold. */
+    bool maybeGarbageCollect();
 
     // -- Construction --------------------------------------------------------
 
@@ -61,6 +132,15 @@ class DdPackage {
      * never allocate nodes, so sparse gates stay sparse.
      */
     MEdge makeGateDd(const Matrix& u, const std::vector<std::size_t>& qubits);
+
+    /**
+     * The matrix DD of an n-qubit Pauli string ("IXYZ..."), one character
+     * per qubit (index 0 = qubit 0). Product operators chain one node per
+     * level, so the diagram is linear in qubits regardless of how many
+     * factors are non-identity — one apply() with this beats one apply()
+     * per non-identity qubit on both passes and compute-table traffic.
+     */
+    MEdge makePauliDd(const std::string& paulis);
 
     // -- Normalizing constructors (exposed for the invariant tests) ----------
 
@@ -122,6 +202,9 @@ class DdPackage {
 
     /** Number of distinct nodes reachable from `state` (terminal excluded). */
     std::size_t nodeCount(const VEdge& state) const;
+
+    /** Number of distinct matrix nodes reachable from `op`. */
+    std::size_t nodeCount(const MEdge& op) const;
 
     const DdStats& stats() const { return stats_; }
 
@@ -190,10 +273,21 @@ class DdPackage {
     void countNodes(const VNode* node,
                     std::unordered_set<const VNode*>& seen) const;
 
+    void markV(VNode* node);
+    void markM(MNode* node);
+    void notePeak();
+
     std::size_t numQubits_;
+    bool gcEnabled_ = true;
+    std::size_t gcThreshold_ = kDefaultGcThreshold;
+    std::uint32_t gcGeneration_ = 0; ///< stamp compared against node marks
     ComplexTable weights_;
     std::deque<VNode> vArena_;
     std::deque<MNode> mArena_;
+    VNode* vFree_ = nullptr; ///< collected nodes, chained via nextFree
+    MNode* mFree_ = nullptr;
+    std::vector<VEdge> vRoots_; ///< protected roots (session-held edges)
+    std::vector<MEdge> mRoots_;
     std::unordered_map<VKey, VNode*, VKeyHash> vUnique_;
     std::unordered_map<MKey, MNode*, MKeyHash> mUnique_;
     std::unordered_map<ApplyKey, VEdge, ApplyKeyHash> applyCache_;

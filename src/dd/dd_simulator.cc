@@ -4,42 +4,57 @@
 
 namespace qkc {
 
-namespace {
+DdPackage&
+DdSimulator::packageFor(const Circuit& circuit)
+{
+    if (!pkg_ || pkg_->numQubits() != circuit.numQubits()) {
+        pkg_ = std::make_unique<DdPackage>(circuit.numQubits());
+        pkg_->setGc(gc_.enabled, gc_.threshold);
+        fixedGateDds_.clear(); // roots died with the old package
+    }
+    return *pkg_;
+}
+
+MEdge
+DdSimulator::gateDd(const Gate& gate)
+{
+    if (!gc_.enabled || gate.isParameterized())
+        return pkg_->makeGateDd(gate.unitary(), gate.qubits());
+    const auto key =
+        std::make_pair(static_cast<int>(gate.kind()), gate.qubits());
+    auto it = fixedGateDds_.find(key);
+    if (it == fixedGateDds_.end()) {
+        const MEdge dd = pkg_->makeGateDd(gate.unitary(), gate.qubits());
+        pkg_->protect(dd);
+        it = fixedGateDds_.emplace(key, dd).first;
+    }
+    return it->second;
+}
 
 /**
  * Lowers every operation once: gates become a single matrix DD, channels
  * one matrix DD per Kraus operator. Trajectories then only pay multiply
- * cost, and the shared unique table dedups identical gates across the
- * whole circuit.
+ * cost, and the shared unique table (plus the fixed-gate cache) dedups
+ * identical gates across the whole circuit.
  */
 std::vector<std::vector<MEdge>>
-lowerOperations(const Circuit& circuit, DdPackage& pkg)
+DdSimulator::lowerOperations(const Circuit& circuit)
 {
     std::vector<std::vector<MEdge>> lowered;
     lowered.reserve(circuit.size());
     for (const auto& op : circuit.operations()) {
         if (const Gate* g = std::get_if<Gate>(&op)) {
-            lowered.push_back({pkg.makeGateDd(g->unitary(), g->qubits())});
+            lowered.push_back({gateDd(*g)});
             continue;
         }
         const auto& ch = std::get<NoiseChannel>(op);
         std::vector<MEdge> kraus;
         kraus.reserve(ch.krausOperators().size());
         for (const Matrix& e : ch.krausOperators())
-            kraus.push_back(pkg.makeGateDd(e, ch.qubits()));
+            kraus.push_back(pkg_->makeGateDd(e, ch.qubits()));
         lowered.push_back(std::move(kraus));
     }
     return lowered;
-}
-
-} // namespace
-
-DdPackage&
-DdSimulator::packageFor(const Circuit& circuit)
-{
-    if (!pkg_ || pkg_->numQubits() != circuit.numQubits())
-        pkg_ = std::make_unique<DdPackage>(circuit.numQubits());
-    return *pkg_;
 }
 
 DdPackage&
@@ -62,7 +77,7 @@ DdSimulator::simulate(const Circuit& circuit)
                 "DdSimulator::simulate: circuit has noise; use "
                 "simulateTrajectory");
         }
-        state = pkg.apply(pkg.makeGateDd(g->unitary(), g->qubits()), state);
+        state = pkg.apply(gateDd(*g), state);
     }
     return state;
 }
@@ -107,8 +122,8 @@ DdSimulator::runTrajectory(const Circuit& circuit,
 VEdge
 DdSimulator::simulateTrajectory(const Circuit& circuit, Rng& rng)
 {
-    DdPackage& pkg = packageFor(circuit);
-    return runTrajectory(circuit, lowerOperations(circuit, pkg), rng);
+    packageFor(circuit);
+    return runTrajectory(circuit, lowerOperations(circuit), rng);
 }
 
 std::vector<std::uint64_t>
@@ -122,20 +137,59 @@ DdSimulator::sample(const Circuit& circuit, std::size_t numSamples, Rng& rng)
     return samples;
 }
 
+namespace {
+
+/** Keeps the lowered gate/Kraus DDs rooted across trajectory sweeps. */
+class LoweredRoots {
+  public:
+    LoweredRoots(DdPackage& pkg,
+                 const std::vector<std::vector<MEdge>>& lowered)
+        : pkg_(pkg), lowered_(lowered)
+    {
+        for (const auto& op : lowered_)
+            for (const MEdge& e : op)
+                pkg_.protect(e);
+    }
+
+    ~LoweredRoots()
+    {
+        for (const auto& op : lowered_)
+            for (const MEdge& e : op)
+                pkg_.unprotect(e);
+    }
+
+    LoweredRoots(const LoweredRoots&) = delete;
+    LoweredRoots& operator=(const LoweredRoots&) = delete;
+
+  private:
+    DdPackage& pkg_;
+    const std::vector<std::vector<MEdge>>& lowered_;
+};
+
+} // namespace
+
 std::vector<std::uint64_t>
 DdSimulator::sampleNoisy(const Circuit& circuit, std::size_t numSamples,
                          Rng& rng)
 {
     DdPackage& pkg = packageFor(circuit);
-    const auto lowered = lowerOperations(circuit, pkg);
+    const auto lowered = lowerOperations(circuit);
+    // Each trajectory's state dies the moment its outcome is drawn; only
+    // the lowered operation DDs must outlive the between-trajectory sweeps,
+    // so a >= 5k-trajectory run holds a bounded live-node count instead of
+    // growing linearly in trajectories.
+    LoweredRoots roots(pkg, lowered);
 
     std::vector<std::uint64_t> samples;
     samples.reserve(numSamples);
     for (std::size_t s = 0; s < numSamples; ++s) {
-        // Bound memo-table growth across trajectories; nodes themselves are
-        // arena-owned and survive (no GC — see the package's lifetime note).
-        if (s > 0 && s % 128 == 0)
+        if (pkg.gcEnabled()) {
+            pkg.maybeGarbageCollect();
+        } else if (s > 0 && s % 128 == 0) {
+            // GC off: nodes are pinned for the package lifetime, but the
+            // memo tables can at least be bounded.
             pkg.clearComputeTables();
+        }
 
         VEdge state = runTrajectory(circuit, lowered, rng);
         samples.push_back(pkg.sampleOutcome(state, rng));

@@ -2,7 +2,9 @@
 #define QKC_DD_DD_SIMULATOR_H
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -29,8 +31,17 @@ namespace qkc {
  * renormalizes, which is exact in distribution for mixtures and general
  * channels alike.
  */
+/** Package memory-lifecycle knobs (the dd backend's gc/gcthreshold). */
+struct DdGcOptions {
+    bool enabled = true;
+    std::size_t threshold = DdPackage::kDefaultGcThreshold;
+};
+
 class DdSimulator {
   public:
+    DdSimulator() = default;
+    explicit DdSimulator(const DdGcOptions& gc) : gc_(gc) {}
+
     /** Runs the ideal part of `circuit`; throws if it contains noise. */
     VEdge simulate(const Circuit& circuit);
 
@@ -49,21 +60,43 @@ class DdSimulator {
     std::vector<double> distribution(const Circuit& circuit);
 
     /**
-     * The package owning every node of the last simulate/sample call.
-     * Edges returned by this simulator stay valid until the next call that
-     * changes the qubit count (which re-creates the package).
+     * The package owning every node of the last simulate/sample call. The
+     * package persists across calls with the same qubit count (a different
+     * count re-creates it); when garbage collection is enabled, edges a
+     * caller holds across package operations must be protected or
+     * incRef'd to survive the sweeps sampleNoisy triggers between
+     * trajectories.
      */
     DdPackage& package();
 
+    /** True once a package exists (after the first simulate/sample). */
+    bool hasPackage() const { return pkg_ != nullptr; }
+
   private:
     DdPackage& packageFor(const Circuit& circuit);
+
+    /**
+     * The matrix DD for one gate. Parameter-free gates (H, CNOT, ...) are
+     * built once per package and kept as protected roots — a rebind into a
+     * persistent package re-lowers only the gates whose angles changed.
+     * With GC off every call lowers afresh (nodes are pinned anyway, and
+     * the unique table dedups repeats within one package lifetime).
+     */
+    MEdge gateDd(const Gate& gate);
+
+    /** One matrix DD per gate, one DD per Kraus operator per channel. */
+    std::vector<std::vector<MEdge>> lowerOperations(const Circuit& circuit);
+
     VEdge runTrajectory(const Circuit& circuit,
                         const std::vector<std::vector<MEdge>>& lowered,
                         Rng& rng);
     VEdge applyKrausSampled(const std::vector<MEdge>& krausDds, VEdge state,
                             Rng& rng);
 
+    DdGcOptions gc_;
     std::unique_ptr<DdPackage> pkg_;
+    /** Protected DDs of parameter-free gates, keyed by (kind, qubits). */
+    std::map<std::pair<int, std::vector<std::size_t>>, MEdge> fixedGateDds_;
 };
 
 } // namespace qkc

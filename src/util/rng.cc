@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace qkc {
 
@@ -101,14 +102,27 @@ Rng::categorical(const std::vector<double>& weights)
     double total = 0.0;
     for (double w : weights)
         total += w;
+    if (!(total > 0.0))
+        throw std::invalid_argument(
+            "Rng::categorical: no positive weight to sample from");
     double r = uniform() * total;
     double acc = 0.0;
+    // Only a positive weight can advance acc past r, so the scan can skip
+    // zero-weight entries outright; the fallback (floating-point
+    // accumulation can leave acc fractionally below total forever) must
+    // return the last *positive*-weight index — the old "last index"
+    // fallback could select a zero-probability outcome when the weight
+    // vector ends in zeros.
+    std::size_t lastPositive = 0;
     for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] <= 0.0)
+            continue;
+        lastPositive = i;
         acc += weights[i];
         if (r < acc)
             return i;
     }
-    return weights.size() - 1;
+    return lastPositive;
 }
 
 } // namespace qkc

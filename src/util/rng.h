@@ -37,8 +37,11 @@ class Rng {
     double normal();
 
     /**
-     * Draws an index from an unnormalized non-negative weight vector.
-     * Returns weights.size() - 1 if rounding pushes past the total.
+     * Draws an index from an unnormalized non-negative weight vector; only
+     * positive-weight indices can be returned (if floating-point
+     * accumulation pushes the draw past the total, the last positive-weight
+     * index is selected). Throws std::invalid_argument when no weight is
+     * positive.
      */
     std::size_t categorical(const std::vector<double>& weights);
 

@@ -1,8 +1,10 @@
 #include "vqa/backends.h"
 
 #include <cmath>
+#include <map>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "ac/kc_simulator.h"
@@ -474,21 +476,28 @@ class TnSession final : public Session {
 // Decision diagram
 // ---------------------------------------------------------------------------
 
+DdGcOptions
+ddGcOptions(const BackendOptions& options)
+{
+    return DdGcOptions{options.gc, options.gcThreshold};
+}
+
 class DdSession final : public Session {
   public:
     DdSession(const Circuit& circuit, const BackendOptions& options)
-        : Session("decisiondiagram", circuit), options_(options)
+        : Session("decisiondiagram", circuit), options_(options),
+          sim_(ddGcOptions(options))
     {
     }
 
   protected:
     std::unique_ptr<Session> cloneForBatch() const override
     {
-        // The batch strategy ISSUE 5 names for dd: a DdPackage per lane.
-        // Diagram contents are value-dependent, so every bind rebuilds the
-        // state in a fresh package anyway (see doBind) — a lane is simply a
-        // session of its own, with its own arena, unique tables and compute
-        // caches; nothing is shared across threads.
+        // The batch strategy ISSUE 5 names for dd: a DdPackage per lane —
+        // its own arena, unique tables and compute caches; nothing shared
+        // across threads. The lane's package persists across bindings and
+        // batches (GC bounds it), so gate DDs and unique tables amortize
+        // within each lane exactly as they do in the parent session.
         auto lane = std::make_unique<DdSession>(circuit_, options_);
         lane->clearInitialBuild(); // construction compiles nothing
         return lane;
@@ -496,22 +505,42 @@ class DdSession final : public Session {
 
     void trimBatchLane() override
     {
-        // Drop the lane's diagram arena (no GC — it holds every node the
-        // last binding allocated); the next bind starts fresh anyway.
-        sim_ = DdSimulator();
-        built_ = false;
+        // Keep the lane package — the warm unique tables and gate DDs are
+        // the point of a persistent lane — but drop the last binding's
+        // state and collect it now: an idle lane pins only its live
+        // diagram structure between batches, not a dead state per thread.
+        if (!options_.gc) {
+            dropCaches();
+            return;
+        }
+        releaseState();
+        if (sim_.hasPackage())
+            sim_.package().garbageCollect();
     }
+
     bool doBind(const Circuit& circuit, bool sameStructure) override
     {
         (void)circuit;
-        (void)sameStructure;
-        // Diagram contents are value-dependent, so every bind rebuilds the
-        // state DD — and with a fresh package: the arena has no GC (see
-        // ROADMAP), so carrying one package across a variational sweep
-        // would grow node and compute-table memory linearly in binds.
-        sim_ = DdSimulator();
-        built_ = false;
-        return false;
+        if (!options_.gc) {
+            // Legacy lifecycle (gc=0): the arena pins every node for the
+            // package lifetime, so carrying one package across a
+            // variational sweep would grow node memory linearly in binds —
+            // rebuild the world instead.
+            dropCaches();
+            return false;
+        }
+        // GC on: the package survives the bind — arena capacity, table
+        // buckets, free lists and cached Pauli-term DDs all stay warm.
+        // The old state is unrooted and collected NOW, not lazily: weight
+        // interning snaps to existing entries within tolerance, so results
+        // must not depend on which bindings this package saw before
+        // (runBatch promises lane payloads bit-identical to a sequential
+        // loop). A full sweep leaves only protected roots, giving every
+        // binding the same deterministic starting table.
+        releaseState();
+        if (sim_.hasPackage())
+            sim_.package().garbageCollect();
+        return sameStructure;
     }
 
     std::vector<std::uint64_t> doSample(std::size_t shots, Rng& rng,
@@ -519,7 +548,9 @@ class DdSession final : public Session {
     {
         if (circuit_.noiseCount() > 0) {
             meta.trajectories += shots;
-            return sim_.sampleNoisy(circuit_, shots, rng);
+            auto samples = sim_.sampleNoisy(circuit_, shots, rng);
+            stampDdMemory(meta);
+            return samples;
         }
         ensureState();
         meta.exact = true;
@@ -527,17 +558,24 @@ class DdSession final : public Session {
         samples.reserve(shots);
         for (std::size_t s = 0; s < shots; ++s)
             samples.push_back(sim_.package().sampleOutcome(state_, rng));
+        stampDdMemory(meta);
         return samples;
     }
 
     double doExpectation(const PauliSum& observable, std::size_t shots,
                          Rng& rng, ResultMeta& meta) override
     {
-        if (circuit_.noiseCount() > 0)
-            return sampledExpectation(observable, shots, rng, meta);
+        if (circuit_.noiseCount() > 0) {
+            const double est = sampledExpectation(observable, shots, rng,
+                                                  meta);
+            stampDdMemory(meta);
+            return est;
+        }
 
-        // Native diagram walk: phi = P psi via one gate-DD apply per non-I
-        // Pauli, then the memoized two-diagram inner product <psi|phi>.
+        // Native diagram walk: phi = P psi via ONE apply of the term's
+        // n-qubit Pauli-string matrix DD (linear-size, cached across calls
+        // and binds), then the memoized two-diagram inner product
+        // <psi|phi>.
         ensureState();
         meta.exact = true;
         DdPackage& pkg = sim_.package();
@@ -547,15 +585,10 @@ class DdSession final : public Session {
                 total += coeff;
                 continue;
             }
-            VEdge phi = state_;
-            for (std::size_t q = 0; q < pauli.numQubits(); ++q) {
-                if (pauli.pauli(q) == 'I')
-                    continue;
-                phi = pkg.apply(
-                    pkg.makeGateDd(pauliMatrix(pauli.pauli(q)), {q}), phi);
-            }
+            const VEdge phi = pkg.apply(termDd(pauli), state_);
             total += coeff * pkg.innerProduct(state_, phi).real();
         }
+        stampDdMemory(meta);
         return total;
     }
 
@@ -578,6 +611,7 @@ class DdSession final : public Session {
                     "Amplitudes: bitstring out of range");
             out.push_back(pkg.amplitude(state_, b));
         }
+        stampDdMemory(meta);
         return out;
     }
 
@@ -590,8 +624,11 @@ class DdSession final : public Session {
                         "trajectory-sampled; use the density-matrix backend");
         ensureState();
         meta.exact = true;
-        return marginalizeDistribution(sim_.package().probabilities(state_),
-                                       circuit_.numQubits(), qubits);
+        auto probs = marginalizeDistribution(
+            sim_.package().probabilities(state_), circuit_.numQubits(),
+            qubits);
+        stampDdMemory(meta);
+        return probs;
     }
 
     std::unique_ptr<Session> openAdHoc(const Circuit& rotated) const override
@@ -604,14 +641,65 @@ class DdSession final : public Session {
     {
         if (built_)
             return;
+        if (options_.gc && sim_.hasPackage())
+            sim_.package().maybeGarbageCollect();
         state_ = sim_.simulate(circuit_);
+        if (options_.gc)
+            sim_.package().protect(state_);
         built_ = true;
+    }
+
+    /** Unroots the bound state (GC path); the next task rebuilds lazily. */
+    void releaseState()
+    {
+        if (built_ && options_.gc && sim_.hasPackage())
+            sim_.package().unprotect(state_);
+        built_ = false;
+    }
+
+    /** Legacy (gc=0) teardown: fresh package, term-DD cache dies with it. */
+    void dropCaches()
+    {
+        sim_ = DdSimulator(ddGcOptions(options_));
+        termDds_.clear();
+        built_ = false;
+    }
+
+    /**
+     * The cached matrix DD for a Pauli term. Pauli matrices carry no
+     * parameters, so the cache survives rebinds as long as the package
+     * does; each entry is protected so collections keep it (and its
+     * chain) alive, with the unprotect implicit in the package teardown.
+     */
+    const MEdge& termDd(const PauliString& pauli)
+    {
+        std::string key(circuit_.numQubits(), 'I');
+        for (std::size_t q = 0; q < pauli.numQubits(); ++q)
+            key[q] = pauli.pauli(q);
+        auto it = termDds_.find(key);
+        if (it == termDds_.end()) {
+            const MEdge dd = sim_.package().makePauliDd(key);
+            if (options_.gc)
+                sim_.package().protect(dd);
+            it = termDds_.emplace(key, dd).first;
+        }
+        return it->second;
+    }
+
+    void stampDdMemory(ResultMeta& meta)
+    {
+        if (!sim_.hasPackage())
+            return;
+        const DdStats& s = sim_.package().stats();
+        meta.ddMemory = DdMemoryStats{s.liveVNodes, s.liveMNodes, s.gcRuns,
+                                      s.nodesCollected, s.peakLiveNodes};
     }
 
     BackendOptions options_;
     DdSimulator sim_;
     VEdge state_;
     bool built_ = false;
+    std::map<std::string, MEdge> termDds_; ///< per-term Pauli-string DDs
 };
 
 // ---------------------------------------------------------------------------

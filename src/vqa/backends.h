@@ -95,12 +95,18 @@ class TensorNetworkBackend : public Backend {
 /**
  * DDSIM-style decision-diagram (QMDD) backend. Ideal sessions build the
  * final state as a diagram and serve samples in O(n) per shot, amplitudes
- * by path walks and expectation values by a memoized two-diagram walk;
- * noisy circuits run Born-rule Kraus trajectories. Diagram contents are
- * value-dependent, so a bind rebuilds the state in a fresh package (the
- * arena has no GC; keeping one package across a sweep would leak a
- * diagram's worth of nodes per bind — see the ROADMAP GC item). Tasks
- * between binds share the package, so repeated queries do reuse tables.
+ * by path walks and expectation values by one apply of a cached
+ * Pauli-string matrix DD plus a memoized two-diagram walk; noisy circuits
+ * run Born-rule Kraus trajectories with collections between them.
+ *
+ * One DdPackage persists across parameter binds (options gc/gcthreshold):
+ * the session protects its live roots — the bound state, parameter-free
+ * gate DDs, Pauli-term DDs — and each rebind unroots the old state and
+ * runs a full mark-and-sweep, so the next binding starts from warm
+ * arenas, free lists and table buckets but a deterministic interning
+ * table (runBatch's bit-parity contract). gc=0 restores the legacy
+ * rebuild-the-world lifecycle: every bind discards the package, and
+ * nodes are pinned for its lifetime.
  */
 class DecisionDiagramBackend : public Backend {
   public:

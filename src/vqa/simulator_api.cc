@@ -362,13 +362,13 @@ backendRegistry()
          "during sampling and do not clone cheaply"},
         {"decisiondiagram",
          {"dd"},
-         {},
+         {"gc", "gcthreshold"},
          "QMDD decision diagram (DDSIM-style); Kraus trajectories when "
-         "noise is present",
+         "noise is present; ref-counted mark-and-sweep node GC",
          "sample; expectation (exact when ideal, via diagram walk); "
          "amplitudes (ideal); probabilities (ideal)",
          "parallel lanes (QKC_THREADS): a private DdPackage (arena, unique "
-         "and compute tables) per lane"},
+         "and compute tables) per lane, garbage-collected between batches"},
         {"knowledgecompilation",
          {"kc"},
          {"burnin", "thin"},
@@ -519,6 +519,17 @@ parseBackendSpec(const std::string& spec)
                 throw std::invalid_argument(
                     "makeBackend: option thin must be >= 1");
             result.options.thin = static_cast<std::size_t>(v);
+        } else if (key == "gc") {
+            if (v != 0 && v != 1)
+                throw std::invalid_argument(
+                    "makeBackend: option gc must be 0 or 1");
+            result.options.gc = v == 1;
+        } else if (key == "gcthreshold") {
+            if (v < 1)
+                throw std::invalid_argument(
+                    "makeBackend: option gcthreshold must be >= 1 (nodes "
+                    "live before a sweep triggers)");
+            result.options.gcThreshold = static_cast<std::size_t>(v);
         } else {
             // A registry optionKey without a dispatch branch would
             // otherwise be validated, parsed and then silently dropped.

@@ -45,6 +45,17 @@ struct BackendOptions {
 
     /** Gibbs sweeps between recorded samples, >= 1 (kc). */
     std::size_t thin = 1;
+
+    /**
+     * Diagram garbage collection (dd). On (the default), the session keeps
+     * one DdPackage across parameter binds and trajectories, collecting
+     * dead nodes at safe points; off restores the old rebuild-the-world
+     * lifecycle (fresh package per bind, nodes pinned until then).
+     */
+    bool gc = true;
+
+    /** Live-node count that triggers a collection, >= 1 (dd). */
+    std::size_t gcThreshold = 1u << 16;
 };
 
 /** A parsed backend spec: canonical name plus its typed options. */
@@ -135,6 +146,20 @@ using ParamBinding = Circuit;
 // Results
 // ---------------------------------------------------------------------------
 
+/**
+ * Decision-diagram memory-lifecycle counters (dd sessions only; all-zero on
+ * the other backends). Mirrors the owning DdPackage's DdStats at the end of
+ * the task, so a long noisy run can assert its live-node count stayed
+ * bounded while collections actually happened.
+ */
+struct DdMemoryStats {
+    std::size_t liveVNodes = 0;     ///< vector nodes live in the unique table
+    std::size_t liveMNodes = 0;     ///< matrix nodes live in the unique table
+    std::size_t gcRuns = 0;         ///< completed mark-and-sweep collections
+    std::size_t nodesCollected = 0; ///< total unique-table evictions
+    std::size_t peakLiveNodes = 0;  ///< high-water mark of live nodes
+};
+
 /** Execution metadata carried by every Result. */
 struct ResultMeta {
     std::string backend;        ///< canonical backend name
@@ -164,6 +189,9 @@ struct ResultMeta {
 
     /** Gate-fusion stats of the active plan (dense backends; else zeros). */
     FusionStats fusion{};
+
+    /** Diagram memory-lifecycle stats (dd sessions; else zeros). */
+    DdMemoryStats ddMemory{};
 };
 
 /**

@@ -73,13 +73,14 @@ TEST(DdPackageTest, UniqueTableDeduplicatesIdenticalStates)
 {
     DdPackage pkg(4);
     VEdge a = pkg.makeBasisState(5);
-    const std::size_t nodesAfterFirst = pkg.stats().uniqueVNodes;
+    const std::size_t nodesAfterFirst = pkg.stats().liveVNodes;
     VEdge b = pkg.makeBasisState(5);
 
     // The second construction must resolve every level through the unique
     // table: identical node pointers, no new nodes, only hits.
     EXPECT_EQ(a.node, b.node);
-    EXPECT_EQ(pkg.stats().uniqueVNodes, nodesAfterFirst);
+    EXPECT_EQ(pkg.stats().liveVNodes, nodesAfterFirst);
+    EXPECT_EQ(pkg.stats().allocatedVNodes, nodesAfterFirst);
     EXPECT_GE(pkg.stats().vHits, 4u);
 }
 
@@ -181,6 +182,44 @@ TEST(DdPackageTest, GateDdMatchesUnitaryEntries)
             }
         }
     }
+}
+
+TEST(DdPackageTest, PauliStringDdMatchesPerQubitGateComposition)
+{
+    // The single n-qubit Pauli-string matrix DD must act identically to
+    // composing one 2x2 gate DD per non-I factor, and stay linear-size.
+    const std::vector<std::string> strings = {"XIZ", "IYI", "ZZX", "YXZ",
+                                              "III"};
+    for (const std::string& s : strings) {
+        DdPackage pkg(3);
+        VEdge state = makeGhz(pkg, 3);
+        state = pkg.apply(
+            pkg.makeGateDd(Gate(GateKind::T, {1}).unitary(), {1}), state);
+
+        VEdge viaString = pkg.apply(pkg.makePauliDd(s), state);
+        VEdge viaGates = state;
+        for (std::size_t q = 0; q < 3; ++q) {
+            if (s[q] == 'I')
+                continue;
+            const GateKind kind = s[q] == 'X'   ? GateKind::X
+                                  : s[q] == 'Y' ? GateKind::Y
+                                                : GateKind::Z;
+            viaGates = pkg.apply(
+                pkg.makeGateDd(Gate(kind, {q}).unitary(), {q}), viaGates);
+        }
+        for (std::uint64_t x = 0; x < 8; ++x) {
+            EXPECT_TRUE(approxEqual(pkg.amplitude(viaString, x),
+                                    pkg.amplitude(viaGates, x), 1e-12))
+                << s << " x=" << x;
+        }
+        // Product operators factor level by level: one matrix node per
+        // qubit, never an exponential blowup.
+        EXPECT_LE(pkg.nodeCount(pkg.makePauliDd(s)), 3u);
+    }
+
+    DdPackage pkg(2);
+    EXPECT_THROW(pkg.makePauliDd("X"), std::invalid_argument);
+    EXPECT_THROW(pkg.makePauliDd("XQ"), std::invalid_argument);
 }
 
 TEST(DdPackageTest, AddCancellationYieldsZeroEdge)

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 namespace qkc {
@@ -117,6 +118,25 @@ TEST(RngTest, CategoricalZeroWeightNeverPicked)
     std::vector<double> weights{0.0, 1.0, 0.0};
     for (int i = 0; i < 1000; ++i)
         EXPECT_EQ(rng.categorical(weights), 1u);
+}
+
+TEST(RngTest, CategoricalTrailingZerosNeverSelected)
+{
+    // Regression: the out-of-accumulation fallback used to return the LAST
+    // index even when its weight was zero — a zero-probability outcome.
+    // The fallback must land on the last positive-weight index instead.
+    Rng rng(41);
+    std::vector<double> weights{0.25, 0.75, 0.0, 0.0};
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_LE(rng.categorical(weights), 1u);
+
+    EXPECT_EQ(rng.categorical({0.0, 0.0, 1.0, 0.0}), 2u);
+}
+
+TEST(RngTest, CategoricalAllZeroWeightsThrows)
+{
+    Rng rng(43);
+    EXPECT_THROW(rng.categorical({0.0, 0.0, 0.0}), std::invalid_argument);
 }
 
 TEST(RngTest, ShufflePreservesElements)

@@ -28,6 +28,28 @@ TEST(BackendOptionsTest, OptionSpecsResolveToCanonicalBackends)
               "knowledgecompilation");
 }
 
+TEST(BackendOptionsTest, DdGcOptionsParse)
+{
+    BackendSpec spec = parseBackendSpec("dd:gc=0");
+    EXPECT_EQ(spec.name, "decisiondiagram");
+    EXPECT_FALSE(spec.options.gc);
+
+    spec = parseBackendSpec("dd:gc=1,gcthreshold=4096");
+    EXPECT_TRUE(spec.options.gc);
+    EXPECT_EQ(spec.options.gcThreshold, 4096u);
+
+    // Defaults: GC on, the package's documented threshold.
+    spec = parseBackendSpec("dd");
+    EXPECT_TRUE(spec.options.gc);
+    EXPECT_EQ(spec.options.gcThreshold, std::size_t{1} << 16);
+
+    EXPECT_THROW(makeBackend("dd:gc=2"), std::invalid_argument);
+    EXPECT_THROW(makeBackend("dd:gcthreshold=0"), std::invalid_argument);
+    // gc is a dd-only knob: the other backends must reject it.
+    EXPECT_THROW(makeBackend("sv:gc=1"), std::invalid_argument);
+    EXPECT_THROW(makeBackend("tn:gcthreshold=8"), std::invalid_argument);
+}
+
 TEST(BackendOptionsTest, UnknownOptionsThrow)
 {
     EXPECT_THROW(makeBackend("sv:bogus=1"), std::invalid_argument);
