@@ -22,8 +22,8 @@
 
 #include "exec/thread_pool.h"
 #include "bench_common.h"
+#include "obs/trace.h"
 #include "util/cli.h"
-#include "util/timer.h"
 #include "vqa/backends.h"
 
 using namespace qkc;
@@ -49,14 +49,21 @@ runBackendRow(const std::string& spec, const std::string& label,
 {
     auto backend = makeBackend(spec);
     Rng rng(seed);
-    Timer setup;
+    obs::TimedSpan setup("bench.setup");
     auto session = backend->open(circuit);
     const double setupSeconds = setup.seconds();
+    setup.finish();
     const Result r = session->run(Sample{samples}, rng);
     std::printf("%-6s %2zu %4zu %-20s %10.4f %10.4f\n", row.workload,
                 row.iterations, row.qubits, label.c_str(), r.meta.seconds,
                 setupSeconds);
-    std::fflush(stdout);
+    bench::JsonRow("fig8")
+        .field("workload", row.workload)
+        .field("p", row.iterations)
+        .field("qubits", row.qubits)
+        .field("backend", label)
+        .field("sample_sec", r.meta.seconds)
+        .field("setup_sec", setupSeconds);
 }
 
 /**
@@ -74,9 +81,10 @@ runSvBatchRow(const Row& row, const Circuit& circuit, std::size_t samples,
     auto backend = makeBackend("statevector:threads=" +
                                std::to_string(threads) + ",fuse=1");
     Rng rng(seed);
-    Timer setup;
+    obs::TimedSpan setup("bench.setup");
     auto session = backend->open(circuit);
     const double setupSeconds = setup.seconds();
+    setup.finish();
 
     const auto paramIdx = circuit.parameterizedGateIndices();
     std::vector<ParamBinding> bindings;
@@ -88,17 +96,26 @@ runSvBatchRow(const Row& row, const Circuit& circuit, std::size_t samples,
         bindings.push_back(std::move(c));
     }
 
-    Timer wall;
+    obs::TimedSpan wall("bench.batch");
     const auto results = session->runBatch(bindings, Sample{samples}, rng);
     const double perBinding = wall.seconds() / static_cast<double>(batch);
-    (void)results;
+    wall.finish();
+    const BatchStats& stats = results.front().meta.batch;
+    const std::string label = "sv+t" + std::to_string(threads) + "+batch" +
+                              std::to_string(batch);
     std::printf("%-6s %2zu %4zu %-20s %10.4f %10.4f\n", row.workload,
-                row.iterations, row.qubits,
-                ("sv+t" + std::to_string(threads) + "+batch" +
-                 std::to_string(batch))
-                    .c_str(),
-                perBinding, setupSeconds);
-    std::fflush(stdout);
+                row.iterations, row.qubits, label.c_str(), perBinding,
+                setupSeconds);
+    bench::JsonRow("fig8")
+        .field("workload", row.workload)
+        .field("p", row.iterations)
+        .field("qubits", row.qubits)
+        .field("backend", label)
+        .field("sample_sec", perBinding)
+        .field("setup_sec", setupSeconds)
+        .field("batch_wall_sec", stats.wallSeconds)
+        .field("batch_lanes", stats.lanes)
+        .field("batch_imbalance", stats.imbalance);
 }
 
 void

@@ -15,8 +15,8 @@
 
 #include "bench_common.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 #include "util/cli.h"
-#include "util/timer.h"
 #include "vqa/backends.h"
 
 using namespace qkc;
@@ -31,13 +31,20 @@ runBackendRow(const std::string& spec, const std::string& label,
 {
     auto backend = makeBackend(spec);
     Rng rng(seed);
-    Timer setup;
+    obs::TimedSpan setup("bench.setup");
     auto session = backend->open(noisy);
     const double setupSeconds = setup.seconds();
+    setup.finish();
     const Result r = session->run(Sample{samples}, rng);
     std::printf("%-6s %2zu %4zu %-20s %10.4f %10.4f\n", workload, p, qubits,
                 label.c_str(), r.meta.seconds, setupSeconds);
-    std::fflush(stdout);
+    bench::JsonRow("fig9")
+        .field("workload", workload)
+        .field("p", p)
+        .field("qubits", qubits)
+        .field("backend", label)
+        .field("sample_sec", r.meta.seconds)
+        .field("setup_sec", setupSeconds);
 }
 
 void

@@ -9,8 +9,8 @@
 
 #include "ac/kc_simulator.h"
 #include "bench_common.h"
+#include "obs/trace.h"
 #include "util/cli.h"
-#include "util/timer.h"
 #include "vqa/backends.h"
 
 using namespace qkc;
@@ -42,24 +42,32 @@ sessionRebindRow(const char* spec, std::size_t qubits, std::size_t iterations)
     };
 
     // Strategy A: reopen (re-plan) each iteration.
-    Timer tA;
+    obs::TimedSpan tA("bench.reopen");
     for (std::size_t it = 0; it < iterations; ++it)
         backend->open(bindingAt(it));
     const double reopen = tA.seconds();
+    tA.finish();
 
     // Strategy B: open once, rebind parameters.
     auto session = backend->open(base);
-    Timer tB;
+    obs::TimedSpan tB("bench.rebind");
     for (std::size_t it = 0; it < iterations; ++it)
         session->bind(bindingAt(it));
     const double rebind = tB.seconds();
+    tB.finish();
 
     std::printf("%-14s %zu\t%.3f\t%.3f\t%.1fx\t(planBuilds=%zu "
                 "planReuses=%zu)\n",
                 backend->name().c_str(), qubits, reopen, rebind,
                 reopen / rebind, session->planBuilds(),
                 session->planReuses());
-    std::fflush(stdout);
+    bench::JsonRow("refresh_speedup")
+        .field("section", "session_rebind")
+        .field("backend", backend->name())
+        .field("qubits", qubits)
+        .field("reopen_sec", reopen)
+        .field("rebind_sec", rebind)
+        .field("speedup", reopen / rebind);
 }
 
 /**
@@ -101,27 +109,35 @@ ddRebindRow(std::size_t qubits, std::size_t iterations)
 
     // Strategy A: reopen (fresh package) each iteration.
     Rng rngA(19);
-    Timer tA;
+    obs::TimedSpan tA("bench.reopen");
     for (std::size_t it = 0; it < iterations; ++it)
         backend->open(bindingAt(it))->run(task, rngA);
     const double reopen = tA.seconds();
+    tA.finish();
 
     // Strategy B: open once, rebind into the persistent package.
     auto session = backend->open(base);
     Rng rngB(19);
-    Timer tB;
+    obs::TimedSpan tB("bench.rebind");
     for (std::size_t it = 0; it < iterations; ++it) {
         session->bind(bindingAt(it));
         session->run(task, rngB);
     }
     const double rebind = tB.seconds();
+    tB.finish();
 
     std::printf("%-14s %zu\t%.3f\t%.3f\t%.1fx\t(planBuilds=%zu "
                 "planReuses=%zu)\n",
                 backend->name().c_str(), qubits, reopen, rebind,
                 reopen / rebind, session->planBuilds(),
                 session->planReuses());
-    std::fflush(stdout);
+    bench::JsonRow("refresh_speedup")
+        .field("section", "session_rebind")
+        .field("backend", backend->name())
+        .field("qubits", qubits)
+        .field("reopen_sec", reopen)
+        .field("rebind_sec", rebind)
+        .field("speedup", reopen / rebind);
 }
 
 } // namespace
@@ -145,7 +161,7 @@ main(int argc, char** argv)
         auto paramIdx = base.parameterizedGateIndices();
 
         // Strategy A: recompile each iteration.
-        Timer tA;
+        obs::TimedSpan tA("bench.recompile");
         for (std::size_t it = 0; it < iterations; ++it) {
             Circuit c = base;
             for (std::size_t idx : paramIdx)
@@ -154,9 +170,10 @@ main(int argc, char** argv)
             kc.amplitude(0);
         }
         double recompile = tA.seconds();
+        tA.finish();
 
         // Strategy B: compile once, refresh leaves.
-        Timer tB;
+        obs::TimedSpan tB("bench.refresh");
         KcSimulator kc(base);
         for (std::size_t it = 0; it < iterations; ++it) {
             Circuit c = base;
@@ -166,10 +183,16 @@ main(int argc, char** argv)
             kc.amplitude(0);
         }
         double refresh = tB.seconds();
+        tB.finish();
 
         std::printf("%zu\t%.3f\t%.3f\t%.1fx\n", n, recompile, refresh,
                     recompile / refresh);
-        std::fflush(stdout);
+        bench::JsonRow("refresh_speedup")
+            .field("section", "kc_refresh")
+            .field("qubits", n)
+            .field("recompile_sec", recompile)
+            .field("refresh_sec", refresh)
+            .field("speedup", recompile / refresh);
     }
 
     bench::printHeader(

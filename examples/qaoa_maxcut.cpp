@@ -17,11 +17,21 @@
  *                                      twice — sequential bind/run loop vs
  *                                      one Session::runBatch — and report
  *                                      the batch speedup)
+ *                    [--trace=FILE]   (record every span of the run and
+ *                                      write Chrome trace-event JSON:
+ *                                      chrome://tracing / Perfetto)
+ *                    [--profile]      (run one Sample and one Expectation
+ *                                      task at the optimum and print their
+ *                                      ResultMeta.profile phase reports)
  */
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/timer.h"
 #include "vqa/driver.h"
@@ -53,6 +63,11 @@ main(int argc, char** argv)
     options.batchedStarts = static_cast<std::size_t>(cli.getInt("starts", 0));
 
     auto backend = makeBackend(cli.getString("backend", "kc"));
+
+    const std::string tracePath = cli.getString("trace", "");
+    if (!tracePath.empty())
+        obs::TraceRecorder::instance().start();
+
     Timer t;
     VqaResult result = runQaoaMaxCut(problem, *backend, options);
     double seconds = t.seconds();
@@ -71,6 +86,28 @@ main(int argc, char** argv)
     for (double v : result.bestParams)
         std::printf(" %.3f", v);
     std::printf("\n");
+
+    if (cli.has("profile")) {
+        // One Sample and one Expectation task at the optimum, each carrying
+        // its own ResultMeta.profile: the phase times are the run's
+        // top-level spans and must sum to ~meta.seconds.
+        auto session = backend->open(problem.circuit(result.bestParams));
+        Rng profileRng(5);
+        const Result sampled = session->run(Sample{samples}, profileRng);
+        std::printf("\n--- profile: Sample{%zu} at the optimum "
+                    "(meta.seconds %.6f) ---\n",
+                    samples, sampled.meta.seconds);
+        obs::writeProfileReport(std::cout, sampled.meta.profile);
+        const Result expected = session->run(
+            Expectation{problem.cutObservable(), samples}, profileRng);
+        std::printf("--- profile: Expectation at the optimum "
+                    "(meta.seconds %.6f) ---\n",
+                    expected.meta.seconds);
+        obs::writeProfileReport(std::cout, expected.meta.profile);
+        std::printf("--- process metrics ---\n");
+        obs::writeMetricsReport(std::cout,
+                                obs::MetricsRegistry::instance().snapshot());
+    }
 
     if (cli.has("gradient")) {
         // Shift-rule gradient of the exact expected cut at the optimum —
@@ -133,6 +170,15 @@ main(int argc, char** argv)
         for (double v : g.gradient)
             std::printf(" %.4f", v);
         std::printf("\n");
+    }
+
+    if (!tracePath.empty()) {
+        auto& recorder = obs::TraceRecorder::instance();
+        recorder.stop();
+        std::ofstream out(tracePath);
+        recorder.writeChromeJson(out);
+        std::printf("\ntrace written to %s (%zu spans)\n", tracePath.c_str(),
+                    recorder.drain().size());
     }
     return 0;
 }

@@ -17,6 +17,11 @@
  *                    straight from the registry.
  *   --mode=mpe       most probable explanation for --outcome=BITSTRING
  *
+ * Observability (any mode): --trace=FILE writes a Chrome trace-event JSON
+ * of every span the run emitted (load in chrome://tracing or Perfetto);
+ * --profile prints the per-task phase/counter report after --mode=sample
+ * plus the process metrics snapshot.
+ *
  * Standalone: --list-backends (no --qasm needed).
  *
  * Example:
@@ -36,6 +41,8 @@
 #include "ac/kc_simulator.h"
 #include "ac/queries.h"
 #include "circuit/qasm.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "vqa/backends.h"
@@ -43,6 +50,22 @@
 using namespace qkc;
 
 namespace {
+
+/** Writes the Chrome trace on every exit path once --trace=FILE armed it. */
+struct TraceGuard {
+    std::string path;
+
+    ~TraceGuard()
+    {
+        if (path.empty())
+            return;
+        auto& recorder = obs::TraceRecorder::instance();
+        recorder.stop();
+        std::ofstream out(path);
+        recorder.writeChromeJson(out);
+        std::fprintf(stderr, "# trace written to %s\n", path.c_str());
+    }
+};
 
 std::uint64_t
 parseOutcome(const std::string& bits, std::size_t numQubits)
@@ -90,6 +113,10 @@ main(int argc, char** argv)
     std::string qasmPath = cli.getString("qasm", "");
     std::string mode = cli.getString("mode", "compile");
 
+    TraceGuard trace{cli.getString("trace", "")};
+    if (!trace.path.empty())
+        obs::TraceRecorder::instance().start();
+
     Circuit circuit = [&]() {
         if (qasmPath.empty() || qasmPath == "-") {
             return parseQasm(std::cin);
@@ -110,13 +137,21 @@ main(int argc, char** argv)
         Rng rng(static_cast<std::uint64_t>(cli.getInt("seed", 1)));
         auto backend = makeBackend(
             cli.getString("backend", "knowledgecompilation"));
-        auto samples = backend->sample(circuit, numSamples, rng);
+        auto session = backend->open(circuit);
+        const Result result = session->run(Sample{numSamples}, rng);
         std::map<std::uint64_t, std::size_t> counts;
-        for (auto s : samples)
+        for (auto s : result.samples)
             ++counts[s];
         std::printf("# backend %s\n", backend->name().c_str());
         for (const auto& [outcome, count] : counts)
             std::printf("%s  %zu\n", basisKet(outcome, n).c_str(), count);
+        if (cli.has("profile")) {
+            std::printf("# --- task profile ---\n");
+            obs::writeProfileReport(std::cout, result.meta.profile);
+            std::printf("# --- process metrics ---\n");
+            obs::writeMetricsReport(
+                std::cout, obs::MetricsRegistry::instance().snapshot());
+        }
         return 0;
     }
 

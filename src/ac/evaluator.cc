@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace qkc {
 
 AcEvaluator::AcEvaluator(const ArithmeticCircuit& ac,
@@ -140,6 +142,8 @@ AcEvaluator::leafValue(const AcNode& n) const
 Complex
 AcEvaluator::evaluate()
 {
+    static obs::Counter acEvals("kc.acEvals");
+    acEvals.add();
     lastRecompute_ = 0;
     if (!anyDirty_)
         return value_[ac_->root()];

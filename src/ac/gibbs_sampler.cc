@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/types.h"
+#include "obs/metrics.h"
 
 namespace qkc {
 
@@ -96,6 +97,8 @@ GibbsSampler::init(Rng& rng)
 void
 GibbsSampler::sweep(Rng& rng)
 {
+    static obs::Counter sweeps("kc.gibbsSweeps");
+    sweeps.add();
     for (std::size_t i = 0; i < queryVars_.size(); ++i) {
         // One upward + one downward pass yields the full conditional of
         // variable i given all others.

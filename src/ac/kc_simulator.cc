@@ -4,6 +4,7 @@
 
 #include "cnf/bn_to_cnf.h"
 #include "linalg/types.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace qkc {
@@ -11,10 +12,19 @@ namespace qkc {
 KcSimulator::KcSimulator(const Circuit& circuit, CompileOptions options)
 {
     Timer timer;
-    bn_ = circuitToBayesNet(circuit);
-    cnf_ = bayesNetToCnf(bn_);
+    {
+        QKC_SPAN("bayesnet.fromCircuit");
+        bn_ = circuitToBayesNet(circuit);
+    }
+    {
+        QKC_SPAN("cnf.encode");
+        cnf_ = bayesNetToCnf(bn_);
+    }
     KnowledgeCompiler compiler(options);
-    ac_ = compiler.compile(cnf_);
+    {
+        QKC_SPAN("knowledge.compile");
+        ac_ = compiler.compile(cnf_);
+    }
     compileStats_ = compiler.stats();
     compileSeconds_ = timer.seconds();
 

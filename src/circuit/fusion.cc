@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace qkc {
 
 namespace {
@@ -46,6 +48,7 @@ pendingProduct(const Circuit& circuit, const std::vector<std::size_t>& sources,
 FusionRecipe
 planFusion(const Circuit& circuit, const FusionOptions& options)
 {
+    QKC_SPAN("circuit.fuse");
     FusionRecipe recipe;
     recipe.numQubits = circuit.numQubits();
     recipe.numOps = circuit.size();

@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace qkc {
 
 namespace {
@@ -699,6 +702,11 @@ DdPackage::markM(MNode* node)
 std::size_t
 DdPackage::garbageCollect()
 {
+    // The pause shows up as a span (nested under dd.build / dd.trimBatchLane
+    // in traces) and feeds the pause-duration histogram; gcNanos accumulates
+    // the same interval so DdMemoryStats can report it without obs on.
+    QKC_SPAN("dd.gc");
+    const std::uint64_t gcStart = qkc::obs::nowNs();
     // Mark: everything reachable from a protected root or a node some
     // caller still references. Reference counts are recursive, so marking
     // each ref > 0 table entry (plus its descendants, which covers
@@ -770,6 +778,12 @@ DdPackage::garbageCollect()
 
     ++stats_.gcRuns;
     stats_.nodesCollected += collected;
+    const std::uint64_t pause = qkc::obs::nowNs() - gcStart;
+    stats_.gcNanos += pause;
+    static qkc::obs::Histogram gcPause("dd.gc.pauseNs");
+    gcPause.record(pause);
+    static qkc::obs::Counter gcCollected("dd.gc.nodesCollected");
+    gcCollected.add(collected);
     return collected;
 }
 

@@ -1,5 +1,7 @@
 #include "densitymatrix/densitymatrix_simulator.h"
 
+#include "obs/trace.h"
+
 #include <stdexcept>
 
 #include "circuit/fusion.h"
@@ -11,6 +13,7 @@ namespace qkc {
 DmExecutionPlan
 planCircuitDm(const Circuit& circuit, const ExecPolicy& policy)
 {
+    QKC_SPAN("exec.planDm");
     DmExecutionPlan plan;
     plan.numQubits = circuit.numQubits();
     plan.fusionEnabled = policy.fuseGates;

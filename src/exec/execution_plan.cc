@@ -1,5 +1,7 @@
 #include "exec/execution_plan.h"
 
+#include "obs/trace.h"
+
 namespace qkc {
 
 namespace {
@@ -19,6 +21,7 @@ svBits(const std::vector<std::size_t>& qubits, std::size_t numQubits)
 ExecutionPlan
 planCircuit(const Circuit& circuit, const ExecPolicy& policy)
 {
+    QKC_SPAN("exec.plan");
     ExecutionPlan plan;
     plan.numQubits = circuit.numQubits();
     plan.fusionEnabled = policy.fuseGates;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace qkc {
 
 namespace {
@@ -334,10 +336,42 @@ tryRefreshKernel(GateKernel& k, const Matrix& m)
     return true;
 }
 
+namespace {
+
+/** Per-class invocation counters — the kernel mix a profile reports. */
+obs::Counter&
+kernelClassCounter(GateKernel::Op op)
+{
+    static obs::Counter identity("exec.kernel.identity");
+    static obs::Counter globalPhase("exec.kernel.globalPhase");
+    static obs::Counter diag("exec.kernel.diag");
+    static obs::Counter perm("exec.kernel.perm");
+    static obs::Counter generic("exec.kernel.generic");
+    switch (op) {
+      case GateKernel::Op::Identity:
+        return identity;
+      case GateKernel::Op::GlobalPhase:
+        return globalPhase;
+      case GateKernel::Op::Diag:
+        return diag;
+      case GateKernel::Op::Perm:
+        return perm;
+      default:
+        return generic;
+    }
+}
+
+} // namespace
+
 void
 applyKernel(const GateKernel& k, Complex* amps, std::uint64_t dim,
             const ExecPolicy& policy, const Complex& preScale)
 {
+    // Counts invocations by class as classified here; the scaled
+    // re-classification path below recurses, so its final class is counted
+    // once more under the class that actually swept the state.
+    kernelClassCounter(k.op).add();
+
     const bool scaled = preScale != Complex{1.0, 0.0};
 
     if (!scaled && k.op == GateKernel::Op::Identity)

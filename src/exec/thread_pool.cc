@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace qkc {
 
 namespace {
@@ -45,6 +48,11 @@ void
 ThreadPool::runChunks(Job& job)
 {
     RegionScope region;
+    static obs::Counter chunksRun("exec.pool.chunks");
+    static obs::Counter busyNs("exec.pool.busyNs");
+    const bool track = obs::enabled();
+    const std::uint64_t t0 = track ? obs::nowNs() : 0;
+    std::uint64_t executed = 0;
     for (;;) {
         const std::uint64_t chunk =
             job.nextChunk.fetch_add(1, std::memory_order_relaxed);
@@ -54,6 +62,11 @@ ThreadPool::runChunks(Job& job)
         const std::uint64_t end = std::min(job.n, begin + job.grain);
         (*job.fn)(static_cast<std::size_t>(chunk), begin, end);
         job.chunksDone.fetch_add(1, std::memory_order_release);
+        ++executed;
+    }
+    if (track && executed > 0) {
+        chunksRun.add(executed);
+        busyNs.add(obs::nowNs() - t0);
     }
 }
 
@@ -100,12 +113,17 @@ ThreadPool::run(std::uint64_t n, std::uint64_t grain, std::size_t maxThreads,
         busy_.compare_exchange_strong(expected, true,
                                       std::memory_order_acquire);
     if (!claimed) {
+        static obs::Counter inlineRegions("exec.pool.inlineRegions");
+        inlineRegions.add();
         RegionScope region;
         for (std::uint64_t c = 0; c < numChunks; ++c)
             fn(static_cast<std::size_t>(c), c * grain,
                std::min(n, (c + 1) * grain));
         return;
     }
+
+    static obs::Counter regions("exec.pool.regions");
+    regions.add();
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -200,6 +218,8 @@ parallelForChunks(const ExecPolicy& policy, std::uint64_t n,
 {
     const std::size_t threads = policy.resolvedThreads();
     if (threads <= 1 || n < policy.serialThreshold) {
+        static obs::Counter serialRegions("exec.pool.serialRegions");
+        serialRegions.add();
         // Same chunk boundaries as the parallel path so that chunk-indexed
         // reductions are bit-identical across thread counts.
         const std::uint64_t grain = policy.grain > 0 ? policy.grain : 1;

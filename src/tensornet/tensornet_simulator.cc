@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "linalg/types.h"
+#include "obs/metrics.h"
 
 namespace qkc {
 
@@ -325,6 +326,8 @@ Complex
 TnSampler::executePlan(std::vector<Tensor> tensors,
                        const std::vector<std::pair<std::size_t, std::size_t>>& plan)
 {
+    static obs::Counter contractions("tn.contractions");
+    contractions.add(plan.size());
     for (const auto& [i, j] : plan) {
         tensors.push_back(contractPair(tensors[i], tensors[j]));
         tensors[i] = Tensor{};

@@ -11,6 +11,7 @@
 #include "dd/dd_simulator.h"
 #include "densitymatrix/densitymatrix_simulator.h"
 #include "exec/execution_plan.h"
+#include "obs/trace.h"
 #include "statevector/statevector_simulator.h"
 #include "tensornet/tensornet_simulator.h"
 
@@ -91,6 +92,7 @@ class SvSession final : public Session {
           policy_(execPolicyFrom(options)), sim_(policy_),
           plan_(planCircuit(circuit, policy_))
     {
+        obsEnabled_ = options.obs;
     }
 
   protected:
@@ -131,11 +133,13 @@ class SvSession final : public Session {
     {
         meta.fusion = plan_.fusion;
         if (circuit_.noiseCount() > 0) {
+            QKC_SPAN("sv.trajectories");
             meta.trajectories += shots;
             return sim_.sampleNoisyPlanned(plan_, shots, rng);
         }
         ensureProbs();
         meta.exact = true;
+        QKC_SPAN("sv.sample");
         return StateVectorSimulator::sampleFromDistribution(*probs_, shots,
                                                             rng);
     }
@@ -152,6 +156,7 @@ class SvSession final : public Session {
         // non-identity Pauli plus a deterministic inner product.
         ensureState();
         meta.exact = true;
+        QKC_SPAN("sv.expectation");
         double total = 0.0;
         for (const auto& [coeff, pauli] : observable.terms) {
             if (pauli.isIdentity()) {
@@ -217,20 +222,25 @@ class SvSession final : public Session {
         : Session("statevector", parent.circuit_), options_(parent.options_),
           policy_(parent.policy_), sim_(parent.policy_), plan_(parent.plan_)
     {
+        obsEnabled_ = parent.obsEnabled_;
     }
 
     void ensureState()
     {
-        if (!state_)
-            state_ = sim_.simulatePlanned(plan_);
+        if (state_)
+            return;
+        QKC_SPAN("sv.simulate");
+        state_ = sim_.simulatePlanned(plan_);
     }
 
     /** Lazy |amp|^2 vector: only tasks that consume it pay the sweep. */
     void ensureProbs()
     {
         ensureState();
-        if (!probs_)
-            probs_ = state_->probabilities();
+        if (probs_)
+            return;
+        QKC_SPAN("sv.probs");
+        probs_ = state_->probabilities();
     }
 
     BackendOptions options_;
@@ -252,6 +262,7 @@ class DmSession final : public Session {
           policy_(execPolicyFrom(options)), sim_(policy_),
           plan_(planCircuitDm(circuit, policy_))
     {
+        obsEnabled_ = options.obs;
     }
 
   protected:
@@ -282,6 +293,7 @@ class DmSession final : public Session {
         ensureRho();
         meta.exact = true;
         meta.fusion = plan_.fusion;
+        QKC_SPAN("dm.sample");
         return StateVectorSimulator::sampleFromDistribution(*probs_, shots,
                                                             rng);
     }
@@ -297,6 +309,7 @@ class DmSession final : public Session {
         ensureRho();
         meta.exact = true;
         meta.fusion = plan_.fusion;
+        QKC_SPAN("dm.trace");
         double total = 0.0;
         for (const auto& [coeff, pauli] : observable.terms) {
             if (pauli.isIdentity()) {
@@ -314,6 +327,7 @@ class DmSession final : public Session {
         ensureRho();
         meta.exact = true;
         meta.fusion = plan_.fusion;
+        QKC_SPAN("dm.marginal");
         return marginalizeDistribution(*probs_, circuit_.numQubits(), qubits);
     }
 
@@ -327,6 +341,7 @@ class DmSession final : public Session {
     {
         if (rho_)
             return;
+        QKC_SPAN("dm.simulate");
         rho_ = sim_.simulatePlanned(plan_);
         probs_ = rho_->diagonalProbabilities();
     }
@@ -360,6 +375,7 @@ class TnSession final : public Session {
         : Session("tensornetwork", circuit), options_(options),
           sampler_(circuit)
     {
+        obsEnabled_ = options.obs;
     }
 
   protected:
@@ -387,6 +403,7 @@ class TnSession final : public Session {
                                         ResultMeta& meta) override
     {
         meta.exact = true; // conditional marginals are contracted exactly
+        QKC_SPAN("tn.sample");
         return sampler_.sample(shots, rng);
     }
 
@@ -395,6 +412,7 @@ class TnSession final : public Session {
         ResultMeta& meta) override
     {
         meta.exact = true;
+        QKC_SPAN("tn.amplitudes");
         TensorNetworkSimulator tn;
         std::vector<Complex> out;
         out.reserve(bitstrings.size());
@@ -416,6 +434,7 @@ class TnSession final : public Session {
         // is cached per subset, so repeated queries (and assignments) only
         // re-pay contraction arithmetic.
         meta.exact = true;
+        QKC_SPAN("tn.marginal");
         const std::size_t n = circuit_.numQubits();
         const std::vector<std::size_t> subset =
             qubits.empty() ? allQubits() : qubits;
@@ -488,6 +507,7 @@ class DdSession final : public Session {
         : Session("decisiondiagram", circuit), options_(options),
           sim_(ddGcOptions(options))
     {
+        obsEnabled_ = options.obs;
     }
 
   protected:
@@ -546,7 +566,9 @@ class DdSession final : public Session {
     std::vector<std::uint64_t> doSample(std::size_t shots, Rng& rng,
                                         ResultMeta& meta) override
     {
+        markTaskStart();
         if (circuit_.noiseCount() > 0) {
+            QKC_SPAN("dd.trajectories");
             meta.trajectories += shots;
             auto samples = sim_.sampleNoisy(circuit_, shots, rng);
             stampDdMemory(meta);
@@ -554,6 +576,7 @@ class DdSession final : public Session {
         }
         ensureState();
         meta.exact = true;
+        QKC_SPAN("dd.sample");
         std::vector<std::uint64_t> samples;
         samples.reserve(shots);
         for (std::size_t s = 0; s < shots; ++s)
@@ -565,6 +588,7 @@ class DdSession final : public Session {
     double doExpectation(const PauliSum& observable, std::size_t shots,
                          Rng& rng, ResultMeta& meta) override
     {
+        markTaskStart();
         if (circuit_.noiseCount() > 0) {
             const double est = sampledExpectation(observable, shots, rng,
                                                   meta);
@@ -578,6 +602,7 @@ class DdSession final : public Session {
         // <psi|phi>.
         ensureState();
         meta.exact = true;
+        QKC_SPAN("dd.expectation");
         DdPackage& pkg = sim_.package();
         double total = 0.0;
         for (const auto& [coeff, pauli] : observable.terms) {
@@ -596,11 +621,13 @@ class DdSession final : public Session {
         const std::vector<std::uint64_t>& bitstrings,
         ResultMeta& meta) override
     {
+        markTaskStart();
         if (circuit_.noiseCount() > 0)
             unsupported("Amplitudes",
                         "noisy runs are trajectory mixtures");
         ensureState();
         meta.exact = true;
+        QKC_SPAN("dd.amplitudes");
         const DdPackage& pkg = sim_.package();
         std::vector<Complex> out;
         out.reserve(bitstrings.size());
@@ -618,12 +645,14 @@ class DdSession final : public Session {
     std::vector<double> doProbabilities(const std::vector<std::size_t>& qubits,
                                         ResultMeta& meta) override
     {
+        markTaskStart();
         if (circuit_.noiseCount() > 0)
             unsupported("Probabilities",
                         "the noisy decision-diagram path is "
                         "trajectory-sampled; use the density-matrix backend");
         ensureState();
         meta.exact = true;
+        QKC_SPAN("dd.probabilities");
         auto probs = marginalizeDistribution(
             sim_.package().probabilities(state_), circuit_.numQubits(),
             qubits);
@@ -643,6 +672,7 @@ class DdSession final : public Session {
             return;
         if (options_.gc && sim_.hasPackage())
             sim_.package().maybeGarbageCollect();
+        QKC_SPAN("dd.build");
         state_ = sim_.simulate(circuit_);
         if (options_.gc)
             sim_.package().protect(state_);
@@ -686,17 +716,41 @@ class DdSession final : public Session {
         return it->second;
     }
 
+    /**
+     * Snapshots the package counters at task entry so stampDdMemory can
+     * report per-task compute-table deltas (hit rates undiluted by the
+     * session's history). Zeros when no package exists yet — a first task
+     * then deltas against a fresh package, which is also correct.
+     */
+    void markTaskStart()
+    {
+        taskStart_ = sim_.hasPackage() ? sim_.package().stats() : DdStats{};
+    }
+
     void stampDdMemory(ResultMeta& meta)
     {
         if (!sim_.hasPackage())
             return;
         const DdStats& s = sim_.package().stats();
-        meta.ddMemory = DdMemoryStats{s.liveVNodes, s.liveMNodes, s.gcRuns,
-                                      s.nodesCollected, s.peakLiveNodes};
+        DdMemoryStats m;
+        m.liveVNodes = s.liveVNodes;
+        m.liveMNodes = s.liveMNodes;
+        m.gcRuns = s.gcRuns;
+        m.nodesCollected = s.nodesCollected;
+        m.peakLiveNodes = s.peakLiveNodes;
+        m.gcNanos = s.gcNanos;
+        m.apply = {s.applyHits, s.applyMisses};
+        m.add = {s.addHits, s.addMisses};
+        m.taskApply = {s.applyHits - taskStart_.applyHits,
+                       s.applyMisses - taskStart_.applyMisses};
+        m.taskAdd = {s.addHits - taskStart_.addHits,
+                     s.addMisses - taskStart_.addMisses};
+        meta.ddMemory = m;
     }
 
     BackendOptions options_;
     DdSimulator sim_;
+    DdStats taskStart_{}; ///< package counters at task entry (per-task deltas)
     VEdge state_;
     bool built_ = false;
     std::map<std::string, MEdge> termDds_; ///< per-term Pauli-string DDs
@@ -711,8 +765,10 @@ class KcSession final : public Session {
     KcSession(const Circuit& circuit, const BackendOptions& options)
         : Session("knowledgecompilation", circuit), options_(options)
     {
+        obsEnabled_ = options.obs;
         gibbs_.burnIn = options.burnIn;
         gibbs_.thin = options.thin;
+        QKC_SPAN("kc.compile");
         sim_ = std::make_unique<KcSimulator>(circuit);
     }
 
@@ -741,12 +797,14 @@ class KcSession final : public Session {
         amps_.reset();
         if (sameStructure) {
             try {
+                QKC_SPAN("kc.refresh");
                 sim_->refreshParams(circuit);
                 return true;
             } catch (const std::invalid_argument&) {
                 // Fall through: compile from scratch.
             }
         }
+        QKC_SPAN("kc.compile");
         sim_ = std::make_unique<KcSimulator>(circuit);
         return false;
     }
@@ -755,6 +813,7 @@ class KcSession final : public Session {
                                         ResultMeta& meta) override
     {
         (void)meta; // Gibbs sampling is MCMC: exact stays false
+        QKC_SPAN("kc.gibbs");
         return sim_->sample(shots, rng, gibbs_);
     }
 
@@ -873,14 +932,17 @@ class KcSession final : public Session {
 
     void ensureDistribution()
     {
-        if (!dist_)
-            dist_ = sim_->outcomeDistribution();
+        if (dist_)
+            return;
+        QKC_SPAN("kc.distribution");
+        dist_ = sim_->outcomeDistribution();
     }
 
     void ensureAmplitudes()
     {
         if (amps_)
             return;
+        QKC_SPAN("kc.amplitudes");
         const std::uint64_t dim = std::uint64_t{1} << circuit_.numQubits();
         std::vector<Complex> amps;
         amps.reserve(dim);

@@ -31,6 +31,7 @@ Session::bind(const Circuit& circuit)
             "Session::bind: qubit count differs from the opened circuit; "
             "open a new session instead");
     }
+    QKC_SPAN("session.bind");
     const bool structureMatches = sameStructure(circuit_, circuit);
     const bool reused = doBind(circuit, structureMatches);
     circuit_ = circuit;
@@ -45,24 +46,39 @@ Session::run(const Task& task, Rng& rng)
 {
     Result result;
     result.meta.backend = backendName_;
-    Timer timer;
-    std::visit(
-        [&](const auto& t) {
-            using T = std::decay_t<decltype(t)>;
-            if constexpr (std::is_same_v<T, Sample>) {
-                result.samples = doSample(t.shots, rng, result.meta);
-            } else if constexpr (std::is_same_v<T, Expectation>) {
-                checkObservable(t.observable);
-                result.expectation =
-                    doExpectation(t.observable, t.shots, rng, result.meta);
-            } else if constexpr (std::is_same_v<T, Amplitudes>) {
-                result.amplitudes = doAmplitudes(t.bitstrings, result.meta);
-            } else {
-                result.probabilities = doProbabilities(t.qubits, result.meta);
-            }
-        },
-        task);
-    result.meta.seconds = timer.seconds();
+    const auto runTask = [&] {
+        std::visit(
+            [&](const auto& t) {
+                using T = std::decay_t<decltype(t)>;
+                if constexpr (std::is_same_v<T, Sample>) {
+                    result.samples = doSample(t.shots, rng, result.meta);
+                } else if constexpr (std::is_same_v<T, Expectation>) {
+                    checkObservable(t.observable);
+                    result.expectation =
+                        doExpectation(t.observable, t.shots, rng, result.meta);
+                } else if constexpr (std::is_same_v<T, Amplitudes>) {
+                    result.amplitudes =
+                        doAmplitudes(t.bitstrings, result.meta);
+                } else {
+                    result.probabilities =
+                        doProbabilities(t.qubits, result.meta);
+                }
+            },
+            task);
+    };
+    if (obsEnabled_ && obs::enabled()) {
+        // The profile scope doubles as the task timer: its envelope is the
+        // run, its phases are the backend's top-level spans, so the phase
+        // times sum to (within clock reads) meta.seconds.
+        obs::ProfileScope scope("session.run");
+        runTask();
+        result.meta.profile = scope.take();
+        result.meta.seconds = result.meta.profile.totalSeconds;
+    } else {
+        Timer timer;
+        runTask();
+        result.meta.seconds = timer.seconds();
+    }
     result.meta.planBuilds = planBuilds_;
     result.meta.planReuses = planReuses_;
     return result;
@@ -75,6 +91,7 @@ Session::runBatch(const std::vector<ParamBinding>& bindings, const Task& task,
     std::vector<Result> results(bindings.size());
     if (bindings.empty())
         return results;
+    obs::TimedSpan batchSpan("session.runBatch");
     for (const Circuit& b : bindings) {
         if (b.numQubits() != circuit_.numQubits())
             throw std::invalid_argument(
@@ -112,11 +129,20 @@ Session::runBatch(const std::vector<ParamBinding>& bindings, const Task& task,
         }
     }
 
+    // Per-binding timing: meta.seconds on a batch result is that binding's
+    // own bind+run time on its lane (run() alone would omit the bind), and
+    // laneSeconds accumulates each lane's busy time for the batch
+    // aggregates stamped below.
+    std::vector<double> laneSeconds(parallel ? lanes : 1, 0.0);
     if (!parallel) {
         for (std::size_t i = 0; i < bindings.size(); ++i) {
+            const std::uint64_t t0 = obs::nowNs();
             bind(bindings[i]);
             Rng bindingRng(seeds[i]);
             results[i] = run(task, bindingRng);
+            results[i].meta.seconds =
+                static_cast<double>(obs::nowNs() - t0) * 1e-9;
+            laneSeconds[0] += results[i].meta.seconds;
         }
     } else {
         // One clone per lane; lanes claim contiguous blocks as pool chunks
@@ -146,9 +172,13 @@ Session::runBatch(const std::vector<ParamBinding>& bindings, const Task& task,
                 try {
                     Session& lane = *batchLanes_[chunk];
                     for (std::uint64_t i = b; i < e; ++i) {
+                        const std::uint64_t t0 = obs::nowNs();
                         lane.bind(bindings[i]);
                         Rng bindingRng(seeds[i]);
                         results[i] = lane.run(task, bindingRng);
+                        results[i].meta.seconds =
+                            static_cast<double>(obs::nowNs() - t0) * 1e-9;
+                        laneSeconds[chunk] += results[i].meta.seconds;
                     }
                 } catch (...) {
                     chunkErrors[chunk] = std::current_exception();
@@ -177,10 +207,26 @@ Session::runBatch(const std::vector<ParamBinding>& bindings, const Task& task,
 
     // Stamp every result with the session's final counters (run() stamps
     // "counters so far", which mid-batch is a moving target — and lane
-    // counters are meaningless to callers).
+    // counters are meaningless to callers) and the batch aggregates.
+    BatchStats stats;
+    stats.bindings = bindings.size();
+    stats.lanes = laneSeconds.size();
+    stats.wallSeconds = batchSpan.seconds();
+    double busy = 0.0;
+    for (double s : laneSeconds) {
+        busy += s;
+        stats.maxLaneSeconds = std::max(stats.maxLaneSeconds, s);
+    }
+    for (const Result& r : results)
+        stats.maxBindingSeconds =
+            std::max(stats.maxBindingSeconds, r.meta.seconds);
+    stats.imbalance = busy > 0.0 ? stats.maxLaneSeconds *
+                                       static_cast<double>(stats.lanes) / busy
+                                 : 0.0;
     for (Result& r : results) {
         r.meta.planBuilds = planBuilds_;
         r.meta.planReuses = planReuses_;
+        r.meta.batch = stats;
     }
     return results;
 }
@@ -337,7 +383,7 @@ backendRegistry()
     static const std::vector<BackendInfo> registry = {
         {"statevector",
          {"sv"},
-         {"threads", "fuse"},
+         {"threads", "fuse", "obs"},
          "dense 2^n state vector (qsim-style); Kraus trajectories when "
          "noise is present",
          "sample; expectation (exact when ideal, sampled under noise); "
@@ -346,7 +392,7 @@ backendRegistry()
          "ExecutionPlan and rebinds it per binding"},
         {"densitymatrix",
          {"dm"},
-         {"threads", "fuse"},
+         {"threads", "fuse", "obs"},
          "dense 4^n density matrix (Cirq-style); every channel exact",
          "sample; expectation (exact, ideal and noisy); probabilities "
          "(exact, ideal and noisy)",
@@ -354,7 +400,7 @@ backendRegistry()
          "and the superoperator sweeps already parallelize internally"},
         {"tensornetwork",
          {"tn"},
-         {},
+         {"obs"},
          "qTorch-style tensor-network contraction (ideal circuits only)",
          "sample; expectation (sampled); amplitudes (exact); probabilities "
          "(exact marginals by doubled-network contraction)",
@@ -362,7 +408,7 @@ backendRegistry()
          "during sampling and do not clone cheaply"},
         {"decisiondiagram",
          {"dd"},
-         {"gc", "gcthreshold"},
+         {"gc", "gcthreshold", "obs"},
          "QMDD decision diagram (DDSIM-style); Kraus trajectories when "
          "noise is present; ref-counted mark-and-sweep node GC",
          "sample; expectation (exact when ideal, via diagram walk); "
@@ -371,7 +417,7 @@ backendRegistry()
          "and compute tables) per lane, garbage-collected between batches"},
         {"knowledgecompilation",
          {"kc"},
-         {"burnin", "thin"},
+         {"burnin", "thin", "obs"},
          "knowledge compilation (this paper): compile once, refresh "
          "parameter leaves across a variational sweep",
          "sample (Gibbs); expectation (exact within the query-feasibility "
@@ -524,6 +570,11 @@ parseBackendSpec(const std::string& spec)
                 throw std::invalid_argument(
                     "makeBackend: option gc must be 0 or 1");
             result.options.gc = v == 1;
+        } else if (key == "obs") {
+            if (v != 0 && v != 1)
+                throw std::invalid_argument(
+                    "makeBackend: option obs must be 0 or 1");
+            result.options.obs = v == 1;
         } else if (key == "gcthreshold") {
             if (v < 1)
                 throw std::invalid_argument(

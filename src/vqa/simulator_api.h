@@ -11,6 +11,7 @@
 #include "circuit/circuit.h"
 #include "circuit/fusion.h"
 #include "linalg/types.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "vqa/pauli.h"
 
@@ -56,6 +57,15 @@ struct BackendOptions {
 
     /** Live-node count that triggers a collection, >= 1 (dd). */
     std::size_t gcThreshold = 1u << 16;
+
+    /**
+     * Per-task observability (all backends): phase spans around the
+     * session's work and a TaskProfile in every ResultMeta. Off, a task
+     * pays one thread-local branch per span site and ResultMeta.profile
+     * stays empty; counters still follow the process-wide obs::enabled()
+     * switch (QKC_OBS=0 rules those out too).
+     */
+    bool obs = true;
 };
 
 /** A parsed backend spec: canonical name plus its typed options. */
@@ -152,12 +162,54 @@ using ParamBinding = Circuit;
  * the task, so a long noisy run can assert its live-node count stayed
  * bounded while collections actually happened.
  */
+/**
+ * One compute table's hit/miss tally. Lifetime values are monotone over the
+ * owning package; the per-task copies in DdMemoryStats are deltas over one
+ * Session::run, so hitRate() there is an honest per-run rate rather than a
+ * number diluted by the session's history.
+ */
+struct DdComputeTableStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+
+    std::size_t lookups() const { return hits + misses; }
+    double hitRate() const
+    {
+        const std::size_t n = lookups();
+        return n ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+    }
+};
+
 struct DdMemoryStats {
     std::size_t liveVNodes = 0;     ///< vector nodes live in the unique table
     std::size_t liveMNodes = 0;     ///< matrix nodes live in the unique table
     std::size_t gcRuns = 0;         ///< completed mark-and-sweep collections
     std::size_t nodesCollected = 0; ///< total unique-table evictions
     std::size_t peakLiveNodes = 0;  ///< high-water mark of live nodes
+    std::uint64_t gcNanos = 0;      ///< total collection pause time
+
+    DdComputeTableStats apply{};    ///< apply cache, package lifetime
+    DdComputeTableStats add{};      ///< add cache, package lifetime
+    DdComputeTableStats taskApply{};///< apply cache, this task only
+    DdComputeTableStats taskAdd{};  ///< add cache, this task only
+};
+
+/**
+ * Aggregate timing of the runBatch call a Result came from (zeros outside
+ * batches). Stamped identically on every result of the batch: per-result
+ * meta.seconds is that binding's own bind+run lane time, and this is the
+ * whole-batch view — wall time of the call, the slowest single binding, and
+ * how unevenly the bindings' busy time spread over the worker lanes
+ * (imbalance = lanes * max-lane-busy / total-busy; 1.0 is a perfectly even
+ * fan-out, -> lanes means one lane did everything).
+ */
+struct BatchStats {
+    std::size_t bindings = 0;       ///< batch size
+    std::size_t lanes = 0;          ///< worker lanes used (1 = serialized)
+    double wallSeconds = 0.0;       ///< wall time of the runBatch call
+    double maxBindingSeconds = 0.0; ///< slowest single binding
+    double maxLaneSeconds = 0.0;    ///< busiest lane's total binding time
+    double imbalance = 0.0;         ///< lane imbalance ratio (>= 1.0)
 };
 
 /** Execution metadata carried by every Result. */
@@ -192,6 +244,17 @@ struct ResultMeta {
 
     /** Diagram memory-lifecycle stats (dd sessions; else zeros). */
     DdMemoryStats ddMemory{};
+
+    /** Batch aggregates when the result came from runBatch (else zeros). */
+    BatchStats batch{};
+
+    /**
+     * Phase-time breakdown and counter deltas for this task, collected when
+     * the session's obs option is on: the run's top-level spans (bind,
+     * backend phases, gc pauses) aggregated by name, summing to within a
+     * few percent of `seconds`. Empty when obs is off.
+     */
+    obs::TaskProfile profile{};
 };
 
 /**
@@ -274,6 +337,9 @@ class Session {
 
     std::size_t planBuilds() const { return planBuilds_; }
     std::size_t planReuses() const { return planReuses_; }
+
+    /** Whether this session collects per-task profiles (the obs option). */
+    bool obsEnabled() const { return obsEnabled_; }
 
     /** Cached rotated-basis fallback sub-sessions (one per term signature). */
     std::size_t rotatedSessionCount() const { return rotatedSessions_.size(); }
@@ -366,6 +432,9 @@ class Session {
     Circuit circuit_;
     std::size_t planBuilds_ = 0;
     std::size_t planReuses_ = 0;
+
+    /** Set from BackendOptions::obs by every backend's open/clone path. */
+    bool obsEnabled_ = true;
 
   private:
     /** The cached fallback sub-session for `pauli`'s rotation signature. */
