@@ -20,6 +20,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "exec/simd.h"
 #include "exec/thread_pool.h"
 #include "bench_common.h"
 #include "obs/trace.h"
@@ -62,6 +63,7 @@ runBackendRow(const std::string& spec, const std::string& label,
         .field("p", row.iterations)
         .field("qubits", row.qubits)
         .field("backend", label)
+        .field("simd", simdLevelName(activeSimdLevel()))
         .field("sample_sec", r.meta.seconds)
         .field("setup_sec", setupSeconds);
 }
@@ -111,6 +113,7 @@ runSvBatchRow(const Row& row, const Circuit& circuit, std::size_t samples,
         .field("p", row.iterations)
         .field("qubits", row.qubits)
         .field("backend", label)
+        .field("simd", simdLevelName(activeSimdLevel()))
         .field("sample_sec", perBinding)
         .field("setup_sec", setupSeconds)
         .field("batch_wall_sec", stats.wallSeconds)

@@ -9,8 +9,16 @@
  * (applyKernelReference); the *_Kernel rows run the specialized kernel with
  * the thread count in the second argument, so `ratio(SeedGeneric, Kernel)`
  * is the ISSUE-3 acceptance number.
+ *
+ * After the google-benchmark tables, a JSON-lines section (grep '^{')
+ * compares the scalar, AVX2 and AVX-512 sweeps per kernel class and the
+ * cache-blocked run sweep against the PR 7 gather-only sweep on a
+ * high-stride target — `ratio(off, avx2)` on generic1q is the ISSUE-8
+ * acceptance number.
  */
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "ac/gibbs_sampler.h"
 #include "ac/kc_simulator.h"
@@ -18,6 +26,7 @@
 #include "circuit/circuit.h"
 #include "circuit/fusion.h"
 #include "exec/gate_kernels.h"
+#include "exec/simd.h"
 #include "statevector/statevector_simulator.h"
 
 using namespace qkc;
@@ -300,6 +309,134 @@ BM_CircuitToBayesNet(benchmark::State& state)
 }
 BENCHMARK(BM_CircuitToBayesNet);
 
+// -- SIMD dispatch-level comparison (JSON lines) -----------------------------
+
+double
+secondsPerApply(const GateKernel& kernel, StateVector& sv,
+                const ExecPolicy& policy, bool blocked)
+{
+    // One warm-up pass, then the minimum over `reps` timed applies — the
+    // minimum rejects scheduler noise; the payloads are unitary so the
+    // state stays finite across reps.
+    const auto apply = [&] {
+        if (blocked)
+            applyKernel(kernel, sv.data(), sv.dimension(), policy);
+        else
+            applyKernelUnblocked(kernel, sv.data(), sv.dimension(), policy);
+    };
+    apply();
+    const int reps = 10;
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        apply();
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        if (r == 0 || elapsed.count() < best)
+            best = elapsed.count();
+    }
+    return best;
+}
+
+/** One row per (kernel class, simd level): ns/amp + speedup vs scalar. */
+void
+runSimdComparison(std::size_t n)
+{
+    struct Case {
+        const char* name;
+        Gate gate;
+    };
+    const Case cases[] = {
+        {"generic1q", Gate(GateKind::H, {1})},
+        {"diag1q", Gate(GateKind::Rz, {1}, 0.7)},
+        {"diag2q", Gate(GateKind::ZZ, {1, 2}, 0.4)},
+        {"perm1q", Gate(GateKind::X, {1})},
+        {"ctrlperm", Gate(GateKind::CNOT, {1, 2})},
+    };
+    std::vector<SimdMode> modes = {SimdMode::Off};
+    if (activeSimdLevel() >= SimdLevel::Avx2)
+        modes.push_back(SimdMode::Avx2);
+    if (activeSimdLevel() >= SimdLevel::Avx512)
+        modes.push_back(SimdMode::Avx512);
+
+    std::printf("# simd sweep comparison, %zu qubits, threads=1\n", n);
+    const double amps = static_cast<double>(std::uint64_t{1} << n);
+    StateVector sv(n);
+    for (const Case& c : cases) {
+        const GateKernel kernel = kernelFor(c.gate, n);
+        double scalarSec = 0.0;
+        for (SimdMode mode : modes) {
+            ExecPolicy policy;
+            policy.threads = 1;
+            policy.simd = mode;
+            const double sec = secondsPerApply(kernel, sv, policy, true);
+            if (mode == SimdMode::Off)
+                scalarSec = sec;
+            const char* level = simdLevelName(resolveSimdMode(mode));
+            std::printf("simd %-10s %-7s %8.3f ns/amp  x%.2f\n", c.name,
+                        level, sec / amps * 1e9, scalarSec / sec);
+            bench::JsonRow("micro_kernels")
+                .field("kernel", c.name)
+                .field("qubits", n)
+                .field("simd", level)
+                .field("sec_per_apply", sec)
+                .field("speedup_vs_scalar", scalarSec / sec);
+        }
+    }
+}
+
+/**
+ * Blocked vs gather-only sweep on a high-stride target (residual bit
+ * >= 20): the blocked sweep streams unit-stride runs where the gather
+ * sweep strides 2^bit through the array.
+ */
+void
+runBlockedComparison(std::size_t n)
+{
+    // Qubit 1 of n maps to bit n-2: 22 qubits puts the target at bit 20,
+    // giving 2^20-amplitude runs.
+    const Gate gate(GateKind::H, {1});
+    const GateKernel kernel = kernelFor(gate, n);
+    StateVector sv(n);
+    ExecPolicy policy;
+    policy.threads = 1;
+    const char* level = simdLevelName(policy.resolvedSimd());
+
+    std::printf("# blocked vs gather sweep, %zu qubits, target bit %zu\n", n,
+                n - 2);
+    const double amps = static_cast<double>(std::uint64_t{1} << n);
+    const double gatherSec = secondsPerApply(kernel, sv, policy, false);
+    const double blockedSec = secondsPerApply(kernel, sv, policy, true);
+    std::printf("sweep gather  %-7s %8.3f ns/amp\n", level,
+                gatherSec / amps * 1e9);
+    std::printf("sweep blocked %-7s %8.3f ns/amp  x%.2f\n", level,
+                blockedSec / amps * 1e9, gatherSec / blockedSec);
+    bench::JsonRow("micro_kernels")
+        .field("kernel", "generic1q_highstride")
+        .field("qubits", n)
+        .field("simd", level)
+        .field("mode", "gather")
+        .field("sec_per_apply", gatherSec);
+    bench::JsonRow("micro_kernels")
+        .field("kernel", "generic1q_highstride")
+        .field("qubits", n)
+        .field("simd", level)
+        .field("mode", "blocked")
+        .field("sec_per_apply", blockedSec)
+        .field("speedup_vs_gather", gatherSec / blockedSec);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    runSimdComparison(20);
+    runBlockedComparison(22);
+    return 0;
+}

@@ -74,11 +74,45 @@ planFusion(const Circuit& circuit, const FusionOptions& options)
         pending[q].clear();
     };
 
+    // One open 2q chain per ordered wire pair: the last-emitted 2q group on
+    // (a, b) stays extendable until any other operation touches a or b (1q
+    // gates excepted — they go pending and fold into the next stage). The
+    // group sits at its first gate's emission slot and is mutated in place
+    // when a later same-pair gate extends it; everything emitted in between
+    // acts on disjoint wires, so the reordering is exact.
+    struct OpenChain {
+        std::size_t a = 0;
+        std::size_t b = 0;
+        std::size_t groupIndex = 0;
+        Matrix accU; ///< full chain product incl. folded pendings
+    };
+    std::vector<OpenChain> chains;
+    std::vector<std::ptrdiff_t> chainOn(n, -1);
+
+    // Finalizes the chain covering wire q (if any): the identity-drop
+    // decision needs the whole chain product, so it is deferred to here.
+    auto closeChain = [&](std::size_t q) {
+        const std::ptrdiff_t c = chainOn[q];
+        if (c < 0)
+            return;
+        OpenChain& ch = chains[static_cast<std::size_t>(c)];
+        FusionRecipe::Group& g = recipe.groups[ch.groupIndex];
+        if (g.kind == FusionRecipe::Group::Kind::Fused2q) {
+            g.dropped = isIdentity(ch.accU);
+            if (g.dropped)
+                ++recipe.stats.droppedIdentity;
+        }
+        chainOn[ch.a] = -1;
+        chainOn[ch.b] = -1;
+    };
+
     const auto& ops = circuit.operations();
     for (std::size_t i = 0; i < ops.size(); ++i) {
         if (const auto* ch = std::get_if<NoiseChannel>(&ops[i])) {
-            for (std::size_t q : ch->qubits())
+            for (std::size_t q : ch->qubits()) {
+                closeChain(q);
                 flush(q);
+            }
             FusionRecipe::Group g;
             g.kind = FusionRecipe::Group::Kind::Channel;
             g.sources = {i};
@@ -104,43 +138,86 @@ planFusion(const Circuit& circuit, const FusionOptions& options)
         if (gate.arity() == 2 && options.foldIntoTwoQubit) {
             const std::size_t a = gate.qubits()[0];
             const std::size_t b = gate.qubits()[1];
+
+            // The pendings act first: U' = U * (Pa (x) Pb), with a the
+            // MSB of the gate's local basis (the Gate convention).
+            const Matrix pa = pending[a].empty() ? Matrix::identity(2)
+                                                 : pendingM[a];
+            const Matrix pb = pending[b].empty() ? Matrix::identity(2)
+                                                 : pendingM[b];
+            const std::size_t folds = (pending[a].empty() ? 0u : 1u) +
+                                      (pending[b].empty() ? 0u : 1u);
+
+            // Extend an open chain on the exact ordered pair (a, b).
+            const std::ptrdiff_t c = chainOn[a];
+            if (options.fuseTwoQubitPairs && c >= 0 && c == chainOn[b] &&
+                chains[static_cast<std::size_t>(c)].a == a &&
+                chains[static_cast<std::size_t>(c)].b == b) {
+                OpenChain& chain = chains[static_cast<std::size_t>(c)];
+                FusionRecipe::Group& g = recipe.groups[chain.groupIndex];
+                if (g.kind == FusionRecipe::Group::Kind::Passthrough) {
+                    // Promote the bare 2q group to a chain in place.
+                    g.kind = FusionRecipe::Group::Kind::Fused2q;
+                    g.gateIndices = {g.sources[0]};
+                    g.sources.clear();
+                    g.pendingHigh.emplace_back();
+                    g.pendingLow.emplace_back();
+                }
+                recipe.stats.foldedInto2q += folds;
+                ++recipe.stats.merged2q;
+                g.gateIndices.push_back(i);
+                g.pendingHigh.push_back(std::move(pending[a]));
+                g.pendingLow.push_back(std::move(pending[b]));
+                pending[a].clear();
+                pending[b].clear();
+                chain.accU = gate.unitary() * pa.kron(pb) * chain.accU;
+                continue;
+            }
+            // A same-wire chain on any other pairing ends here.
+            closeChain(a);
+            closeChain(b);
+
+            const std::size_t groupIndex = recipe.groups.size();
             if (!pending[a].empty() || !pending[b].empty()) {
-                // The pendings act first: U' = U * (Pa (x) Pb), with a the
-                // MSB of the gate's local basis (the Gate convention).
-                const Matrix pa = pending[a].empty()
-                                      ? Matrix::identity(2)
-                                      : pendingM[a];
-                const Matrix pb = pending[b].empty()
-                                      ? Matrix::identity(2)
-                                      : pendingM[b];
-                recipe.stats.foldedInto2q +=
-                    (pending[a].empty() ? 0u : 1u) +
-                    (pending[b].empty() ? 0u : 1u);
+                recipe.stats.foldedInto2q += folds;
                 FusionRecipe::Group g;
                 g.kind = FusionRecipe::Group::Kind::Fused2q;
-                g.gateIndex = i;
-                g.pendingHigh = std::move(pending[a]);
-                g.pendingLow = std::move(pending[b]);
+                g.gateIndices = {i};
+                g.pendingHigh.push_back(std::move(pending[a]));
+                g.pendingLow.push_back(std::move(pending[b]));
                 g.qubits = {a, b};
-                g.dropped = isIdentity(gate.unitary() * pa.kron(pb));
-                if (g.dropped)
-                    ++recipe.stats.droppedIdentity;
+                // dropped is decided when the chain closes.
                 recipe.groups.push_back(std::move(g));
                 pending[a].clear();
                 pending[b].clear();
-                continue;
+            } else {
+                FusionRecipe::Group g;
+                g.kind = FusionRecipe::Group::Kind::Passthrough;
+                g.sources = {i};
+                g.qubits = gate.qubits();
+                recipe.groups.push_back(std::move(g));
             }
-            FusionRecipe::Group g;
-            g.kind = FusionRecipe::Group::Kind::Passthrough;
-            g.sources = {i};
-            g.qubits = gate.qubits();
-            recipe.groups.push_back(std::move(g));
+            const Matrix accU = gate.unitary() * pa.kron(pb);
+            if (options.fuseTwoQubitPairs) {
+                chainOn[a] = static_cast<std::ptrdiff_t>(chains.size());
+                chainOn[b] = chainOn[a];
+                chains.push_back({a, b, groupIndex, accU});
+            } else if (recipe.groups[groupIndex].kind ==
+                       FusionRecipe::Group::Kind::Fused2q) {
+                // No chain tracking: decide the drop immediately.
+                FusionRecipe::Group& g = recipe.groups[groupIndex];
+                g.dropped = isIdentity(accU);
+                if (g.dropped)
+                    ++recipe.stats.droppedIdentity;
+            }
             continue;
         }
 
         // 2q with folding disabled, or 3q: barrier on the operand wires.
-        for (std::size_t q : gate.qubits())
+        for (std::size_t q : gate.qubits()) {
+            closeChain(q);
             flush(q);
+        }
         FusionRecipe::Group g;
         g.kind = FusionRecipe::Group::Kind::Passthrough;
         g.sources = {i};
@@ -148,8 +225,10 @@ planFusion(const Circuit& circuit, const FusionOptions& options)
         recipe.groups.push_back(std::move(g));
     }
 
-    for (std::size_t q = 0; q < n; ++q)
+    for (std::size_t q = 0; q < n; ++q) {
+        closeChain(q);
         flush(q);
+    }
 
     return recipe;
 }
@@ -202,14 +281,22 @@ materializeFusion(const FusionRecipe& recipe, const Circuit& circuit,
             break;
           }
           case FusionRecipe::Group::Kind::Fused2q: {
-            const auto pa = pendingProduct(circuit, g.pendingHigh,
-                                           g.qubits[0]);
-            const auto pb = pendingProduct(circuit, g.pendingLow,
-                                           g.qubits[1]);
-            const Gate* gate = gateAt(circuit, g.gateIndex, g.qubits);
-            if (!pa || !pb || !gate)
+            if (g.gateIndices.empty() ||
+                g.pendingHigh.size() != g.gateIndices.size() ||
+                g.pendingLow.size() != g.gateIndices.size())
                 return std::nullopt;
-            Matrix fusedU = gate->unitary() * pa->kron(*pb);
+            Matrix fusedU = Matrix::identity(4);
+            for (std::size_t s = 0; s < g.gateIndices.size(); ++s) {
+                const auto pa = pendingProduct(circuit, g.pendingHigh[s],
+                                               g.qubits[0]);
+                const auto pb = pendingProduct(circuit, g.pendingLow[s],
+                                               g.qubits[1]);
+                const Gate* gate = gateAt(circuit, g.gateIndices[s],
+                                          g.qubits);
+                if (!pa || !pb || !gate)
+                    return std::nullopt;
+                fusedU = gate->unitary() * pa->kron(*pb) * fusedU;
+            }
             if (isIdentity(fusedU) != g.dropped)
                 return std::nullopt;
             if (!g.dropped)

@@ -18,6 +18,15 @@ struct FusionOptions {
      * state). Disable to fuse only 1q-with-1q.
      */
     bool foldIntoTwoQubit = true;
+
+    /**
+     * Chain adjacent two-qubit gates on the same ordered wire pair into one
+     * 4x4 kernel (a ZZ ladder rung followed by its CNOT neighbour, repeated
+     * entangler layers, ...). A chain is broken by any operation touching
+     * either wire except further 1q gates on them, which fold into the next
+     * stage. Effective only together with foldIntoTwoQubit.
+     */
+    bool fuseTwoQubitPairs = true;
 };
 
 /** What the pass did — reported by benches and asserted by tests. */
@@ -26,6 +35,7 @@ struct FusionStats {
     std::size_t gatesOut = 0;
     std::size_t merged1q = 0;       ///< 1q gates absorbed into another 1q
     std::size_t foldedInto2q = 0;   ///< 1q matrices folded into a 2q gate
+    std::size_t merged2q = 0;       ///< 2q gates chained into a same-pair 4x4
     std::size_t droppedIdentity = 0; ///< fused products equal to identity
 };
 
@@ -42,16 +52,18 @@ struct FusionRecipe {
             Passthrough, ///< one op copied verbatim (2q/3q gate, no pendings)
             Channel,     ///< a noise channel copied verbatim
             Fused1q,     ///< product of 1q gates on one wire
-            Fused2q,     ///< 2q gate with pending 1q matrices folded in
+            Fused2q,     ///< same-pair 2q chain with pending 1q folded in
         };
         Kind kind = Kind::Passthrough;
         /** Fused1q: the 1q source ops on `qubits[0]`, first-applied first. */
         std::vector<std::size_t> sources;
-        /** Fused2q: the folded 2q gate's op index. */
-        std::size_t gateIndex = 0;
-        /** Fused2q: pending 1q sources per wire, first-applied first. */
-        std::vector<std::size_t> pendingHigh; ///< on qubits[0] (local MSB)
-        std::vector<std::size_t> pendingLow;  ///< on qubits[1] (local LSB)
+        /** Fused2q: the chained 2q gates' op indices, first-applied first
+         *  (one entry for a plain fold, several for a same-pair chain). */
+        std::vector<std::size_t> gateIndices;
+        /** Fused2q: per-stage pending 1q sources, first-applied first;
+         *  pendingHigh[s]/pendingLow[s] act before gateIndices[s]. */
+        std::vector<std::vector<std::size_t>> pendingHigh; ///< qubits[0] (MSB)
+        std::vector<std::vector<std::size_t>> pendingLow;  ///< qubits[1] (LSB)
         /** Operand wires of the emitted operation. */
         std::vector<std::size_t> qubits;
         /** The fused product was the identity; nothing is emitted. */
@@ -122,11 +134,12 @@ class FusionCache {
 
 /**
  * Greedy gate fusion: adjacent single-qubit gates on the same wire are
- * multiplied into one 2x2 matrix, and (optionally) pending 1q matrices are
- * folded into the next two-qubit gate touching their wire, so the dense
- * simulators sweep the amplitude array once where the source circuit would
- * have swept it several times. Products that reduce to the identity are
- * dropped entirely.
+ * multiplied into one 2x2 matrix, (optionally) pending 1q matrices are
+ * folded into the next two-qubit gate touching their wire, and adjacent
+ * two-qubit gates on the same ordered wire pair chain into one 4x4 kernel,
+ * so the dense simulators sweep the amplitude array once where the source
+ * circuit would have swept it several times. Products that reduce to the
+ * identity are dropped entirely.
  *
  * Noise channels and three-qubit gates act as barriers on their wires:
  * pending matrices are flushed before them, so the fused circuit is

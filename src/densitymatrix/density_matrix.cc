@@ -118,8 +118,8 @@ void
 DensityMatrix::applyChannelSuper(const std::vector<SuperKernel>& kraus)
 {
     const std::uint64_t flatDim = static_cast<std::uint64_t>(dim_) * dim_;
-    std::vector<Complex> acc(data_.size(), Complex{});
-    const std::vector<Complex> original = data_;
+    AmpVector acc(data_.size(), Complex{});
+    const AmpVector original = data_;
     for (const SuperKernel& k : kraus) {
         applySuper(k);
         parallelFor(policy_, flatDim,

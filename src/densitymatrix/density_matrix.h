@@ -7,6 +7,7 @@
 
 #include "exec/gate_kernels.h"
 #include "exec/thread_pool.h"
+#include "linalg/aligned.h"
 #include "linalg/matrix.h"
 #include "linalg/types.h"
 
@@ -119,7 +120,7 @@ class DensityMatrix {
   private:
     std::size_t numQubits_;
     std::size_t dim_;
-    std::vector<Complex> data_;
+    AmpVector data_; ///< row-major rho, 64-byte aligned like every amp buffer
     ExecPolicy policy_;
 };
 

@@ -1,9 +1,11 @@
 #include "exec/gate_kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/kernel_runs.h"
 #include "obs/metrics.h"
 
 namespace qkc {
@@ -361,6 +363,270 @@ kernelClassCounter(GateKernel::Op op)
     }
 }
 
+/**
+ * Records the dispatch level of the first sweep once per process, so a
+ * profile or bench dump states which instruction set actually ran
+ * (0 = off/scalar, 1 = avx2, 2 = avx512).
+ */
+void
+recordSimdLevel(SimdLevel level)
+{
+    static obs::Counter gauge("exec.kernel.simdLevel");
+    static std::atomic<bool> recorded{false};
+    bool expected = false;
+    if (recorded.compare_exchange_strong(expected, true,
+                                         std::memory_order_relaxed))
+        gauge.add(static_cast<std::uint64_t>(level));
+}
+
+/**
+ * Same four-product complex multiply the run primitives use (see
+ * kernel_runs.h). For finite operands this is exactly what the library
+ * operator* computes, minus its NaN-recovery branch — so the gather path
+ * matches the blocked path's arithmetic and skips the __muldc3 call.
+ */
+inline Complex
+cmul(const Complex& a, const Complex& b)
+{
+    return Complex(a.real() * b.real() - a.imag() * b.imag(),
+                   a.real() * b.imag() + a.imag() * b.real());
+}
+
+/**
+ * Decomposes the free-index span [b, e) into *runs*: maximal subspans whose
+ * expanded base indices are consecutive. Free bits below occupied[0] map
+ * 1:1 to the low base bits, so a run has length 2^occupied[0], clipped to
+ * the span (and therefore to chunk boundaries — power-of-two grains always
+ * align). Calls f(base, len) per run. Requires occupiedCount >= 1.
+ */
+template <typename RunFn>
+inline void
+forEachRun(const GateKernel& k, std::uint64_t b, std::uint64_t e,
+           const RunFn& f)
+{
+    const std::uint64_t runLen = std::uint64_t{1} << k.occupied[0];
+    std::uint64_t j = b;
+    while (j < e) {
+        const std::uint64_t len =
+            std::min(runLen - (j & (runLen - 1)), e - j);
+        f(expandBase(j, k.occupied.data(), k.occupiedCount, k.ctrlMask), len);
+        j += len;
+    }
+}
+
+/** Minimum run length for the blocked path; below this the per-run setup
+ *  outweighs the unit-stride inner loop and the gather path wins. The
+ *  threshold depends only on kernel structure — never on the simd level or
+ *  thread count — so the path choice cannot break bit-parity. */
+constexpr std::uint64_t kMinRunLen = 4;
+
+/**
+ * True if the kernel shape has a contiguous-run primitive: residual width
+ * 1 or 2 (diag/dense; 2-target perms gain nothing over gather) and runs
+ * long enough to amortize per-run dispatch.
+ */
+bool
+canBlockSweep(const GateKernel& k)
+{
+    if ((std::uint64_t{1} << k.occupied[0]) < kMinRunLen)
+        return false;
+    switch (k.op) {
+      case GateKernel::Op::Diag:
+      case GateKernel::Op::Generic:
+        return k.targets <= 2;
+      case GateKernel::Op::Perm:
+        return k.targets == 1;
+      default:
+        return false;
+    }
+}
+
+/**
+ * The legacy gather sweep: one expandBase + index-gather per residual
+ * group. Handles every class and shape; the blocked path above it only
+ * replaces the Diag/Perm/Generic shapes with a run primitive.
+ */
+void
+gatherSweep(const GateKernel& k, Complex* amps, std::uint64_t dim,
+            const ExecPolicy& policy, const Complex& preScale)
+{
+    const unsigned t = k.targets;
+    const unsigned td = 1u << t;
+    const std::uint64_t nFree = dim >> k.occupiedCount;
+    std::uint64_t stride[3] = {0, 0, 0};
+    for (unsigned j = 0; j < t; ++j)
+        stride[j] = std::uint64_t{1} << k.targetBits[j];
+
+    switch (k.op) {
+      case GateKernel::Op::Diag: {
+        std::array<Complex, 8> d;
+        for (unsigned l = 0; l < td; ++l)
+            d[l] = k.diag[l] * preScale;
+        parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
+            for (std::uint64_t j = b; j < e; ++j) {
+                const std::uint64_t base =
+                    expandBase(j, k.occupied.data(), k.occupiedCount,
+                               k.ctrlMask);
+                std::uint64_t idx[8];
+                gatherIndices(base, stride, t, idx);
+                for (unsigned l = 0; l < td; ++l)
+                    amps[idx[l]] = cmul(amps[idx[l]], d[l]);
+            }
+        });
+        return;
+      }
+      case GateKernel::Op::Perm: {
+        std::array<Complex, 8> pw;
+        for (unsigned l = 0; l < td; ++l)
+            pw[l] = k.permW[l] * preScale;
+        parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
+            for (std::uint64_t j = b; j < e; ++j) {
+                const std::uint64_t base =
+                    expandBase(j, k.occupied.data(), k.occupiedCount,
+                               k.ctrlMask);
+                std::uint64_t idx[8];
+                gatherIndices(base, stride, t, idx);
+                Complex in[8];
+                for (unsigned l = 0; l < td; ++l)
+                    in[l] = amps[idx[l]];
+                for (unsigned r = 0; r < td; ++r)
+                    amps[idx[r]] = cmul(pw[r], in[k.perm[r]]);
+            }
+        });
+        return;
+      }
+      case GateKernel::Op::Generic: {
+        std::array<Complex, 64> rm;
+        for (unsigned r = 0; r < td; ++r)
+            for (unsigned c = 0; c < td; ++c)
+                rm[r * td + c] = k.reduced(r, c) * preScale;
+        parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
+            for (std::uint64_t j = b; j < e; ++j) {
+                const std::uint64_t base =
+                    expandBase(j, k.occupied.data(), k.occupiedCount,
+                               k.ctrlMask);
+                std::uint64_t idx[8];
+                gatherIndices(base, stride, t, idx);
+                Complex in[8], out[8];
+                for (unsigned l = 0; l < td; ++l)
+                    in[l] = amps[idx[l]];
+                for (unsigned r = 0; r < td; ++r) {
+                    // First-product seed, left-to-right — the association
+                    // every run primitive reproduces (see kernel_runs.h).
+                    Complex acc = cmul(rm[r * td], in[0]);
+                    for (unsigned c = 1; c < td; ++c)
+                        acc += cmul(rm[r * td + c], in[c]);
+                    out[r] = acc;
+                }
+                for (unsigned l = 0; l < td; ++l)
+                    amps[idx[l]] = out[l];
+            }
+        });
+        return;
+      }
+      case GateKernel::Op::Identity:
+      case GateKernel::Op::GlobalPhase:
+        return; // callers handle these before sweeping
+    }
+}
+
+/**
+ * The cache-blocked sweep: iterates runs of consecutive base indices and
+ * hands each run's 2^targets unit-stride amplitude streams to one of the
+ * simd run primitives. Both halves of every high-stride amplitude pair stay
+ * resident while a grain-sized block is processed. Caller guarantees
+ * canBlockSweep(k).
+ */
+void
+blockedSweep(const GateKernel& k, Complex* amps, std::uint64_t dim,
+             const ExecPolicy& policy, const Complex& preScale,
+             const KernelRunOps& ops)
+{
+    const unsigned t = k.targets;
+    const std::uint64_t nFree = dim >> k.occupiedCount;
+    std::uint64_t stride[3] = {0, 0, 0};
+    for (unsigned j = 0; j < t; ++j)
+        stride[j] = std::uint64_t{1} << k.targetBits[j];
+
+    // Stream offsets: the l-th residual basis state of a group lives at
+    // base + offs[l] (gatherIndices of base 0).
+    std::uint64_t offs[8] = {0};
+    gatherIndices(0, stride, t, offs);
+
+    switch (k.op) {
+      case GateKernel::Op::Diag: {
+        if (t == 0) {
+            // Fully-controlled phase (CZ, CCZ, ...): the residual is the
+            // 1x1 matrix diag[0], one stream per run.
+            const Complex d0 = k.diag[0] * preScale;
+            parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
+                forEachRun(k, b, e, [&](std::uint64_t base, std::uint64_t n) {
+                    ops.scale(amps + base, n, d0);
+                });
+            });
+        } else if (t == 1) {
+            const Complex d0 = k.diag[0] * preScale;
+            const Complex d1 = k.diag[1] * preScale;
+            parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
+                forEachRun(k, b, e, [&](std::uint64_t base, std::uint64_t n) {
+                    ops.diag2(amps + base, amps + base + offs[1], n, d0, d1);
+                });
+            });
+        } else {
+            Complex d[4];
+            for (unsigned l = 0; l < 4; ++l)
+                d[l] = k.diag[l] * preScale;
+            parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
+                forEachRun(k, b, e, [&](std::uint64_t base, std::uint64_t n) {
+                    ops.diag4(amps + base, amps + base + offs[1],
+                              amps + base + offs[2], amps + base + offs[3],
+                              n, d);
+                });
+            });
+        }
+        return;
+      }
+      case GateKernel::Op::Perm: {
+        // A 1-target non-diagonal perm is necessarily the swap pattern.
+        const Complex w0 = k.permW[0] * preScale;
+        const Complex w1 = k.permW[1] * preScale;
+        parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
+            forEachRun(k, b, e, [&](std::uint64_t base, std::uint64_t n) {
+                ops.swap2(amps + base, amps + base + offs[1], n, w0, w1);
+            });
+        });
+        return;
+      }
+      case GateKernel::Op::Generic: {
+        if (t == 1) {
+            Complex m[4];
+            for (unsigned e2 = 0; e2 < 4; ++e2)
+                m[e2] = k.reduced(e2 / 2, e2 % 2) * preScale;
+            parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
+                forEachRun(k, b, e, [&](std::uint64_t base, std::uint64_t n) {
+                    ops.mat2(amps + base, amps + base + offs[1], n, m);
+                });
+            });
+        } else {
+            Complex m[16];
+            for (unsigned e2 = 0; e2 < 16; ++e2)
+                m[e2] = k.reduced(e2 / 4, e2 % 4) * preScale;
+            parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
+                forEachRun(k, b, e, [&](std::uint64_t base, std::uint64_t n) {
+                    ops.mat4(amps + base, amps + base + offs[1],
+                             amps + base + offs[2], amps + base + offs[3],
+                             n, m);
+                });
+            });
+        }
+        return;
+      }
+      case GateKernel::Op::Identity:
+      case GateKernel::Op::GlobalPhase:
+        return; // callers handle these before sweeping
+    }
+}
+
 } // namespace
 
 void
@@ -388,91 +654,59 @@ applyKernel(const GateKernel& k, Complex* amps, std::uint64_t dim,
         return;
     }
 
+    const KernelRunOps& ops = kernelRunOps(policy.resolvedSimd());
+    recordSimdLevel(ops.level);
+
+    if (k.op == GateKernel::Op::GlobalPhase) {
+        const Complex s = k.scalar * preScale;
+        parallelFor(policy, dim, [&](std::uint64_t b, std::uint64_t e) {
+            ops.scale(amps + b, e - b, s);
+        });
+        return;
+    }
+
+    // Path choice is a function of kernel structure only (class, residual
+    // width, run length) — never of the simd level or thread count — so a
+    // given kernel always takes the same path and payloads stay
+    // bit-identical across dispatch levels.
+    static obs::Counter blockedSweeps("exec.kernel.blockedSweeps");
+    static obs::Counter gatherSweeps("exec.kernel.gatherSweeps");
+    if (canBlockSweep(k)) {
+        blockedSweeps.add();
+        blockedSweep(k, amps, dim, policy, preScale, ops);
+    } else {
+        gatherSweeps.add();
+        gatherSweep(k, amps, dim, policy, preScale);
+    }
+}
+
+void
+applyKernelUnblocked(const GateKernel& k, Complex* amps, std::uint64_t dim,
+                     const ExecPolicy& policy, const Complex& preScale)
+{
+    const bool scaled = preScale != Complex{1.0, 0.0};
+
+    if (!scaled && k.op == GateKernel::Op::Identity)
+        return;
+
+    if (scaled && (k.ctrlMask != 0 || k.op == GateKernel::Op::Identity)) {
+        std::vector<std::uint32_t> bits(k.fullBits.begin(),
+                                        k.fullBits.begin() + k.arity);
+        applyKernelUnblocked(compileKernel(k.full * preScale, bits), amps,
+                             dim, policy);
+        return;
+    }
+
     if (k.op == GateKernel::Op::GlobalPhase) {
         const Complex s = k.scalar * preScale;
         parallelFor(policy, dim, [&](std::uint64_t b, std::uint64_t e) {
             for (std::uint64_t i = b; i < e; ++i)
-                amps[i] *= s;
+                amps[i] = cmul(amps[i], s);
         });
         return;
     }
 
-    const unsigned t = k.targets;
-    const unsigned td = 1u << t;
-    const std::uint64_t nFree = dim >> k.occupiedCount;
-    std::uint64_t stride[3] = {0, 0, 0};
-    for (unsigned j = 0; j < t; ++j)
-        stride[j] = std::uint64_t{1} << k.targetBits[j];
-
-    switch (k.op) {
-      case GateKernel::Op::Diag: {
-        std::array<Complex, 8> d;
-        for (unsigned l = 0; l < td; ++l)
-            d[l] = k.diag[l] * preScale;
-        parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
-            for (std::uint64_t j = b; j < e; ++j) {
-                const std::uint64_t base =
-                    expandBase(j, k.occupied.data(), k.occupiedCount,
-                               k.ctrlMask);
-                std::uint64_t idx[8];
-                gatherIndices(base, stride, t, idx);
-                for (unsigned l = 0; l < td; ++l)
-                    amps[idx[l]] *= d[l];
-            }
-        });
-        return;
-      }
-      case GateKernel::Op::Perm: {
-        std::array<Complex, 8> pw;
-        for (unsigned l = 0; l < td; ++l)
-            pw[l] = k.permW[l] * preScale;
-        parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
-            for (std::uint64_t j = b; j < e; ++j) {
-                const std::uint64_t base =
-                    expandBase(j, k.occupied.data(), k.occupiedCount,
-                               k.ctrlMask);
-                std::uint64_t idx[8];
-                gatherIndices(base, stride, t, idx);
-                Complex in[8];
-                for (unsigned l = 0; l < td; ++l)
-                    in[l] = amps[idx[l]];
-                for (unsigned r = 0; r < td; ++r)
-                    amps[idx[r]] = pw[r] * in[k.perm[r]];
-            }
-        });
-        return;
-      }
-      case GateKernel::Op::Generic: {
-        std::array<Complex, 64> rm;
-        for (unsigned r = 0; r < td; ++r)
-            for (unsigned c = 0; c < td; ++c)
-                rm[r * td + c] = k.reduced(r, c) * preScale;
-        parallelFor(policy, nFree, [&](std::uint64_t b, std::uint64_t e) {
-            for (std::uint64_t j = b; j < e; ++j) {
-                const std::uint64_t base =
-                    expandBase(j, k.occupied.data(), k.occupiedCount,
-                               k.ctrlMask);
-                std::uint64_t idx[8];
-                gatherIndices(base, stride, t, idx);
-                Complex in[8], out[8];
-                for (unsigned l = 0; l < td; ++l)
-                    in[l] = amps[idx[l]];
-                for (unsigned r = 0; r < td; ++r) {
-                    Complex acc{};
-                    for (unsigned c = 0; c < td; ++c)
-                        acc += rm[r * td + c] * in[c];
-                    out[r] = acc;
-                }
-                for (unsigned l = 0; l < td; ++l)
-                    amps[idx[l]] = out[l];
-            }
-        });
-        return;
-      }
-      case GateKernel::Op::Identity:
-      case GateKernel::Op::GlobalPhase:
-        return; // handled above
-    }
+    gatherSweep(k, amps, dim, policy, preScale);
 }
 
 double

@@ -107,6 +107,17 @@ void applyKernel(const GateKernel& k, Complex* amps, std::uint64_t dim,
                  const Complex& preScale = Complex{1.0, 0.0});
 
 /**
+ * The gather-only sweep: applyKernel without the cache-blocked/simd run
+ * path — one index-gather per residual group, scalar arithmetic, same
+ * classification and deterministic chunking. This is the PR 7 execution
+ * shape, kept callable as the blocked-vs-unblocked bench baseline (and as
+ * the internal fallback for shapes with no run primitive).
+ */
+void applyKernelUnblocked(const GateKernel& k, Complex* amps,
+                          std::uint64_t dim, const ExecPolicy& policy,
+                          const Complex& preScale = Complex{1.0, 0.0});
+
+/**
  * Returns ||K psi||^2 without modifying the state: the squared norm the
  * state would have after applyKernel. One read-only pass (dense full-matrix
  * evaluation per group), deterministic chunk-ordered summation.

@@ -1,0 +1,132 @@
+#include "exec/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "exec/kernel_runs.h"
+
+namespace qkc {
+
+namespace {
+
+/** What the CPU (and OS thread state) can execute, capped by the build. */
+SimdLevel
+detectSimdLevel()
+{
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    // __builtin_cpu_supports checks CPUID *and* the XCR0 OS-enabled state,
+    // so an AVX-512-capable core under an OS that does not save ZMM state
+    // correctly reports unsupported.
+    if (avx512RunOps() && __builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq"))
+        return SimdLevel::Avx512;
+    if (avx2RunOps() && __builtin_cpu_supports("avx2"))
+        return SimdLevel::Avx2;
+#endif
+    return SimdLevel::Scalar;
+}
+
+SimdLevel
+initialActiveLevel()
+{
+    SimdLevel level = maxSupportedSimdLevel();
+    if (const char* env = std::getenv("QKC_SIMD")) {
+        SimdMode mode;
+        if (parseSimdMode(env, &mode) && mode != SimdMode::Auto) {
+            const SimdLevel requested =
+                mode == SimdMode::Off
+                    ? SimdLevel::Scalar
+                    : (mode == SimdMode::Avx2 ? SimdLevel::Avx2
+                                              : SimdLevel::Avx512);
+            if (requested < level)
+                level = requested;
+        }
+        // Unparsable values fall through to auto rather than aborting a
+        // run over a typo; the CLI-facing parse path reports them loudly.
+    }
+    return level;
+}
+
+std::atomic<SimdLevel>&
+activeLevelState()
+{
+    static std::atomic<SimdLevel> level{initialActiveLevel()};
+    return level;
+}
+
+} // namespace
+
+const char*
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Scalar:
+        return "off";
+      case SimdLevel::Avx2:
+        return "avx2";
+      case SimdLevel::Avx512:
+        return "avx512";
+    }
+    return "?";
+}
+
+SimdLevel
+maxSupportedSimdLevel()
+{
+    static const SimdLevel level = detectSimdLevel();
+    return level;
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    return activeLevelState().load(std::memory_order_relaxed);
+}
+
+void
+setSimdLevel(SimdLevel level)
+{
+    if (level > maxSupportedSimdLevel())
+        level = maxSupportedSimdLevel();
+    activeLevelState().store(level, std::memory_order_relaxed);
+}
+
+bool
+parseSimdMode(const std::string& text, SimdMode* out)
+{
+    if (text == "auto" || text == "1") {
+        *out = SimdMode::Auto;
+    } else if (text == "off" || text == "0" || text == "scalar") {
+        *out = SimdMode::Off;
+    } else if (text == "avx2") {
+        *out = SimdMode::Avx2;
+    } else if (text == "avx512") {
+        *out = SimdMode::Avx512;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+SimdLevel
+resolveSimdMode(SimdMode mode)
+{
+    // QKC_SIMD is the master switch (mirroring QKC_OBS): an explicit
+    // spec-level request never raises the dispatch above the process-wide
+    // active level, only lowers it.
+    const SimdLevel ceiling = activeSimdLevel();
+    switch (mode) {
+      case SimdMode::Auto:
+        return ceiling;
+      case SimdMode::Off:
+        return SimdLevel::Scalar;
+      case SimdMode::Avx2:
+        return ceiling >= SimdLevel::Avx2 ? SimdLevel::Avx2
+                                          : ceiling;
+      case SimdMode::Avx512:
+        return ceiling;
+    }
+    return SimdLevel::Scalar;
+}
+
+} // namespace qkc

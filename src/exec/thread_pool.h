@@ -6,9 +6,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "exec/simd.h"
 
 namespace qkc {
 
@@ -72,17 +75,33 @@ class ThreadPool {
     static bool inParallelRegion();
 
   private:
+    /**
+     * One lane's contiguous slice of the chunk space. Lanes claim their own
+     * shard first (stable lane -> shard affinity: successive sweeps over
+     * the same amplitude array revisit the same cache-warm range on the
+     * same thread), then steal whole unclaimed shards, then help drain
+     * stragglers. Chunk *boundaries* stay a function of n and grain alone,
+     * so the sharding changes who executes a chunk — never what a chunk is.
+     */
+    struct Shard {
+        std::atomic<std::uint64_t> next{0};
+        std::uint64_t end = 0;
+        std::atomic<bool> claimed{false};
+    };
+
     struct Job {
         const ChunkFn* fn = nullptr;
         std::uint64_t grain = 0;
         std::uint64_t n = 0;
         std::uint64_t numChunks = 0;
-        std::atomic<std::uint64_t> nextChunk{0};
+        std::size_t numShards = 0;
+        std::unique_ptr<Shard[]> shards;
+        std::size_t shardCapacity = 0;
         std::atomic<std::uint64_t> chunksDone{0};
     };
 
-    void workerLoop();
-    void runChunks(Job& job);
+    void workerLoop(std::size_t lane);
+    void runChunks(Job& job, std::size_t lane);
 
     std::vector<std::thread> workers_;
     std::mutex mutex_;
@@ -123,8 +142,20 @@ struct ExecPolicy {
     /** Run the greedy gate-fusion pass before simulation (simulators only). */
     bool fuseGates = true;
 
+    /**
+     * Vector dispatch level for the kernel sweeps. Auto defers to the
+     * process default (QKC_SIMD clamped by CPUID); an explicit level (e.g.
+     * `sv:simd=off` specs) lowers — never raises — that default. Payloads
+     * are bit-identical at every level, so this is purely a speed knob.
+     */
+    SimdMode simd = SimdMode::Auto;
+
     /** The thread count after resolving 0 against the global default. */
     std::size_t resolvedThreads() const;
+
+    /** The dispatch level after resolving `simd` against the process
+     *  default and hardware/build support. */
+    SimdLevel resolvedSimd() const;
 };
 
 /**

@@ -7,6 +7,7 @@
 
 #include "exec/gate_kernels.h"
 #include "exec/thread_pool.h"
+#include "linalg/aligned.h"
 #include "linalg/matrix.h"
 #include "linalg/types.h"
 
@@ -38,7 +39,8 @@ class StateVector {
 
     const Complex& amplitude(std::uint64_t basis) const { return amps_[basis]; }
     Complex& amplitude(std::uint64_t basis) { return amps_[basis]; }
-    const std::vector<Complex>& amplitudes() const { return amps_; }
+    /** 64-byte-aligned amplitude buffer (cache-line and zmm aligned). */
+    const AmpVector& amplitudes() const { return amps_; }
     Complex* data() { return amps_.data(); }
     const Complex* data() const { return amps_.data(); }
 
@@ -84,7 +86,7 @@ class StateVector {
 
   private:
     std::size_t numQubits_;
-    std::vector<Complex> amps_;
+    AmpVector amps_;
     ExecPolicy policy_;
 };
 

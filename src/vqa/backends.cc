@@ -25,6 +25,7 @@ execPolicyFrom(const BackendOptions& options)
     ExecPolicy policy;
     policy.threads = options.threads;
     policy.fuseGates = options.fuse;
+    policy.simd = options.simd;
     return policy;
 }
 

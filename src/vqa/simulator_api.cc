@@ -383,7 +383,7 @@ backendRegistry()
     static const std::vector<BackendInfo> registry = {
         {"statevector",
          {"sv"},
-         {"threads", "fuse", "obs"},
+         {"threads", "fuse", "simd", "obs"},
          "dense 2^n state vector (qsim-style); Kraus trajectories when "
          "noise is present",
          "sample; expectation (exact when ideal, sampled under noise); "
@@ -392,7 +392,7 @@ backendRegistry()
          "ExecutionPlan and rebinds it per binding"},
         {"densitymatrix",
          {"dm"},
-         {"threads", "fuse", "obs"},
+         {"threads", "fuse", "simd", "obs"},
          "dense 4^n density matrix (Cirq-style); every channel exact",
          "sample; expectation (exact, ideal and noisy); probabilities "
          "(exact, ideal and noisy)",
@@ -542,6 +542,18 @@ parseBackendSpec(const std::string& spec)
                 info->name +
                 (known.empty() ? " (it accepts no options)"
                                : " (valid: " + known + ")"));
+        }
+        // simd takes a named level, not an integer — dispatch before the
+        // integer parse. (parseSimdMode also accepts the 0/1 digit forms,
+        // mirroring the obs knob.)
+        if (key == "simd") {
+            SimdMode mode;
+            if (!parseSimdMode(value, &mode))
+                throw std::invalid_argument(
+                    "makeBackend: option simd must be auto, off, avx2 or "
+                    "avx512, got \"" + value + "\"");
+            result.options.simd = mode;
+            continue;
         }
         const long v = parseIntOption(key, value);
         if (key == "threads") {

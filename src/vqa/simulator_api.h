@@ -10,6 +10,7 @@
 
 #include "circuit/circuit.h"
 #include "circuit/fusion.h"
+#include "exec/simd.h"
 #include "linalg/types.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -40,6 +41,15 @@ struct BackendOptions {
 
     /** Run the greedy gate-fusion pass at plan time (sv/dm). */
     bool fuse = true;
+
+    /**
+     * Vector dispatch level for the dense kernel sweeps (sv/dm):
+     * "auto" (the default — whatever QKC_SIMD and CPUID allow), "off",
+     * "avx2", or "avx512". An explicit level can only lower the process
+     * ceiling, never raise it past QKC_SIMD or the hardware. Purely a speed
+     * knob: payloads are bit-identical at every level.
+     */
+    SimdMode simd = SimdMode::Auto;
 
     /** Gibbs sweeps discarded before the first recorded sample (kc). */
     std::size_t burnIn = 64;

@@ -65,6 +65,99 @@ TEST(FusionTest, FoldsPending1qIntoFollowing2qGate)
     expectSameState(c, fused);
 }
 
+TEST(FusionTest, ChainsAdjacent2qGatesOnSamePair)
+{
+    // zz;cnot on the same ordered pair — one 4x4 kernel, pendings folded
+    // into their stages.
+    Circuit c(2);
+    c.h(0).zz(0, 1, 0.7).t(1).cnot(0, 1);
+    FusionStats stats;
+    Circuit fused = fuseGates(c, {}, &stats);
+    EXPECT_EQ(fused.gateCount(), 1u);
+    EXPECT_EQ(stats.merged2q, 1u);
+    EXPECT_EQ(stats.foldedInto2q, 2u);
+    expectSameState(c, fused);
+}
+
+TEST(FusionTest, ChainDropsIdentityProduct)
+{
+    // Two identical CNOTs cancel; the whole chain is dropped.
+    Circuit c(2);
+    c.cnot(0, 1).cnot(0, 1);
+    FusionStats stats;
+    Circuit fused = fuseGates(c, {}, &stats);
+    EXPECT_EQ(fused.gateCount(), 0u);
+    EXPECT_EQ(stats.merged2q, 1u);
+    EXPECT_EQ(stats.droppedIdentity, 1u);
+}
+
+TEST(FusionTest, ChainBrokenByIntermediateOpOnEitherWire)
+{
+    // A Toffoli touching wire 1 closes the chain: the CNOTs must not merge
+    // across it.
+    Circuit c(3);
+    c.cnot(0, 1).ccx(0, 1, 2).cnot(0, 1);
+    FusionStats stats;
+    Circuit fused = fuseGates(c, {}, &stats);
+    EXPECT_EQ(fused.gateCount(), 3u);
+    EXPECT_EQ(stats.merged2q, 0u);
+    expectSameState(c, fused);
+
+    // A reversed-order pair also breaks the chain (different local basis).
+    Circuit d(2);
+    d.cnot(0, 1).cnot(1, 0);
+    FusionStats dstats;
+    Circuit dfused = fuseGates(d, {}, &dstats);
+    EXPECT_EQ(dfused.gateCount(), 2u);
+    EXPECT_EQ(dstats.merged2q, 0u);
+    expectSameState(d, dfused);
+}
+
+TEST(FusionTest, ChainSpansDisjointInterleavedOps)
+{
+    // Ops on other wires between two same-pair gates do not break the
+    // chain; the fused kernel commutes past them exactly.
+    Circuit c(4);
+    c.zz(0, 1, 0.4).h(2).cnot(2, 3).t(3).cnot(0, 1);
+    FusionStats stats;
+    Circuit fused = fuseGates(c, {}, &stats);
+    EXPECT_EQ(stats.merged2q, 1u);
+    expectSameState(c, fused);
+}
+
+TEST(FusionTest, ChainRecipeReplaysNewParameters)
+{
+    // An entangler-ladder chain planned once must replay on new angles.
+    Circuit a(2);
+    a.zz(0, 1, 0.3).rx(0, 0.5).zz(0, 1, 0.9);
+    Circuit b(2);
+    b.zz(0, 1, 1.4).rx(0, -0.6).zz(0, 1, 0.1);
+    const FusionRecipe recipe = planFusion(a);
+    EXPECT_EQ(recipe.stats.merged2q, 1u);
+    auto viaRecipe = materializeFusion(recipe, b);
+    ASSERT_TRUE(viaRecipe.has_value());
+    expectSameState(b, *viaRecipe);
+
+    // Replaying onto parameters whose chain product is the identity must
+    // refuse (drop boundary crossed), same as the 1q case.
+    Circuit ident(2);
+    ident.zz(0, 1, 0.8).rx(0, 0.0).zz(0, 1, -0.8);
+    EXPECT_FALSE(materializeFusion(recipe, ident).has_value());
+}
+
+TEST(FusionTest, ChainFusionCanBeDisabled)
+{
+    Circuit c(2);
+    c.cnot(0, 1).cnot(0, 1);
+    FusionOptions options;
+    options.fuseTwoQubitPairs = false;
+    FusionStats stats;
+    Circuit fused = fuseGates(c, options, &stats);
+    EXPECT_EQ(fused.gateCount(), 2u);
+    EXPECT_EQ(stats.merged2q, 0u);
+    expectSameState(c, fused);
+}
+
 TEST(FusionTest, FoldingCanBeDisabled)
 {
     Circuit c(2);

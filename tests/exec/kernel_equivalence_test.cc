@@ -14,6 +14,7 @@
 #include "circuit/circuit.h"
 #include "circuit/gate.h"
 #include "circuit/noise.h"
+#include "exec/simd.h"
 #include "statevector/statevector_simulator.h"
 #include "util/rng.h"
 
@@ -77,6 +78,22 @@ expectMatchesReference(const Matrix& m, const std::vector<std::size_t>& qubits,
         // Serial and parallel kernels must agree *bitwise*.
         ASSERT_EQ(specializedSerial[i].real(), specializedParallel[i].real());
         ASSERT_EQ(specializedSerial[i].imag(), specializedParallel[i].imag());
+    }
+
+    // And every SIMD dispatch level must agree bitwise with the default.
+    for (SimdMode mode : {SimdMode::Off, SimdMode::Avx2, SimdMode::Avx512}) {
+        ExecPolicy leveled;
+        leveled.simd = mode;
+        auto atLevel = randomState(n, seed);
+        applyKernel(kernel, atLevel.data(), dim, leveled);
+        for (std::uint64_t i = 0; i < dim; ++i) {
+            ASSERT_EQ(specializedSerial[i].real(), atLevel[i].real())
+                << kernel.className() << " simd="
+                << simdLevelName(resolveSimdMode(mode)) << " index " << i;
+            ASSERT_EQ(specializedSerial[i].imag(), atLevel[i].imag())
+                << kernel.className() << " simd="
+                << simdLevelName(resolveSimdMode(mode)) << " index " << i;
+        }
     }
 }
 
