@@ -22,7 +22,9 @@
  * --profile prints the per-task phase/counter report after --mode=sample
  * plus the process metrics snapshot.
  *
- * Standalone: --list-backends (no --qasm needed).
+ * Standalone: --list-backends (no --qasm needed); add --json for a
+ * machine-readable listing (the same document qkc_serverd's /v1/backends
+ * endpoint serves).
  *
  * Example:
  *   ./build/examples/qkc_cli --qasm=bell.qasm --mode=sample --samples=100
@@ -37,12 +39,14 @@
 #include <iostream>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "ac/kc_simulator.h"
 #include "ac/queries.h"
 #include "circuit/qasm.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/json.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "vqa/backends.h"
@@ -91,6 +95,29 @@ main(int argc, char** argv)
     if (cli.has("list-backends")) {
         // Rendered straight from the registry parseBackendSpec validates
         // against, so this listing cannot drift from what is accepted.
+        if (cli.has("json")) {
+            server::Json list = server::Json::array();
+            for (const BackendInfo& info : backendRegistry()) {
+                server::Json b = server::Json::object();
+                b.set("name", info.name);
+                server::Json aliases = server::Json::array();
+                for (const std::string& a : info.aliases)
+                    aliases.push(server::Json(a));
+                b.set("aliases", std::move(aliases));
+                server::Json options = server::Json::array();
+                for (const std::string& k : info.optionKeys)
+                    options.push(server::Json(k));
+                b.set("options", std::move(options));
+                b.set("summary", info.summary);
+                b.set("tasks", info.tasks);
+                b.set("batch", info.batch);
+                list.push(std::move(b));
+            }
+            server::Json out = server::Json::object();
+            out.set("backends", std::move(list));
+            std::printf("%s\n", out.dump().c_str());
+            return 0;
+        }
         for (const BackendInfo& info : backendRegistry()) {
             std::string aliases;
             for (const std::string& a : info.aliases)

@@ -1,5 +1,6 @@
 #include "circuit/qasm.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <istream>
@@ -118,7 +119,10 @@ makeChannel(const std::string& tag, const std::vector<std::size_t>& qubits,
 /** Minimal arithmetic evaluator for QASM angle expressions. */
 class AngleParser {
   public:
-    explicit AngleParser(const std::string& text) : text_(text) {}
+    AngleParser(const std::string& text, std::size_t maxDepth)
+        : text_(text), maxDepth_(maxDepth)
+    {
+    }
 
     double parse()
     {
@@ -126,13 +130,17 @@ class AngleParser {
         skipWs();
         if (pos_ != text_.size())
             throw std::invalid_argument("parseQasm: bad angle: " + text_);
+        if (!std::isfinite(v))
+            throw std::invalid_argument("parseQasm: non-finite angle: " +
+                                        text_);
         return v;
     }
 
   private:
     void skipWs()
     {
-        while (pos_ < text_.size() && std::isspace(text_[pos_]))
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
             ++pos_;
     }
     bool consume(char c)
@@ -144,6 +152,22 @@ class AngleParser {
         }
         return false;
     }
+    /**
+     * Recursion guard: unary minus and parentheses both recurse once per
+     * nesting level, so a hostile "((((…" or "----…" chain would otherwise
+     * walk the stack off a cliff instead of returning an error.
+     */
+    struct DepthGuard {
+        explicit DepthGuard(AngleParser& p) : parser(p)
+        {
+            if (++parser.depth_ > parser.maxDepth_)
+                throw std::invalid_argument(
+                    "parseQasm: angle expression nested too deeply: " +
+                    parser.text_);
+        }
+        ~DepthGuard() { --parser.depth_; }
+        AngleParser& parser;
+    };
     double expr()
     {
         double v = term();
@@ -170,6 +194,7 @@ class AngleParser {
     }
     double unary()
     {
+        DepthGuard guard(*this);
         if (consume('-'))
             return -unary();
         return atom();
@@ -178,6 +203,7 @@ class AngleParser {
     {
         skipWs();
         if (consume('(')) {
+            DepthGuard guard(*this);
             double v = expr();
             if (!consume(')'))
                 throw std::invalid_argument("parseQasm: missing ')'");
@@ -196,14 +222,44 @@ class AngleParser {
             ++end;
         if (end == pos_)
             throw std::invalid_argument("parseQasm: bad angle: " + text_);
-        double v = std::stod(text_.substr(pos_, end - pos_));
+        double v = 0.0;
+        try {
+            v = std::stod(text_.substr(pos_, end - pos_));
+        } catch (const std::exception&) {
+            // stoull/stod throw out_of_range on e.g. "1e99999" — fold it
+            // into the parser's own error currency.
+            throw std::invalid_argument("parseQasm: angle literal out of "
+                                        "range: " + text_);
+        }
         pos_ = end;
         return v;
     }
 
     std::string text_;
+    std::size_t maxDepth_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
+
+/**
+ * An unsigned decimal index (qreg size, qubit operand) with nothing else in
+ * the token — std::stoul alone would accept "3garbage", throw raw
+ * out_of_range on 2^70, and accept "-1" by wrapping it to 2^64-7.
+ */
+std::size_t
+parseIndex(const std::string& token, const char* what)
+{
+    if (token.empty() ||
+        token.find_first_not_of("0123456789") != std::string::npos)
+        throw QasmParseError(std::string("parseQasm: bad ") + what + ": \"" +
+                             token + "\"");
+    try {
+        return std::stoul(token);
+    } catch (const std::exception&) {
+        throw QasmParseError(std::string("parseQasm: ") + what +
+                             " out of range: \"" + token + "\"");
+    }
+}
 
 } // namespace
 
@@ -300,16 +356,26 @@ toQasm(const Circuit& circuit)
 }
 
 Circuit
-parseQasm(std::istream& is)
+parseQasm(std::istream& is, const QasmLimits& limits)
 {
-    std::string text((std::istreambuf_iterator<char>(is)),
-                     std::istreambuf_iterator<char>());
-    return parseQasm(text);
+    // Stop at the byte cap instead of draining an unbounded stream into
+    // memory; one extra byte distinguishes "exactly at the cap" from
+    // "past it" for the size check below.
+    std::string text;
+    text.reserve(std::min<std::size_t>(limits.maxBytes + 1, 1u << 16));
+    std::istreambuf_iterator<char> it(is), end;
+    while (it != end && text.size() <= limits.maxBytes)
+        text.push_back(*it++);
+    return parseQasm(text, limits);
 }
 
 Circuit
-parseQasm(const std::string& text)
+parseQasm(const std::string& text, const QasmLimits& limits)
 {
+    if (text.size() > limits.maxBytes)
+        throw QasmParseError(
+            "parseQasm: program exceeds the " +
+            std::to_string(limits.maxBytes) + "-byte limit");
     // Pre-scan: find the qreg size so the Circuit can be constructed.
     std::unique_ptr<Circuit> circuit;
     std::string qregName;
@@ -347,10 +413,23 @@ parseQasm(const std::string& text)
         return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
     };
 
+    // Caps and exception discipline for untrusted input: every statement
+    // is processed under a catch-all that rewraps whatever the IR
+    // constructors throw (std::out_of_range from an operand check, a
+    // probability validation, a missing channel parameter) into a
+    // QasmParseError naming the statement — the parser's only failure mode.
+    const auto guardOpCount = [&limits](const Circuit& c) {
+        if (c.size() >= limits.maxOperations)
+            throw QasmParseError(
+                "parseQasm: program exceeds the " +
+                std::to_string(limits.maxOperations) + "-operation limit");
+    };
+
     for (std::string stmtRaw : statements) {
         std::string stmt = trim(stmtRaw);
         if (stmt.empty())
             continue;
+        try {
 
         if (stmt.rfind("@noise", 0) == 0) {
             std::istringstream ns(stmt.substr(6));
@@ -360,12 +439,22 @@ parseQasm(const std::string& text)
             std::vector<std::size_t> qubits(numQubits);
             for (std::size_t& q : qubits)
                 ns >> q;
+            if (ns.fail())
+                throw QasmParseError("parseQasm: bad noise qubits: " + stmt);
             std::vector<double> params;
             double p;
-            while (ns >> p)
+            while (ns >> p) {
+                if (!std::isfinite(p))
+                    throw QasmParseError(
+                        "parseQasm: non-finite noise parameter: " + stmt);
                 params.push_back(p);
+            }
+            if (!ns.eof())
+                throw QasmParseError("parseQasm: bad noise parameters: " +
+                                     stmt);
             if (!circuit)
-                throw std::invalid_argument("parseQasm: noise before qreg");
+                throw QasmParseError("parseQasm: noise before qreg");
+            guardOpCount(*circuit);
             circuit->append(makeChannel(tag, qubits, params));
             continue;
         }
@@ -376,12 +465,14 @@ parseQasm(const std::string& text)
         if (stmt.rfind("qreg", 0) == 0) {
             auto lb = stmt.find('[');
             auto rb = stmt.find(']');
-            if (lb == std::string::npos || rb == std::string::npos)
-                throw std::invalid_argument("parseQasm: bad qreg");
+            if (lb == std::string::npos || rb == std::string::npos ||
+                rb < lb)
+                throw QasmParseError("parseQasm: bad qreg: " + stmt);
             if (circuit)
-                throw std::invalid_argument("parseQasm: multiple qregs");
+                throw QasmParseError("parseQasm: multiple qregs");
             qregName = trim(stmt.substr(4, lb - 4));
-            std::size_t n = std::stoul(stmt.substr(lb + 1, rb - lb - 1));
+            const std::size_t n = parseIndex(
+                trim(stmt.substr(lb + 1, rb - lb - 1)), "qreg size");
             circuit = std::make_unique<Circuit>(n);
             continue;
         }
@@ -418,7 +509,7 @@ parseQasm(const std::string& text)
 
         double theta = 0.0;
         if (!argText.empty())
-            theta = AngleParser(argText).parse();
+            theta = AngleParser(argText, limits.maxAngleDepth).parse();
 
         std::vector<std::size_t> qubits;
         std::istringstream ops(operandText);
@@ -427,16 +518,16 @@ parseQasm(const std::string& text)
             operand = trim(operand);
             auto lb = operand.find('[');
             auto rb = operand.find(']');
-            if (lb == std::string::npos || rb == std::string::npos)
-                throw std::invalid_argument(
+            if (lb == std::string::npos || rb == std::string::npos ||
+                rb < lb)
+                throw QasmParseError(
                     "parseQasm: whole-register operations unsupported: " +
                     operand);
             std::string reg = trim(operand.substr(0, lb));
             if (reg != qregName)
-                throw std::invalid_argument("parseQasm: unknown register " +
-                                            reg);
-            qubits.push_back(
-                std::stoul(operand.substr(lb + 1, rb - lb - 1)));
+                throw QasmParseError("parseQasm: unknown register " + reg);
+            qubits.push_back(parseIndex(
+                trim(operand.substr(lb + 1, rb - lb - 1)), "qubit index"));
         }
 
         static const std::map<std::string, GateKind> kKinds{
@@ -455,12 +546,20 @@ parseQasm(const std::string& text)
         };
         auto it = kKinds.find(name);
         if (it == kKinds.end())
-            throw std::invalid_argument("parseQasm: unsupported gate " + name);
+            throw QasmParseError("parseQasm: unsupported gate " + name);
+        guardOpCount(*circuit);
         circuit->append(Gate(it->second, qubits, theta));
+
+        } catch (const QasmParseError&) {
+            throw;
+        } catch (const std::exception& e) {
+            throw QasmParseError("parseQasm: invalid statement \"" + stmt +
+                                 "\": " + e.what());
+        }
     }
 
     if (!circuit)
-        throw std::invalid_argument("parseQasm: no qreg declaration");
+        throw QasmParseError("parseQasm: no qreg declaration");
     return std::move(*circuit);
 }
 

@@ -1,7 +1,9 @@
 #ifndef QKC_CIRCUIT_QASM_H
 #define QKC_CIRCUIT_QASM_H
 
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "circuit/circuit.h"
@@ -27,16 +29,50 @@ void writeQasm(const Circuit& circuit, std::ostream& os);
 std::string toQasm(const Circuit& circuit);
 
 /**
+ * Every way parseQasm rejects an input: malformed syntax, truncated
+ * statements, out-of-range numbers, non-finite angles, unknown gates, and
+ * programs past the QasmLimits caps. Derives from std::invalid_argument so
+ * pre-hardening callers keep catching what they caught; what() always
+ * carries the offending statement. The parser throws nothing else — the
+ * contract the server relies on when it feeds untrusted request bodies
+ * through here.
+ */
+class QasmParseError : public std::invalid_argument {
+  public:
+    explicit QasmParseError(const std::string& what)
+        : std::invalid_argument(what)
+    {
+    }
+};
+
+/**
+ * Caps enforced while parsing. The defaults are far above any legitimate
+ * program this toolchain can simulate, and low enough that a hostile input
+ * cannot run the parser out of memory or stack (angle expressions recurse
+ * per nesting level).
+ */
+struct QasmLimits {
+    std::size_t maxBytes = 4u << 20;      ///< program size, bytes
+    std::size_t maxOperations = 1u << 20; ///< parsed gates + noise channels
+    std::size_t maxAngleDepth = 64;       ///< angle-expression nesting depth
+};
+
+/**
  * Parses an OpenQASM 2.0 program. Requirements: a single qreg, the
  * `qelib1.inc` vocabulary listed above, numeric angle expressions made of
  * literals, `pi`, unary minus, `*` and `/` (e.g. `-3*pi/4`). `measure`,
  * `barrier`, and creg declarations are accepted and ignored (measurement is
  * implicit at the end of our circuits).
+ *
+ * Any invalid input — malformed, truncated, oversized, numerically
+ * out-of-range — throws QasmParseError; no input crashes the parser or
+ * makes it allocate past the limits. The istream form stops reading at the
+ * byte cap instead of draining an unbounded stream.
  */
-Circuit parseQasm(std::istream& is);
+Circuit parseQasm(std::istream& is, const QasmLimits& limits = {});
 
 /** Convenience wrapper parsing from a string. */
-Circuit parseQasm(const std::string& text);
+Circuit parseQasm(const std::string& text, const QasmLimits& limits = {});
 
 } // namespace qkc
 

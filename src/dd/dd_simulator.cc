@@ -197,6 +197,30 @@ DdSimulator::sampleNoisy(const Circuit& circuit, std::size_t numSamples,
     return samples;
 }
 
+std::vector<std::uint64_t>
+DdSimulator::sampleNoisySeeded(const Circuit& circuit,
+                               const std::vector<std::uint64_t>& seeds)
+{
+    DdPackage& pkg = packageFor(circuit);
+    const auto lowered = lowerOperations(circuit);
+    LoweredRoots roots(pkg, lowered);
+
+    std::vector<std::uint64_t> samples;
+    samples.reserve(seeds.size());
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+        if (pkg.gcEnabled()) {
+            pkg.maybeGarbageCollect();
+        } else if (s > 0 && s % 128 == 0) {
+            pkg.clearComputeTables();
+        }
+
+        Rng trajectoryRng(seeds[s]);
+        VEdge state = runTrajectory(circuit, lowered, trajectoryRng);
+        samples.push_back(pkg.sampleOutcome(state, trajectoryRng));
+    }
+    return samples;
+}
+
 std::vector<double>
 DdSimulator::distribution(const Circuit& circuit)
 {

@@ -56,6 +56,18 @@ class DdSimulator {
     std::vector<std::uint64_t> sampleNoisy(const Circuit& circuit,
                                            std::size_t numSamples, Rng& rng);
 
+    /**
+     * One outcome per trajectory, each trajectory drawing every Kraus
+     * selection and its final measurement from its own generator seeded
+     * with seeds[i]. Because trajectory i's randomness no longer depends on
+     * how many draws trajectories 0..i-1 consumed, a caller can split the
+     * seed list across simulators (one per worker lane) and concatenate
+     * the outcomes — the dd session's trajectory-parallel noisy Sample —
+     * and still read the same payload at every lane count.
+     */
+    std::vector<std::uint64_t> sampleNoisySeeded(
+        const Circuit& circuit, const std::vector<std::uint64_t>& seeds);
+
     /** Exact outcome distribution of the ideal circuit (small n). */
     std::vector<double> distribution(const Circuit& circuit);
 

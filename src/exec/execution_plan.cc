@@ -53,6 +53,39 @@ planCircuit(const Circuit& circuit, const ExecPolicy& policy)
     return plan;
 }
 
+std::uint64_t
+structureHash(const Circuit& circuit)
+{
+    // FNV-1a over the sameStructure fields, in the order that function
+    // visits them; any edit there must be mirrored here (and vice versa) or
+    // the cache-key invariant in the header comment breaks.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(circuit.numQubits());
+    mix(circuit.size());
+    for (const Operation& op : circuit.operations()) {
+        mix(op.index());
+        if (const Gate* g = std::get_if<Gate>(&op)) {
+            mix(static_cast<std::uint64_t>(g->kind()));
+            mix(g->qubits().size());
+            for (std::size_t q : g->qubits())
+                mix(q);
+        } else {
+            const auto& ch = std::get<NoiseChannel>(op);
+            mix(ch.qubits().size());
+            for (std::size_t q : ch.qubits())
+                mix(q);
+            mix(ch.krausOperators().size());
+        }
+    }
+    return h;
+}
+
 bool
 sameStructure(const Circuit& a, const Circuit& b)
 {

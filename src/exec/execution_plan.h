@@ -61,6 +61,16 @@ ExecutionPlan planCircuit(const Circuit& circuit, const ExecPolicy& policy);
 bool sameStructure(const Circuit& a, const Circuit& b);
 
 /**
+ * A 64-bit digest of exactly the fields sameStructure compares: qubit
+ * count, op sequence, gate kinds and wires, channel wires and Kraus
+ * counts. sameStructure(a, b) implies structureHash(a) == structureHash(b),
+ * so the hash can key a session cache (the server's LRU) without consulting
+ * circuit contents; colliding structures are still correct — a bind onto a
+ * cached session transparently re-plans when the structures differ.
+ */
+std::uint64_t structureHash(const Circuit& circuit);
+
+/**
  * Rebinds `plan` to a new circuit with the same structure (the variational
  * fast path): replays the recorded fusion recipe on the new gate values and
  * refreshes every kernel in place — no greedy fusion pass, no kernel

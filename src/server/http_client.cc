@@ -1,0 +1,109 @@
+#include "server/http_client.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace qkc {
+namespace server {
+
+namespace {
+
+int
+connectTo(const std::string& host, std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw std::runtime_error("httpRequest: socket() failed");
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        // Not a dotted quad; resolve it (covers "localhost").
+        hostent* he = ::gethostbyname(host.c_str());
+        if (!he || he->h_addrtype != AF_INET || !he->h_addr_list[0]) {
+            ::close(fd);
+            throw std::runtime_error("httpRequest: cannot resolve " + host);
+        }
+        std::memcpy(&addr.sin_addr, he->h_addr_list[0], sizeof(addr.sin_addr));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw std::runtime_error("httpRequest: cannot connect to " + host +
+                                 ":" + std::to_string(port));
+    }
+    return fd;
+}
+
+void
+sendAll(int fd, const std::string& data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            ::close(fd);
+            throw std::runtime_error("httpRequest: send failed");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+HttpReply
+httpRequest(const std::string& host, std::uint16_t port,
+            const std::string& method, const std::string& path,
+            const std::string& body)
+{
+    const int fd = connectTo(host, port);
+
+    std::string request = method + " " + path + " HTTP/1.1\r\n";
+    request += "Host: " + host + "\r\n";
+    request += "Connection: close\r\n";
+    if (!body.empty())
+        request += "Content-Type: application/json\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+    request += body;
+    sendAll(fd, request);
+
+    std::string response;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            response.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0)
+            break;
+        ::close(fd);
+        throw std::runtime_error("httpRequest: recv failed");
+    }
+    ::close(fd);
+
+    // Parse "HTTP/1.1 <status> ..." and split off the body.
+    const std::size_t sp = response.find(' ');
+    const std::size_t headerEnd = response.find("\r\n\r\n");
+    if (sp == std::string::npos || headerEnd == std::string::npos)
+        throw std::runtime_error("httpRequest: malformed response");
+
+    HttpReply reply;
+    try {
+        reply.status = std::stoi(response.substr(sp + 1, 3));
+    } catch (const std::exception&) {
+        throw std::runtime_error("httpRequest: malformed status line");
+    }
+    reply.body = response.substr(headerEnd + 4);
+    return reply;
+}
+
+} // namespace server
+} // namespace qkc

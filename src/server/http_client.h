@@ -1,0 +1,46 @@
+#ifndef QKC_SERVER_HTTP_CLIENT_H
+#define QKC_SERVER_HTTP_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+namespace qkc {
+namespace server {
+
+/** One HTTP exchange as the client saw it. */
+struct HttpReply {
+    int status = 0;
+    std::string body;
+};
+
+/**
+ * A blocking loopback HTTP/1.1 client — just enough protocol for
+ * qkc_client, the throughput bench and the tests to drive qkc_serverd
+ * without vendoring a real client library. One connection per call
+ * (Connection: close); coalescing tests that need concurrency open many in
+ * parallel from their own threads. Throws std::runtime_error on transport
+ * failure (connect, send, short response).
+ */
+HttpReply httpRequest(const std::string& host, std::uint16_t port,
+                      const std::string& method, const std::string& path,
+                      const std::string& body = {});
+
+/** POST with a JSON body. */
+inline HttpReply
+httpPost(const std::string& host, std::uint16_t port, const std::string& path,
+         const std::string& body)
+{
+    return httpRequest(host, port, "POST", path, body);
+}
+
+/** GET. */
+inline HttpReply
+httpGet(const std::string& host, std::uint16_t port, const std::string& path)
+{
+    return httpRequest(host, port, "GET", path);
+}
+
+} // namespace server
+} // namespace qkc
+
+#endif // QKC_SERVER_HTTP_CLIENT_H

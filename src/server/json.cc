@@ -1,0 +1,472 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qkc {
+namespace server {
+
+// ---------------------------------------------------------------------------
+// Value accessors
+// ---------------------------------------------------------------------------
+
+void
+Json::expect(Type t, const char* what) const
+{
+    if (type_ != t)
+        throw JsonError(std::string("json: value is not ") + what);
+}
+
+bool
+Json::asBool() const
+{
+    expect(Type::Bool, "a boolean");
+    return bool_;
+}
+
+double
+Json::asDouble() const
+{
+    expect(Type::Number, "a number");
+    return num_;
+}
+
+std::uint64_t
+Json::asUInt64() const
+{
+    expect(Type::Number, "a number");
+    if (isInt_)
+        return int_;
+    // A double-typed number is accepted only when it is an exact
+    // non-negative integer the mantissa actually represents.
+    if (!(num_ >= 0.0) || num_ >= 18446744073709551616.0 ||
+        std::floor(num_) != num_)
+        throw JsonError("json: value is not a non-negative integer");
+    return static_cast<std::uint64_t>(num_);
+}
+
+const std::string&
+Json::asString() const
+{
+    expect(Type::String, "a string");
+    return str_;
+}
+
+Json&
+Json::push(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    expect(Type::Array, "an array");
+    arr_.push_back(std::move(v));
+    return *this;
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return arr_.size();
+    if (type_ == Type::Object)
+        return obj_.size();
+    throw JsonError("json: value has no size");
+}
+
+const Json&
+Json::at(std::size_t i) const
+{
+    expect(Type::Array, "an array");
+    if (i >= arr_.size())
+        throw JsonError("json: array index out of range");
+    return arr_[i];
+}
+
+const std::vector<Json>&
+Json::items() const
+{
+    expect(Type::Array, "an array");
+    return arr_;
+}
+
+Json&
+Json::set(const std::string& key, Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    expect(Type::Object, "an object");
+    for (auto& [k, existing] : obj_) {
+        if (k == key) {
+            existing = std::move(v);
+            return *this;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+const Json*
+Json::find(const std::string& key) const
+{
+    expect(Type::Object, "an object");
+    for (const auto& [k, v] : obj_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>>&
+Json::members() const
+{
+    expect(Type::Object, "an object");
+    return obj_;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+writeEscaped(const std::string& s, std::string& out)
+{
+    out.push_back('"');
+    for (char c : s) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (u < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+} // namespace
+
+void
+Json::writeTo(std::string& out) const
+{
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number: {
+        char buf[32];
+        if (isInt_) {
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(int_));
+        } else if (!std::isfinite(num_)) {
+            // JSON has no inf/nan spelling; null is the least-surprising
+            // stand-in for a non-finite metric value.
+            std::snprintf(buf, sizeof(buf), "null");
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", num_);
+        }
+        out += buf;
+        break;
+      }
+      case Type::String:
+        writeEscaped(str_, out);
+        break;
+      case Type::Array: {
+        out.push_back('[');
+        bool first = true;
+        for (const Json& v : arr_) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            v.writeTo(out);
+        }
+        out.push_back(']');
+        break;
+      }
+      case Type::Object: {
+        out.push_back('{');
+        bool first = true;
+        for (const auto& [k, v] : obj_) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            writeEscaped(k, out);
+            out.push_back(':');
+            v.writeTo(out);
+        }
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    writeTo(out);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+  public:
+    Parser(const std::string& text, const JsonLimits& limits)
+        : text_(text), limits_(limits)
+    {
+    }
+
+    Json parse()
+    {
+        Json v = value(0);
+        skipWs();
+        if (pos_ != text_.size())
+            throw JsonError("json: trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& what) const
+    {
+        throw JsonError("json: " + what + " at byte " +
+                        std::to_string(pos_));
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of document");
+        return text_[pos_];
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expectLiteral(const char* lit)
+    {
+        for (const char* p = lit; *p; ++p)
+            if (pos_ >= text_.size() || text_[pos_++] != *p)
+                fail(std::string("bad literal (expected ") + lit + ")");
+    }
+
+    void countNode()
+    {
+        if (++nodes_ > limits_.maxNodes)
+            throw JsonError("json: document exceeds the node limit");
+    }
+
+    Json value(std::size_t depth)
+    {
+        if (depth > limits_.maxDepth)
+            throw JsonError("json: document nested too deeply");
+        countNode();
+        skipWs();
+        const char c = peek();
+        switch (c) {
+          case '{': return object(depth);
+          case '[': return array(depth);
+          case '"': return Json(string());
+          case 't': expectLiteral("true"); return Json(true);
+          case 'f': expectLiteral("false"); return Json(false);
+          case 'n': expectLiteral("null"); return Json();
+          default: return number();
+        }
+    }
+
+    Json object(std::size_t depth)
+    {
+        consume('{');
+        Json obj = Json::object();
+        skipWs();
+        if (consume('}'))
+            return obj;
+        for (;;) {
+            skipWs();
+            if (peek() != '"')
+                fail("expected a string key");
+            std::string key = string();
+            skipWs();
+            if (!consume(':'))
+                fail("expected ':'");
+            obj.set(key, value(depth + 1));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return obj;
+            fail("expected ',' or '}'");
+        }
+    }
+
+    Json array(std::size_t depth)
+    {
+        consume('[');
+        Json arr = Json::array();
+        skipWs();
+        if (consume(']'))
+            return arr;
+        for (;;) {
+            arr.push(value(depth + 1));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return arr;
+            fail("expected ',' or ']'");
+        }
+    }
+
+    std::string string()
+    {
+        consume('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (pos_ >= text_.size())
+                        fail("truncated \\u escape");
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are
+                // passed through as two 3-byte sequences — lossy for
+                // astral-plane text, lossless for everything the server's
+                // ASCII protocol fields actually carry).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                } else {
+                    out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    Json number()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string tok = text_.substr(start, pos_ - start);
+
+        // Exact unsigned integers keep their 64-bit identity (seeds);
+        // everything else becomes a double.
+        if (tok.find_first_not_of("0123456789") == std::string::npos &&
+            tok.size() <= 20) {
+            errno = 0;
+            char* end = nullptr;
+            const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+            if (errno == 0 && end && *end == '\0')
+                return Json(static_cast<std::uint64_t>(v));
+        }
+        errno = 0;
+        char* end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0')
+            fail("bad number \"" + tok + "\"");
+        if (!std::isfinite(d))
+            fail("number out of range \"" + tok + "\"");
+        return Json(d);
+    }
+
+    const std::string& text_;
+    const JsonLimits& limits_;
+    std::size_t pos_ = 0;
+    std::size_t nodes_ = 0;
+};
+
+} // namespace
+
+Json
+parseJson(const std::string& text, const JsonLimits& limits)
+{
+    if (text.size() > limits.maxBytes)
+        throw JsonError("json: document exceeds the " +
+                        std::to_string(limits.maxBytes) + "-byte limit");
+    return Parser(text, limits).parse();
+}
+
+} // namespace server
+} // namespace qkc

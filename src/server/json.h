@@ -1,0 +1,120 @@
+#ifndef QKC_SERVER_JSON_H
+#define QKC_SERVER_JSON_H
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qkc {
+namespace server {
+
+/**
+ * Every way the JSON layer rejects a document or an access: syntax errors,
+ * inputs past the JsonLimits caps, and type/range mismatches on read.
+ * Derives from std::invalid_argument so the server's bad-request mapping
+ * catches parser and accessor failures in one place.
+ */
+class JsonError : public std::invalid_argument {
+  public:
+    explicit JsonError(const std::string& what) : std::invalid_argument(what)
+    {
+    }
+};
+
+/** Caps enforced while parsing untrusted documents. */
+struct JsonLimits {
+    std::size_t maxBytes = 8u << 20; ///< document size, bytes
+    std::size_t maxDepth = 64;       ///< array/object nesting depth
+    std::size_t maxNodes = 1u << 20; ///< total values in the document
+};
+
+/**
+ * A minimal JSON document value — all the server's request/response bodies
+ * need, with nothing the repo would have to vendor. Objects keep insertion
+ * order so serialized responses are deterministic; numbers remember whether
+ * they were written as integers, so 64-bit seeds round-trip exactly
+ * (doubles alone lose precision past 2^53).
+ */
+class Json {
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Json() = default;
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double n) : type_(Type::Number), num_(n) {}
+    Json(int n) : Json(static_cast<std::int64_t>(n)) {}
+    Json(std::int64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n)),
+          int_(n < 0 ? 0 : static_cast<std::uint64_t>(n)), isInt_(n >= 0)
+    {
+    }
+    Json(std::uint64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n)), int_(n),
+          isInt_(true)
+    {
+    }
+    Json(const char* s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    static Json array() { return Json(Type::Array); }
+    static Json object() { return Json(Type::Object); }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed reads; a mismatch throws JsonError naming the expected type. */
+    bool asBool() const;
+    double asDouble() const;
+    /** Requires an exact non-negative integer within uint64 range. */
+    std::uint64_t asUInt64() const;
+    const std::string& asString() const;
+
+    // -- Arrays --------------------------------------------------------------
+    Json& push(Json v);
+    std::size_t size() const;
+    const Json& at(std::size_t i) const;
+    const std::vector<Json>& items() const;
+
+    // -- Objects (insertion-ordered; set on an existing key overwrites) ------
+    Json& set(const std::string& key, Json v);
+    /** nullptr when the key is absent. */
+    const Json* find(const std::string& key) const;
+    const std::vector<std::pair<std::string, Json>>& members() const;
+
+    /** Compact single-line serialization (the response-body format). */
+    std::string dump() const;
+
+  private:
+    explicit Json(Type t) : type_(t) {}
+    void expect(Type t, const char* what) const;
+    void writeTo(std::string& out) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::uint64_t int_ = 0;
+    bool isInt_ = false;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/**
+ * Strict JSON parse of a complete document. Any syntax error, trailing
+ * garbage, or input past the limits throws JsonError; no input crashes the
+ * parser or recurses past the depth cap.
+ */
+Json parseJson(const std::string& text, const JsonLimits& limits = {});
+
+} // namespace server
+} // namespace qkc
+
+#endif // QKC_SERVER_JSON_H

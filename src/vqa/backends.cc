@@ -1,6 +1,8 @@
 #include "vqa/backends.h"
 
+#include <algorithm>
 #include <cmath>
+#include <exception>
 #include <map>
 #include <optional>
 #include <stdexcept>
@@ -539,6 +541,8 @@ class DdSession final : public Session {
             sim_.package().garbageCollect();
     }
 
+    std::size_t batchThreads() const override { return trajectoryLanes(); }
+
     bool doBind(const Circuit& circuit, bool sameStructure) override
     {
         (void)circuit;
@@ -571,9 +575,22 @@ class DdSession final : public Session {
         if (circuit_.noiseCount() > 0) {
             QKC_SPAN("dd.trajectories");
             meta.trajectories += shots;
-            auto samples = sim_.sampleNoisy(circuit_, shots, rng);
-            stampDdMemory(meta);
-            return samples;
+            // Per-trajectory seed schedule, drawn in shot order before any
+            // parallel work — the runBatch discipline applied one level
+            // down. The payload is a pure function of (circuit, seeds), so
+            // it is identical at every lane count and matches the serial
+            // path bit for bit.
+            std::vector<std::uint64_t> seeds(shots);
+            for (auto& s : seeds)
+                s = rng.next();
+            const std::size_t lanes =
+                std::min<std::size_t>(trajectoryLanes(), shots);
+            if (lanes <= 1) {
+                auto samples = sim_.sampleNoisySeeded(circuit_, seeds);
+                stampDdMemory(meta);
+                return samples;
+            }
+            return sampleNoisyParallel(seeds, lanes, meta);
         }
         ensureState();
         meta.exact = true;
@@ -667,6 +684,91 @@ class DdSession final : public Session {
     }
 
   private:
+    /** Worker lanes for runBatch and trajectory fan-out (threads option). */
+    std::size_t trajectoryLanes() const
+    {
+        ExecPolicy p;
+        p.threads = options_.threads;
+        return p.resolvedThreads();
+    }
+
+    /**
+     * Fans the seeded trajectories over per-lane simulators, each with a
+     * private DdPackage (arena, unique and compute tables) — the runBatch
+     * lane strategy applied inside one noisy Sample. Lanes claim contiguous
+     * seed blocks as pool chunks (chunk index == lane index) and outcomes
+     * land at their shot index, so the payload is independent of which
+     * thread ran which block; the serial fallback inside parallelForChunks
+     * replays the same chunk boundaries, so a task issued from within a
+     * batch lane (nested region) reads the same bits. Lane simulators are
+     * per-call: a trajectory's state is worthless between tasks — unlike a
+     * batch lane's plan — so nothing is worth pinning per thread.
+     */
+    std::vector<std::uint64_t> sampleNoisyParallel(
+        const std::vector<std::uint64_t>& seeds, std::size_t lanes,
+        ResultMeta& meta)
+    {
+        const std::size_t shots = seeds.size();
+        std::vector<std::uint64_t> samples(shots);
+        std::vector<DdSimulator> laneSims;
+        laneSims.reserve(lanes);
+        for (std::size_t l = 0; l < lanes; ++l)
+            laneSims.emplace_back(ddGcOptions(options_));
+
+        // Same exception containment as runBatch: nothing may unwind
+        // through the pool; the lowest chunk's error is rethrown.
+        std::vector<std::exception_ptr> chunkErrors(lanes);
+        ExecPolicy fanout;
+        fanout.threads = lanes;
+        fanout.serialThreshold = 1;
+        fanout.grain = (shots + lanes - 1) / lanes;
+        parallelForChunks(
+            fanout, shots,
+            [&](std::size_t chunk, std::uint64_t b, std::uint64_t e) {
+                try {
+                    const std::vector<std::uint64_t> laneSeeds(
+                        seeds.begin() + static_cast<std::ptrdiff_t>(b),
+                        seeds.begin() + static_cast<std::ptrdiff_t>(e));
+                    const auto out =
+                        laneSims[chunk].sampleNoisySeeded(circuit_,
+                                                          laneSeeds);
+                    std::copy(out.begin(), out.end(),
+                              samples.begin() +
+                                  static_cast<std::ptrdiff_t>(b));
+                } catch (...) {
+                    chunkErrors[chunk] = std::current_exception();
+                }
+            });
+        for (const std::exception_ptr& err : chunkErrors)
+            if (err)
+                std::rethrow_exception(err);
+
+        // The memory stats readers assert on (gc ran, live nodes bounded)
+        // happened in the lane packages: sum the counters, take the peak
+        // across arenas. Lane packages are fresh, so lifetime and per-task
+        // tallies coincide.
+        DdMemoryStats m;
+        for (DdSimulator& laneSim : laneSims) {
+            if (!laneSim.hasPackage())
+                continue;
+            const DdStats& s = laneSim.package().stats();
+            m.liveVNodes += s.liveVNodes;
+            m.liveMNodes += s.liveMNodes;
+            m.gcRuns += s.gcRuns;
+            m.nodesCollected += s.nodesCollected;
+            m.peakLiveNodes = std::max(m.peakLiveNodes, s.peakLiveNodes);
+            m.gcNanos += s.gcNanos;
+            m.apply.hits += s.applyHits;
+            m.apply.misses += s.applyMisses;
+            m.add.hits += s.addHits;
+            m.add.misses += s.addMisses;
+        }
+        m.taskApply = m.apply;
+        m.taskAdd = m.add;
+        meta.ddMemory = m;
+        return samples;
+    }
+
     void ensureState()
     {
         if (built_)

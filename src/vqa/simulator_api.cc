@@ -88,17 +88,6 @@ std::vector<Result>
 Session::runBatch(const std::vector<ParamBinding>& bindings, const Task& task,
                   Rng& rng)
 {
-    std::vector<Result> results(bindings.size());
-    if (bindings.empty())
-        return results;
-    obs::TimedSpan batchSpan("session.runBatch");
-    for (const Circuit& b : bindings) {
-        if (b.numQubits() != circuit_.numQubits())
-            throw std::invalid_argument(
-                "Session::runBatch: binding qubit count differs from the "
-                "opened circuit; open a new session instead");
-    }
-
     // Per-binding RNG streams, seeded from the caller's generator in batch
     // order *before* any parallel work: the seed sequence — and with it
     // every payload — is identical for every thread count, and matches a
@@ -106,6 +95,26 @@ Session::runBatch(const std::vector<ParamBinding>& bindings, const Task& task,
     std::vector<std::uint64_t> seeds(bindings.size());
     for (auto& s : seeds)
         s = rng.next();
+    return runBatch(bindings, task, seeds);
+}
+
+std::vector<Result>
+Session::runBatch(const std::vector<ParamBinding>& bindings, const Task& task,
+                  const std::vector<std::uint64_t>& seeds)
+{
+    std::vector<Result> results(bindings.size());
+    if (bindings.empty())
+        return results;
+    if (seeds.size() != bindings.size())
+        throw std::invalid_argument(
+            "Session::runBatch: need exactly one seed per binding");
+    obs::TimedSpan batchSpan("session.runBatch");
+    for (const Circuit& b : bindings) {
+        if (b.numQubits() != circuit_.numQubits())
+            throw std::invalid_argument(
+                "Session::runBatch: binding qubit count differs from the "
+                "opened circuit; open a new session instead");
+    }
 
     // A batch issued from inside pool work would only run inline anyway
     // (the pool's nested-submission guard), so skip the lane setup and
@@ -408,13 +417,15 @@ backendRegistry()
          "during sampling and do not clone cheaply"},
         {"decisiondiagram",
          {"dd"},
-         {"gc", "gcthreshold", "obs"},
+         {"threads", "gc", "gcthreshold", "obs"},
          "QMDD decision diagram (DDSIM-style); Kraus trajectories when "
          "noise is present; ref-counted mark-and-sweep node GC",
          "sample; expectation (exact when ideal, via diagram walk); "
          "amplitudes (ideal); probabilities (ideal)",
-         "parallel lanes (QKC_THREADS): a private DdPackage (arena, unique "
-         "and compute tables) per lane, garbage-collected between batches"},
+         "parallel lanes (threads option): a private DdPackage (arena, "
+         "unique and compute tables) per lane, garbage-collected between "
+         "batches; a noisy Sample fans its trajectories over per-lane "
+         "packages the same way"},
         {"knowledgecompilation",
          {"kc"},
          {"burnin", "thin", "obs"},

@@ -32,10 +32,12 @@ namespace qkc {
  */
 struct BackendOptions {
     /**
-     * Dense-sweep threads for sv/dm (total, including the caller).
-     * 0 = machine default: the QKC_THREADS environment variable when set
-     * (clamped to >= 1), otherwise std::thread::hardware_concurrency().
-     * An explicit value here always wins over both.
+     * Dense-sweep threads for sv/dm, and worker lanes for dd (runBatch
+     * fan-out and the trajectory-parallel noisy Sample); total, including
+     * the caller. 0 = machine default: the QKC_THREADS environment
+     * variable when set (clamped to >= 1), otherwise
+     * std::thread::hardware_concurrency(). An explicit value here always
+     * wins over both.
      */
     std::size_t threads = 0;
 
@@ -344,6 +346,20 @@ class Session {
      */
     std::vector<Result> runBatch(const std::vector<ParamBinding>& bindings,
                                  const Task& task, Rng& rng);
+
+    /**
+     * The same batched run with the per-binding seeds supplied explicitly
+     * (one per binding) instead of drawn from a shared generator. This is
+     * the form callers with *independent* randomness contracts need — the
+     * server seeds every client's binding from that client's own seed, so a
+     * request's payload is bit-identical whether it ran solo, coalesced
+     * into a larger batch, or was replayed after a cache eviction; the
+     * Rng overload above is equivalent to drawing seeds[i] = rng.next() in
+     * batch order and calling this.
+     */
+    std::vector<Result> runBatch(const std::vector<ParamBinding>& bindings,
+                                 const Task& task,
+                                 const std::vector<std::uint64_t>& seeds);
 
     std::size_t planBuilds() const { return planBuilds_; }
     std::size_t planReuses() const { return planReuses_; }

@@ -1,0 +1,131 @@
+#include "server/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace qkc {
+namespace server {
+namespace {
+
+TEST(JsonTest, ScalarRoundTrip)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(std::uint64_t{18446744073709551615ull}).dump(),
+              "18446744073709551615");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+    EXPECT_EQ(Json(1.5).dump(), "1.5");
+}
+
+TEST(JsonTest, SeedsSurviveTheRoundTrip)
+{
+    // 64-bit seeds past 2^53 are exactly why numbers remember integer-ness.
+    const std::uint64_t seed = (1ull << 63) + 12345;
+    Json doc = Json::object();
+    doc.set("seed", Json(seed));
+    const Json back = parseJson(doc.dump());
+    EXPECT_EQ(back.find("seed")->asUInt64(), seed);
+}
+
+TEST(JsonTest, ObjectsKeepInsertionOrder)
+{
+    Json doc = Json::object();
+    doc.set("z", Json(1));
+    doc.set("a", Json(2));
+    doc.set("m", Json(3));
+    EXPECT_EQ(doc.dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+    doc.set("a", Json(9)); // overwrite keeps the slot
+    EXPECT_EQ(doc.dump(), "{\"z\":1,\"a\":9,\"m\":3}");
+}
+
+TEST(JsonTest, ParseNested)
+{
+    const Json doc = parseJson(
+        R"({"backend":"sv","shots":1024,"params":[[0.5,-1.5],[2.0,3.0]],"ok":true,"none":null})");
+    EXPECT_EQ(doc.find("backend")->asString(), "sv");
+    EXPECT_EQ(doc.find("shots")->asUInt64(), 1024u);
+    EXPECT_TRUE(doc.find("ok")->asBool());
+    EXPECT_TRUE(doc.find("none")->isNull());
+    const Json& params = *doc.find("params");
+    ASSERT_EQ(params.size(), 2u);
+    EXPECT_DOUBLE_EQ(params.at(0).at(1).asDouble(), -1.5);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonTest, StringEscapes)
+{
+    const Json doc = parseJson(R"({"s":"a\"b\\c\ndé"})");
+    EXPECT_EQ(doc.find("s")->asString(), "a\"b\\c\nd\xc3\xa9");
+
+    Json out = Json::object();
+    out.set("s", Json(std::string("tab\there\x01")));
+    EXPECT_EQ(out.dump(), "{\"s\":\"tab\\there\\u0001\"}");
+    // Whatever we emit must parse back to the same value.
+    EXPECT_EQ(parseJson(out.dump()).find("s")->asString(), "tab\there\x01");
+}
+
+TEST(JsonTest, MalformedDocumentsThrow)
+{
+    EXPECT_THROW(parseJson(""), JsonError);
+    EXPECT_THROW(parseJson("{"), JsonError);
+    EXPECT_THROW(parseJson("{}extra"), JsonError);
+    EXPECT_THROW(parseJson("{\"a\":}"), JsonError);
+    EXPECT_THROW(parseJson("[1,]"), JsonError);
+    EXPECT_THROW(parseJson("tru"), JsonError);
+    EXPECT_THROW(parseJson("\"unterminated"), JsonError);
+    EXPECT_THROW(parseJson("{\"a\" 1}"), JsonError);
+    EXPECT_THROW(parseJson("1e999999"), JsonError);
+    EXPECT_THROW(parseJson("\"bad\\escape\""), JsonError);
+    EXPECT_THROW(parseJson("\"raw\x01control\""), JsonError);
+}
+
+TEST(JsonTest, LimitsAreEnforced)
+{
+    JsonLimits tight;
+    tight.maxBytes = 16;
+    EXPECT_THROW(parseJson(std::string(17, ' ') + "1", tight), JsonError);
+
+    tight = JsonLimits{};
+    tight.maxDepth = 4;
+    EXPECT_THROW(parseJson("[[[[[1]]]]]", tight), JsonError);
+    EXPECT_NO_THROW(parseJson("[[[1]]]", tight));
+
+    tight = JsonLimits{};
+    tight.maxNodes = 4;
+    EXPECT_THROW(parseJson("[1,2,3,4]", tight), JsonError);
+
+    // The default depth cap protects the stack from hostile nesting.
+    EXPECT_THROW(parseJson(std::string(100000, '[')), JsonError);
+}
+
+TEST(JsonTest, AccessorTypeMismatchesThrow)
+{
+    const Json doc = parseJson(R"({"n":1.5,"s":"x"})");
+    EXPECT_THROW(doc.find("n")->asString(), JsonError);
+    EXPECT_THROW(doc.find("s")->asDouble(), JsonError);
+    EXPECT_THROW(doc.find("n")->asUInt64(), JsonError); // 1.5 not integral
+    EXPECT_THROW(parseJson("-3").asUInt64(), JsonError);
+    EXPECT_THROW(doc.at(0), JsonError); // object, not array
+}
+
+TEST(JsonTest, IntegralDoublesReadAsUInt64)
+{
+    // "1e3" arrives as a double but is an exact integer.
+    EXPECT_EQ(parseJson("1e3").asUInt64(), 1000u);
+    EXPECT_EQ(parseJson("0").asUInt64(), 0u);
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull)
+{
+    Json doc = Json::object();
+    doc.set("bad", Json(std::numeric_limits<double>::infinity()));
+    EXPECT_EQ(doc.dump(), "{\"bad\":null}");
+}
+
+} // namespace
+} // namespace server
+} // namespace qkc

@@ -56,7 +56,9 @@ TEST(BackendOptionsTest, UnknownOptionsThrow)
     EXPECT_THROW(makeBackend("dm:burnin=8"), std::invalid_argument);
     EXPECT_THROW(makeBackend("kc:threads=2"), std::invalid_argument);
     EXPECT_THROW(makeBackend("tn:threads=2"), std::invalid_argument);
-    EXPECT_THROW(makeBackend("dd:threads=2"), std::invalid_argument);
+    EXPECT_THROW(makeBackend("dd:bogus=2"), std::invalid_argument);
+    // threads became a dd knob when trajectory lanes landed.
+    EXPECT_EQ(makeBackend("dd:threads=2")->name(), "decisiondiagram");
 }
 
 TEST(BackendOptionsTest, MalformedOptionsThrow)
