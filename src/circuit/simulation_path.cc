@@ -1,0 +1,178 @@
+#include "circuit/simulation_path.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <variant>
+
+namespace qkc {
+
+namespace {
+
+using Node = SimulationPath::Node;
+using Kind = SimulationPath::Node::Kind;
+
+std::ptrdiff_t
+pushNode(SimulationPath& path, Node node)
+{
+    path.nodes.push_back(node);
+    return static_cast<std::ptrdiff_t>(path.nodes.size()) - 1;
+}
+
+std::ptrdiff_t
+opLeaf(SimulationPath& path, std::size_t opIndex)
+{
+    Node n;
+    n.kind = Kind::Op;
+    n.opIndex = opIndex;
+    return pushNode(path, n);
+}
+
+std::ptrdiff_t
+mmNode(SimulationPath& path, std::ptrdiff_t earlier, std::ptrdiff_t later)
+{
+    Node n;
+    n.kind = Kind::MM;
+    n.left = earlier;
+    n.right = later;
+    ++path.mmNodes;
+    return pushNode(path, n);
+}
+
+/** Balanced recursive pairing over segment[lo, hi): earlier half on the
+ *  left, later half on the right, so the product order is preserved. */
+std::ptrdiff_t
+buildPairwise(SimulationPath& path, const std::vector<std::size_t>& segment,
+              std::size_t lo, std::size_t hi)
+{
+    if (hi - lo == 1)
+        return opLeaf(path, segment[lo]);
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const std::ptrdiff_t earlier = buildPairwise(path, segment, lo, mid);
+    const std::ptrdiff_t later = buildPairwise(path, segment, mid, hi);
+    return mmNode(path, earlier, later);
+}
+
+} // namespace
+
+const char*
+pathPlannerName(PathPlanner planner)
+{
+    switch (planner) {
+    case PathPlanner::Auto:
+        return "auto";
+    case PathPlanner::Linear:
+        return "linear";
+    case PathPlanner::Pairwise:
+        return "pairwise";
+    case PathPlanner::Bracket:
+        return "bracket";
+    }
+    return "linear";
+}
+
+std::string
+pathOptionLabel(const PathOptions& options)
+{
+    if (options.planner == PathPlanner::Bracket)
+        return "bracket" + std::to_string(options.bracket);
+    return pathPlannerName(options.planner);
+}
+
+bool
+parsePathPlanner(const std::string& value, PathOptions* out)
+{
+    PathOptions parsed;
+    if (value == "auto") {
+        parsed.planner = PathPlanner::Auto;
+    } else if (value == "linear") {
+        parsed.planner = PathPlanner::Linear;
+    } else if (value == "pairwise") {
+        parsed.planner = PathPlanner::Pairwise;
+    } else if (value.rfind("bracket", 0) == 0) {
+        parsed.planner = PathPlanner::Bracket;
+        const std::string digits = value.substr(7);
+        if (!digits.empty()) {
+            for (char c : digits)
+                if (c < '0' || c > '9')
+                    return false;
+            if (digits.size() > 6)
+                return false;
+            const long k = std::strtol(digits.c_str(), nullptr, 10);
+            if (k < 2)
+                return false;
+            parsed.bracket = static_cast<std::size_t>(k);
+        }
+    } else {
+        return false;
+    }
+    if (out)
+        *out = parsed;
+    return true;
+}
+
+SimulationPath
+planSimulationPath(const Circuit& circuit, const PathOptions& options)
+{
+    SimulationPath path;
+    path.planner = options.planner == PathPlanner::Auto ? PathPlanner::Linear
+                                                        : options.planner;
+    const std::size_t bracket = options.bracket < 2 ? 2 : options.bracket;
+    path.nodes.reserve(2 * circuit.size() + 1);
+
+    Node state;
+    state.kind = Kind::State;
+    std::ptrdiff_t spine = pushNode(path, state);
+
+    const auto applyOnSpine = [&](std::ptrdiff_t opTree) {
+        Node mv;
+        mv.kind = Kind::MV;
+        mv.left = spine;
+        mv.right = opTree;
+        spine = pushNode(path, mv);
+    };
+
+    // Gate indices of the current channel-free segment.
+    std::vector<std::size_t> segment;
+    const auto flushSegment = [&]() {
+        if (segment.empty())
+            return;
+        switch (path.planner) {
+        case PathPlanner::Auto: // resolved above; unreachable
+        case PathPlanner::Linear:
+            for (std::size_t i : segment)
+                applyOnSpine(opLeaf(path, i));
+            break;
+        case PathPlanner::Pairwise:
+            applyOnSpine(buildPairwise(path, segment, 0, segment.size()));
+            break;
+        case PathPlanner::Bracket:
+            for (std::size_t w = 0; w < segment.size(); w += bracket) {
+                const std::size_t end =
+                    std::min(segment.size(), w + bracket);
+                std::ptrdiff_t acc = opLeaf(path, segment[w]);
+                for (std::size_t j = w + 1; j < end; ++j)
+                    acc = mmNode(path, acc, opLeaf(path, segment[j]));
+                applyOnSpine(acc);
+            }
+            break;
+        }
+        segment.clear();
+    };
+
+    const auto& ops = circuit.operations();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (std::holds_alternative<NoiseChannel>(ops[i])) {
+            // Channels are spine barriers: never under an MM node.
+            flushSegment();
+            applyOnSpine(opLeaf(path, i));
+        } else {
+            segment.push_back(i);
+        }
+    }
+    flushSegment();
+
+    path.root = spine;
+    return path;
+}
+
+} // namespace qkc

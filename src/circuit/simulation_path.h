@@ -1,0 +1,106 @@
+#ifndef QKC_CIRCUIT_SIMULATION_PATH_H
+#define QKC_CIRCUIT_SIMULATION_PATH_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qkc {
+
+/**
+ * How a circuit is lowered to a simulation path (a binary contraction tree
+ * over {initial state, gate_1..gate_m}):
+ *
+ *   - Linear: today's behavior — every operation is a matrix-vector node on
+ *     the spine, applied left to right. The tree degenerates to a chain.
+ *   - Pairwise: recursive gate-gate grouping — each channel-free run of
+ *     gates is halved recursively into matrix-matrix nodes, and only the
+ *     run's root operator touches the state.
+ *   - Bracket: consecutive k-gate windows are folded (left-deep) into one
+ *     operator each; window roots are applied to the state in order.
+ *   - Auto: resolves to Linear on every backend (the planner that is never
+ *     worse; structured circuits opt into Pairwise/Bracket explicitly).
+ *
+ * Noise channels are spine barriers on every planner: a channel is not a
+ * matrix, so it can never sit under a matrix-matrix node — it splits the
+ * gate list into independent channel-free segments.
+ */
+enum class PathPlanner { Auto, Linear, Pairwise, Bracket };
+
+/** Planner choice plus its parameters (the `path=` backend-spec option). */
+struct PathOptions {
+    PathPlanner planner = PathPlanner::Auto;
+    std::size_t bracket = 4; ///< window size for PathPlanner::Bracket (>= 2)
+
+    /** True when the planner actually groups gates (not Auto/Linear). */
+    bool active() const
+    {
+        return planner == PathPlanner::Pairwise ||
+               planner == PathPlanner::Bracket;
+    }
+};
+
+/** Canonical planner name: "auto", "linear", "pairwise", "bracket". */
+const char* pathPlannerName(PathPlanner planner);
+
+/** Spec-style label for the options, e.g. "pairwise" or "bracket4". */
+std::string pathOptionLabel(const PathOptions& options);
+
+/**
+ * Parses a `path=` option value: auto | linear | pairwise | bracketN with
+ * N >= 2 (bare "bracket" means bracket4). Returns false on anything else;
+ * `out` is only written on success.
+ */
+bool parsePathPlanner(const std::string& value, PathOptions* out);
+
+/**
+ * A simulation path: the contraction tree itself. Nodes reference circuit
+ * operations by index; interior nodes reference earlier entries of `nodes`
+ * (children always precede their parent, so a forward walk is a valid
+ * evaluation order and deterministic task order).
+ *
+ * Conventions:
+ *   - An MM node is the operator product later * earlier: `left` is the
+ *     subtree applied first in circuit order, `right` the one applied after.
+ *   - An MV node applies an operator to the evolving state: `left` is the
+ *     state subtree (the spine), `right` the operator subtree — or a
+ *     channel Op leaf, which only ever appears directly under an MV node.
+ */
+struct SimulationPath {
+    struct Node {
+        enum class Kind {
+            State, ///< the initial |0...0> state (exactly one, index 0)
+            Op,    ///< leaf: circuit operation `opIndex`
+            MM,    ///< matrix-matrix product: value(right) * value(left)
+            MV     ///< matrix-vector apply: value(right) applied to left
+        };
+
+        Kind kind = Kind::Op;
+        std::size_t opIndex = 0;   ///< valid for Op leaves only
+        std::ptrdiff_t left = -1;  ///< child node index (MM/MV)
+        std::ptrdiff_t right = -1; ///< child node index (MM/MV)
+    };
+
+    std::vector<Node> nodes;
+    std::ptrdiff_t root = -1;     ///< final state node (last spine MV/State)
+    PathPlanner planner = PathPlanner::Linear; ///< resolved (never Auto)
+    std::size_t mmNodes = 0;      ///< number of MM nodes in the tree
+
+    bool empty() const { return nodes.empty(); }
+};
+
+/**
+ * Lowers `circuit` to a simulation path under `options`. Auto resolves to
+ * Linear. The tree never reorders operations: every planner preserves the
+ * circuit's left-to-right gate order inside and across segments, so an
+ * executor that evaluates nodes in index order reproduces the linear
+ * semantics exactly (up to floating-point association inside MM nodes).
+ */
+SimulationPath planSimulationPath(const Circuit& circuit,
+                                  const PathOptions& options);
+
+} // namespace qkc
+
+#endif // QKC_CIRCUIT_SIMULATION_PATH_H

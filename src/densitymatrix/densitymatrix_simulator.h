@@ -6,6 +6,7 @@
 
 #include "circuit/circuit.h"
 #include "circuit/fusion.h"
+#include "circuit/simulation_path.h"
 #include "densitymatrix/density_matrix.h"
 #include "exec/thread_pool.h"
 #include "util/rng.h"
@@ -39,10 +40,34 @@ struct DmExecutionPlan {
     FusionStats fusion;       ///< zeros when fusion was disabled
     bool fusionEnabled = false;
     FusionRecipe recipe;      ///< valid when fusionEnabled
+
+    // Simulation-path scheduling (the dm mirror of ExecutionPlan's fields).
+    PathOptions pathOptions;
+    SimulationPath path;
+    std::vector<bool> frozenGroup; ///< per recipe group; path-scheduled only
+    std::vector<bool> frozenOp;    ///< per planned op; path-scheduled only
+    std::uint64_t sourceHash = 0;  ///< structureHash of the source circuit
+    std::size_t mmProducts = 0;    ///< MxM tree products from the last plan/rebind
+    std::size_t cachedSubtrees = 0; ///< frozen subtrees reused by the last rebind
+
+    bool pathScheduled() const { return pathOptions.active(); }
 };
 
 /** Builds the superoperator plan for `circuit` under `policy`. */
 DmExecutionPlan planCircuitDm(const Circuit& circuit, const ExecPolicy& policy);
+
+/**
+ * Path-scheduling overload, the dm counterpart of exec's three-argument
+ * planCircuit: an inactive planner (Auto/Linear) produces the two-argument
+ * plan bit-for-bit, annotated with its linear chain; an active planner runs
+ * fusion with channel barriers (superoperator products never cross a path
+ * node boundary) and evaluates each group's MxM products as independent
+ * tree tasks on the pool, in per-group slots read back in group order — the
+ * plan is identical at every thread count. Frozen groups are skipped on
+ * rebind and reported through `cachedSubtrees`.
+ */
+DmExecutionPlan planCircuitDm(const Circuit& circuit, const ExecPolicy& policy,
+                              const PathOptions& pathOptions);
 
 /**
  * Rebinds `plan` to a same-structure circuit (the variational fast path):

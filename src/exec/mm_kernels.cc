@@ -1,0 +1,46 @@
+#include "exec/mm_kernels.h"
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "exec/kernel_runs.h"
+
+namespace qkc {
+
+Matrix
+mmProduct(const Matrix& a, const Matrix& b, SimdLevel level)
+{
+    const std::size_t n = a.rows();
+    if ((n != 2 && n != 4) || a.cols() != n || b.rows() != n ||
+        b.cols() != n)
+        throw std::invalid_argument(
+            "mmProduct expects two 2x2 or two 4x4 matrices");
+
+    const KernelRunOps& ops = kernelRunOps(level);
+    Complex m[16];
+    Complex rows[4][4]; // stream r starts as row r of B, ends as row r of A*B
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) {
+            m[r * n + c] = a(r, c);
+            rows[r][c] = b(r, c);
+        }
+
+    if (n == 2)
+        ops.mat2(rows[0], rows[1], 2, m);
+    else
+        ops.mat4(rows[0], rows[1], rows[2], rows[3], 4, m);
+
+    Matrix out(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            out(r, c) = rows[r][c];
+    return out;
+}
+
+Matrix
+mmProduct(const Matrix& a, const Matrix& b)
+{
+    return mmProduct(a, b, activeSimdLevel());
+}
+
+} // namespace qkc

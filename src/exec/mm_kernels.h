@@ -1,0 +1,33 @@
+#ifndef QKC_EXEC_MM_KERNELS_H
+#define QKC_EXEC_MM_KERNELS_H
+
+#include "exec/simd.h"
+#include "linalg/matrix.h"
+
+namespace qkc {
+
+/**
+ * Dense MxM product of two 2x2 or two 4x4 operators (the operand sizes path
+ * MM nodes produce) on the SIMD run primitives: B's rows are fed as the
+ * mat2/mat4 streams with A as the sweep matrix, so row r of the result is
+ * built by the same row-accumulation loop a state sweep uses.
+ *
+ * Like every run primitive, the arithmetic is the explicit four-product
+ * complex multiply with no FMA contraction — results are bit-identical
+ * across Scalar/Avx2/Avx512. Matrix::operator* compiles under the host
+ * flags and MAY contract to FMA, so the two agree only to ~1e-12, which is
+ * why plan materialization (whose output must be bit-identical to the
+ * serial fusion pass) uses operator* and this entry point serves the
+ * benches and the kernel parity suite.
+ *
+ * Throws std::invalid_argument unless both operands are square, equal-sized
+ * and of dimension 2 or 4.
+ */
+Matrix mmProduct(const Matrix& a, const Matrix& b, SimdLevel level);
+
+/** Same, at the process-wide dispatch level (activeSimdLevel()). */
+Matrix mmProduct(const Matrix& a, const Matrix& b);
+
+} // namespace qkc
+
+#endif // QKC_EXEC_MM_KERNELS_H

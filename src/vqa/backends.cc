@@ -93,7 +93,7 @@ class SvSession final : public Session {
     SvSession(const Circuit& circuit, const BackendOptions& options)
         : Session("statevector", circuit), options_(options),
           policy_(execPolicyFrom(options)), sim_(policy_),
-          plan_(planCircuit(circuit, policy_))
+          plan_(planCircuit(circuit, policy_, options.path))
     {
         obsEnabled_ = options.obs;
     }
@@ -127,7 +127,7 @@ class SvSession final : public Session {
         probs_.reset();
         if (sameStructure && tryRebindPlan(plan_, circuit))
             return true;
-        plan_ = planCircuit(circuit, policy_);
+        plan_ = planCircuit(circuit, policy_, options_.path);
         return false;
     }
 
@@ -135,6 +135,7 @@ class SvSession final : public Session {
                                         ResultMeta& meta) override
     {
         meta.fusion = plan_.fusion;
+        stampPath(meta);
         if (circuit_.noiseCount() > 0) {
             QKC_SPAN("sv.trajectories");
             meta.trajectories += shots;
@@ -151,6 +152,7 @@ class SvSession final : public Session {
                          Rng& rng, ResultMeta& meta) override
     {
         meta.fusion = plan_.fusion;
+        stampPath(meta);
         if (circuit_.noiseCount() > 0)
             return sampledExpectation(observable, shots, rng, meta);
 
@@ -184,6 +186,7 @@ class SvSession final : public Session {
         const std::vector<std::uint64_t>& bitstrings,
         ResultMeta& meta) override
     {
+        stampPath(meta);
         if (circuit_.noiseCount() > 0)
             unsupported("Amplitudes",
                         "noisy runs are trajectory mixtures; use dm "
@@ -204,6 +207,7 @@ class SvSession final : public Session {
     std::vector<double> doProbabilities(const std::vector<std::size_t>& qubits,
                                         ResultMeta& meta) override
     {
+        stampPath(meta);
         if (circuit_.noiseCount() > 0)
             unsupported("Probabilities",
                         "the noisy state-vector path is trajectory-sampled; "
@@ -236,6 +240,16 @@ class SvSession final : public Session {
         state_ = sim_.simulatePlanned(plan_);
     }
 
+    /** meta.path from the plan's tree and its last plan/rebind tallies. */
+    void stampPath(ResultMeta& meta) const
+    {
+        meta.path.planner = pathPlannerName(plan_.path.planner);
+        meta.path.nodes = plan_.path.nodes.size();
+        meta.path.mmNodes = plan_.path.mmNodes;
+        meta.path.mmProducts = plan_.mmProducts;
+        meta.path.cachedSubtrees = plan_.cachedSubtrees;
+    }
+
     /** Lazy |amp|^2 vector: only tasks that consume it pay the sweep. */
     void ensureProbs()
     {
@@ -263,7 +277,7 @@ class DmSession final : public Session {
     DmSession(const Circuit& circuit, const BackendOptions& options)
         : Session("densitymatrix", circuit), options_(options),
           policy_(execPolicyFrom(options)), sim_(policy_),
-          plan_(planCircuitDm(circuit, policy_))
+          plan_(planCircuitDm(circuit, policy_, options.path))
     {
         obsEnabled_ = options.obs;
     }
@@ -286,7 +300,7 @@ class DmSession final : public Session {
         // certifies; the old session re-ran both inside every ensureRho).
         if (sameStructure && tryRebindDmPlan(plan_, circuit))
             return true;
-        plan_ = planCircuitDm(circuit, policy_);
+        plan_ = planCircuitDm(circuit, policy_, options_.path);
         return false;
     }
 
@@ -296,6 +310,7 @@ class DmSession final : public Session {
         ensureRho();
         meta.exact = true;
         meta.fusion = plan_.fusion;
+        stampPath(meta);
         QKC_SPAN("dm.sample");
         return StateVectorSimulator::sampleFromDistribution(*probs_, shots,
                                                             rng);
@@ -312,6 +327,7 @@ class DmSession final : public Session {
         ensureRho();
         meta.exact = true;
         meta.fusion = plan_.fusion;
+        stampPath(meta);
         QKC_SPAN("dm.trace");
         double total = 0.0;
         for (const auto& [coeff, pauli] : observable.terms) {
@@ -330,6 +346,7 @@ class DmSession final : public Session {
         ensureRho();
         meta.exact = true;
         meta.fusion = plan_.fusion;
+        stampPath(meta);
         QKC_SPAN("dm.marginal");
         return marginalizeDistribution(*probs_, circuit_.numQubits(), qubits);
     }
@@ -347,6 +364,16 @@ class DmSession final : public Session {
         QKC_SPAN("dm.simulate");
         rho_ = sim_.simulatePlanned(plan_);
         probs_ = rho_->diagonalProbabilities();
+    }
+
+    /** meta.path from the dm plan's tree and its last plan/rebind tallies. */
+    void stampPath(ResultMeta& meta) const
+    {
+        meta.path.planner = pathPlannerName(plan_.path.planner);
+        meta.path.nodes = plan_.path.nodes.size();
+        meta.path.mmNodes = plan_.path.mmNodes;
+        meta.path.mmProducts = plan_.mmProducts;
+        meta.path.cachedSubtrees = plan_.cachedSubtrees;
     }
 
     double traceRhoPauli(const PauliString& pauli) const
@@ -511,6 +538,8 @@ class DdSession final : public Session {
           sim_(ddGcOptions(options))
     {
         obsEnabled_ = options.obs;
+        if (options_.path.active())
+            path_ = planSimulationPath(circuit, options_.path);
     }
 
   protected:
@@ -545,7 +574,11 @@ class DdSession final : public Session {
 
     bool doBind(const Circuit& circuit, bool sameStructure) override
     {
-        (void)circuit;
+        // The path tree references ops by index, so it only goes stale on a
+        // structure change; simulatePath's own signature check then retires
+        // the frozen-subtree cache the old tree left protected.
+        if (options_.path.active() && !sameStructure)
+            path_ = planSimulationPath(circuit, options_.path);
         if (!options_.gc) {
             // Legacy lifecycle (gc=0): the arena pins every node for the
             // package lifetime, so carrying one package across a
@@ -594,6 +627,7 @@ class DdSession final : public Session {
         }
         ensureState();
         meta.exact = true;
+        stampPath(meta);
         QKC_SPAN("dd.sample");
         std::vector<std::uint64_t> samples;
         samples.reserve(shots);
@@ -620,6 +654,7 @@ class DdSession final : public Session {
         // <psi|phi>.
         ensureState();
         meta.exact = true;
+        stampPath(meta);
         QKC_SPAN("dd.expectation");
         DdPackage& pkg = sim_.package();
         double total = 0.0;
@@ -645,6 +680,7 @@ class DdSession final : public Session {
                         "noisy runs are trajectory mixtures");
         ensureState();
         meta.exact = true;
+        stampPath(meta);
         QKC_SPAN("dd.amplitudes");
         const DdPackage& pkg = sim_.package();
         std::vector<Complex> out;
@@ -670,6 +706,7 @@ class DdSession final : public Session {
                         "trajectory-sampled; use the density-matrix backend");
         ensureState();
         meta.exact = true;
+        stampPath(meta);
         QKC_SPAN("dd.probabilities");
         auto probs = marginalizeDistribution(
             sim_.package().probabilities(state_), circuit_.numQubits(),
@@ -776,7 +813,10 @@ class DdSession final : public Session {
         if (options_.gc && sim_.hasPackage())
             sim_.package().maybeGarbageCollect();
         QKC_SPAN("dd.build");
-        state_ = sim_.simulate(circuit_);
+        if (options_.path.active() && circuit_.noiseCount() == 0)
+            state_ = sim_.simulatePath(circuit_, path_, &pathStats_);
+        else
+            state_ = sim_.simulate(circuit_);
         if (options_.gc)
             sim_.package().protect(state_);
         built_ = true;
@@ -830,6 +870,20 @@ class DdSession final : public Session {
         taskStart_ = sim_.hasPackage() ? sim_.package().stats() : DdStats{};
     }
 
+    /** meta.path from the planned tree and the last simulatePath run. */
+    void stampPath(ResultMeta& meta) const
+    {
+        if (!options_.path.active()) {
+            meta.path.planner = pathPlannerName(PathPlanner::Linear);
+            return; // gate-by-gate build == the linear chain
+        }
+        meta.path.planner = pathPlannerName(path_.planner);
+        meta.path.nodes = path_.nodes.size();
+        meta.path.mmNodes = path_.mmNodes;
+        meta.path.mmProducts = pathStats_.mmProducts;
+        meta.path.cachedSubtrees = pathStats_.cachedSubtrees;
+    }
+
     void stampDdMemory(ResultMeta& meta)
     {
         if (!sim_.hasPackage())
@@ -853,6 +907,8 @@ class DdSession final : public Session {
 
     BackendOptions options_;
     DdSimulator sim_;
+    SimulationPath path_;   ///< planned once per structure; empty when inactive
+    DdPathStats pathStats_; ///< what the last simulatePath run did
     DdStats taskStart_{}; ///< package counters at task entry (per-task deltas)
     VEdge state_;
     bool built_ = false;

@@ -1,0 +1,155 @@
+/**
+ * Regression for the path-node fusion-boundary bug (ISSUE 10): with
+ * barrierChannels set, the fusion pass must never merge gates from both
+ * sides of a noise channel — every group stays inside one channel-free
+ * segment, so fusion never crosses a simulation-path node boundary. Also
+ * covers the per-group materialization entry point (the parallel tree-task
+ * unit) and the frozen-group predicate the rebind cache relies on.
+ */
+#include "circuit/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuit/noise.h"
+
+namespace qkc {
+namespace {
+
+/** Every source op index a group references, in no particular order. */
+std::vector<std::size_t>
+groupSources(const FusionRecipe::Group& g)
+{
+    std::vector<std::size_t> all = g.sources;
+    all.insert(all.end(), g.gateIndices.begin(), g.gateIndices.end());
+    for (const auto& stage : g.pendingHigh)
+        all.insert(all.end(), stage.begin(), stage.end());
+    for (const auto& stage : g.pendingLow)
+        all.insert(all.end(), stage.begin(), stage.end());
+    return all;
+}
+
+/** h(0); channel on the OTHER wire; h(0) — the cross-boundary bait. */
+Circuit
+baitCircuit()
+{
+    Circuit c(2);
+    c.h(0);
+    c.append(NoiseChannel::depolarizing(1, 0.02));
+    c.h(0);
+    return c;
+}
+
+TEST(FusionBoundaryTest, DefaultOptionsFuseAcrossAnUntouchedChannel)
+{
+    // Baseline documenting the behaviour the path planners must NOT get:
+    // the channel only touches q1, so the default pass carries the pending
+    // H across it and the H·H product drops as identity.
+    const Circuit fused = fuseGates(baitCircuit());
+    EXPECT_EQ(fused.gateCount(), 0u);
+    EXPECT_EQ(fused.noiseCount(), 1u);
+}
+
+TEST(FusionBoundaryTest, BarrierChannelsKeepsBothGates)
+{
+    FusionOptions options;
+    options.barrierChannels = true;
+    FusionStats stats;
+    const Circuit fused = fuseGates(baitCircuit(), options, &stats);
+    // One H on each side of the channel: nothing to merge, nothing dropped.
+    EXPECT_EQ(fused.gateCount(), 2u);
+    EXPECT_EQ(fused.noiseCount(), 1u);
+    EXPECT_EQ(stats.droppedIdentity, 0u);
+    EXPECT_EQ(stats.merged1q, 0u);
+}
+
+TEST(FusionBoundaryTest, NoGroupSpansAChannel)
+{
+    // A denser bait: pendings on both wires and a 2q chain candidate
+    // interrupted by a channel in the middle.
+    Circuit c(2);
+    c.h(0).t(1).zz(0, 1, 0.4);
+    c.append(NoiseChannel::phaseFlip(0, 0.01));
+    c.s(1).cnot(0, 1).h(0);
+    const std::size_t channelIdx = 3;
+
+    FusionOptions options;
+    options.barrierChannels = true;
+    const FusionRecipe recipe = planFusion(c, options);
+    for (const auto& g : recipe.groups) {
+        if (g.kind == FusionRecipe::Group::Kind::Channel)
+            continue;
+        const auto sources = groupSources(g);
+        ASSERT_FALSE(sources.empty());
+        bool before = true;
+        bool after = true;
+        for (std::size_t s : sources) {
+            EXPECT_NE(s, channelIdx);
+            before = before && s < channelIdx;
+            after = after && s > channelIdx;
+        }
+        EXPECT_TRUE(before || after)
+            << "group fuses ops from both sides of the channel";
+    }
+}
+
+TEST(FusionBoundaryTest, GroupMaterializationMatchesWholeCircuitPass)
+{
+    Circuit c(3);
+    c.h(0).t(0).cnot(0, 1).rz(1, 0.3);
+    c.append(NoiseChannel::amplitudeDamping(2, 0.05));
+    c.zz(1, 2, 0.7).cnot(1, 2).h(2);
+
+    FusionOptions options;
+    options.barrierChannels = true;
+    const FusionRecipe recipe = planFusion(c, options);
+    FusionStats stats;
+    const auto whole = materializeFusion(recipe, c, &stats);
+    ASSERT_TRUE(whole.has_value());
+
+    // Concatenating the per-group results in group order rebuilds exactly
+    // the whole-pass output — the property that makes the groups safe to
+    // evaluate as parallel tree tasks.
+    std::vector<Operation> emitted;
+    for (std::size_t g = 0; g < recipe.groups.size(); ++g) {
+        const GroupResult r = materializeGroup(recipe, g, c);
+        ASSERT_TRUE(r.ok) << "group " << g;
+        if (!r.emitted)
+            continue;
+        ASSERT_TRUE(r.op.has_value());
+        emitted.push_back(*r.op);
+    }
+    ASSERT_EQ(emitted.size(), whole->size());
+    for (std::size_t i = 0; i < emitted.size(); ++i) {
+        const auto& a = emitted[i];
+        const auto& b = whole->operations()[i];
+        ASSERT_EQ(a.index(), b.index()) << "op " << i;
+        if (const auto* ga = std::get_if<Gate>(&a)) {
+            const auto* gb = std::get_if<Gate>(&b);
+            EXPECT_EQ(ga->qubits(), gb->qubits());
+            const Matrix ma = ga->unitary();
+            const Matrix mb = gb->unitary();
+            ASSERT_EQ(ma.rows(), mb.rows());
+            for (std::size_t r = 0; r < ma.rows(); ++r)
+                for (std::size_t col = 0; col < ma.cols(); ++col)
+                    EXPECT_EQ(ma(r, col), mb(r, col));
+        }
+    }
+}
+
+TEST(FusionBoundaryTest, FrozenPredicate)
+{
+    Circuit c(2);
+    c.h(0).t(0);          // fixed 1q chain -> frozen
+    c.rz(1, 0.4).h(1);    // parameterized source -> not frozen
+    c.append(NoiseChannel::bitFlip(0, 0.01)); // channels never frozen
+    const FusionRecipe recipe = planFusion(c, {});
+    ASSERT_EQ(recipe.groups.size(), 3u);
+    EXPECT_TRUE(groupIsFrozen(recipe.groups[0], c));
+    EXPECT_FALSE(groupIsFrozen(recipe.groups[1], c));
+    EXPECT_FALSE(groupIsFrozen(recipe.groups[2], c));
+}
+
+} // namespace
+} // namespace qkc

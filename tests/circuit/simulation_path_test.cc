@@ -1,0 +1,228 @@
+/**
+ * SimulationPath lowering (ISSUE 10): planner parsing, the tree invariants
+ * every executor relies on (children precede parents, channels are spine
+ * barriers, circuit order preserved), and the per-planner tree shapes.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "circuit/noise.h"
+#include "circuit/simulation_path.h"
+
+namespace qkc {
+namespace {
+
+using Kind = SimulationPath::Node::Kind;
+
+/** Children precede their parent; Op leaves have no children; one State. */
+void
+checkInvariants(const SimulationPath& path, const Circuit& circuit)
+{
+    ASSERT_FALSE(path.empty());
+    ASSERT_GE(path.root, 0);
+    ASSERT_LT(static_cast<std::size_t>(path.root), path.nodes.size());
+    std::size_t states = 0;
+    std::size_t mm = 0;
+    for (std::size_t i = 0; i < path.nodes.size(); ++i) {
+        const auto& n = path.nodes[i];
+        if (n.kind == Kind::State) {
+            states++;
+            EXPECT_EQ(i, 0u);
+        }
+        if (n.kind == Kind::Op) {
+            EXPECT_LT(n.opIndex, circuit.size());
+        }
+        if (n.kind == Kind::MM || n.kind == Kind::MV) {
+            if (n.kind == Kind::MM)
+                mm++;
+            ASSERT_GE(n.left, 0);
+            ASSERT_GE(n.right, 0);
+            EXPECT_LT(n.left, static_cast<std::ptrdiff_t>(i));
+            EXPECT_LT(n.right, static_cast<std::ptrdiff_t>(i));
+        }
+    }
+    EXPECT_EQ(states, 1u);
+    EXPECT_EQ(mm, path.mmNodes);
+}
+
+/** In-order op indices of an operator subtree (earlier-applied first). */
+void
+collectOps(const SimulationPath& path, std::ptrdiff_t node,
+           std::vector<std::size_t>& out)
+{
+    const auto& n = path.nodes[static_cast<std::size_t>(node)];
+    if (n.kind == Kind::Op) {
+        out.push_back(n.opIndex);
+        return;
+    }
+    ASSERT_EQ(n.kind, Kind::MM);
+    collectOps(path, n.left, out); // left = applied earlier
+    collectOps(path, n.right, out);
+}
+
+/** Walking the spine MV by MV yields the ops in circuit order. */
+std::vector<std::size_t>
+spineOrder(const SimulationPath& path)
+{
+    std::vector<std::size_t> order;
+    std::function<void(std::ptrdiff_t)> walk = [&](std::ptrdiff_t node) {
+        const auto& n = path.nodes[static_cast<std::size_t>(node)];
+        if (n.kind == Kind::State)
+            return;
+        walk(n.left);
+        collectOps(path, n.right, order);
+    };
+    walk(path.root);
+    return order;
+}
+
+Circuit
+chain4()
+{
+    Circuit c(2);
+    c.h(0).cnot(0, 1).rz(1, 0.3).x(0);
+    return c;
+}
+
+TEST(PathParseTest, AcceptsTheDocumentedForms)
+{
+    PathOptions o;
+    EXPECT_TRUE(parsePathPlanner("auto", &o));
+    EXPECT_EQ(o.planner, PathPlanner::Auto);
+    EXPECT_TRUE(parsePathPlanner("linear", &o));
+    EXPECT_EQ(o.planner, PathPlanner::Linear);
+    EXPECT_TRUE(parsePathPlanner("pairwise", &o));
+    EXPECT_EQ(o.planner, PathPlanner::Pairwise);
+    EXPECT_TRUE(parsePathPlanner("bracket", &o));
+    EXPECT_EQ(o.planner, PathPlanner::Bracket);
+    EXPECT_EQ(o.bracket, 4u);
+    EXPECT_TRUE(parsePathPlanner("bracket2", &o));
+    EXPECT_EQ(o.bracket, 2u);
+    EXPECT_TRUE(parsePathPlanner("bracket16", &o));
+    EXPECT_EQ(o.bracket, 16u);
+}
+
+TEST(PathParseTest, RejectsEverythingElse)
+{
+    PathOptions o;
+    o.planner = PathPlanner::Linear;
+    EXPECT_FALSE(parsePathPlanner("", &o));
+    EXPECT_FALSE(parsePathPlanner("Pairwise", &o));
+    EXPECT_FALSE(parsePathPlanner("bracket1", &o));
+    EXPECT_FALSE(parsePathPlanner("bracket0", &o));
+    EXPECT_FALSE(parsePathPlanner("bracketx", &o));
+    EXPECT_FALSE(parsePathPlanner("bracket-2", &o));
+    EXPECT_FALSE(parsePathPlanner("1", &o));
+    // A failed parse must not have written the output.
+    EXPECT_EQ(o.planner, PathPlanner::Linear);
+}
+
+TEST(PathParseTest, LabelsRoundTrip)
+{
+    PathOptions o;
+    ASSERT_TRUE(parsePathPlanner("bracket8", &o));
+    EXPECT_EQ(pathOptionLabel(o), "bracket8");
+    ASSERT_TRUE(parsePathPlanner("pairwise", &o));
+    EXPECT_EQ(pathOptionLabel(o), "pairwise");
+    EXPECT_STREQ(pathPlannerName(PathPlanner::Pairwise), "pairwise");
+    EXPECT_STREQ(pathPlannerName(PathPlanner::Linear), "linear");
+}
+
+TEST(PathPlanTest, LinearDegeneratesToAChain)
+{
+    const Circuit c = chain4();
+    PathOptions o;
+    o.planner = PathPlanner::Linear;
+    const SimulationPath path = planSimulationPath(c, o);
+    checkInvariants(path, c);
+    // 1 state + 4 op leaves + 4 MV nodes, zero MM nodes.
+    EXPECT_EQ(path.nodes.size(), 9u);
+    EXPECT_EQ(path.mmNodes, 0u);
+    EXPECT_EQ(path.planner, PathPlanner::Linear);
+    EXPECT_EQ(spineOrder(path), (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(PathPlanTest, AutoResolvesToLinear)
+{
+    const SimulationPath path = planSimulationPath(chain4(), PathOptions{});
+    EXPECT_EQ(path.planner, PathPlanner::Linear);
+    EXPECT_EQ(path.mmNodes, 0u);
+}
+
+TEST(PathPlanTest, PairwiseHalvesTheSegment)
+{
+    const Circuit c = chain4();
+    PathOptions o;
+    o.planner = PathPlanner::Pairwise;
+    const SimulationPath path = planSimulationPath(c, o);
+    checkInvariants(path, c);
+    // 4 gates fold into one operator: 3 MM nodes, a single spine apply.
+    EXPECT_EQ(path.mmNodes, 3u);
+    std::size_t mv = 0;
+    for (const auto& n : path.nodes)
+        if (n.kind == Kind::MV)
+            mv++;
+    EXPECT_EQ(mv, 1u);
+    EXPECT_EQ(spineOrder(path), (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(PathPlanTest, BracketFoldsFixedWindows)
+{
+    Circuit c(2);
+    c.h(0).cnot(0, 1).rz(1, 0.3).x(0).h(1); // 5 gates
+    PathOptions o;
+    ASSERT_TRUE(parsePathPlanner("bracket2", &o));
+    const SimulationPath path = planSimulationPath(c, o);
+    checkInvariants(path, c);
+    // Windows [0,1] [2,3] [4]: two MM folds, three spine applies.
+    EXPECT_EQ(path.mmNodes, 2u);
+    std::size_t mv = 0;
+    for (const auto& n : path.nodes)
+        if (n.kind == Kind::MV)
+            mv++;
+    EXPECT_EQ(mv, 3u);
+    EXPECT_EQ(spineOrder(path), (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(PathPlanTest, ChannelsAreSpineBarriers)
+{
+    Circuit c(2);
+    c.h(0).cnot(0, 1);
+    c.append(NoiseChannel::depolarizing(0, 0.01));
+    c.h(0).cnot(0, 1);
+    PathOptions o;
+    o.planner = PathPlanner::Pairwise;
+    const SimulationPath path = planSimulationPath(c, o);
+    checkInvariants(path, c);
+    // Two 2-gate segments fold (one MM each); the channel is its own
+    // spine apply, never under an MM node.
+    EXPECT_EQ(path.mmNodes, 2u);
+    for (const auto& n : path.nodes) {
+        if (n.kind != Kind::MM)
+            continue;
+        std::vector<std::size_t> ops;
+        collectOps(path, n.left, ops);
+        collectOps(path, n.right, ops);
+        for (std::size_t op : ops)
+            EXPECT_TRUE(
+                std::holds_alternative<Gate>(c.operations()[op]));
+    }
+    EXPECT_EQ(spineOrder(path), (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(PathPlanTest, EmptyCircuitIsJustTheState)
+{
+    Circuit c(3);
+    PathOptions o;
+    o.planner = PathPlanner::Pairwise;
+    const SimulationPath path = planSimulationPath(c, o);
+    ASSERT_EQ(path.nodes.size(), 1u);
+    EXPECT_EQ(path.nodes[0].kind, Kind::State);
+    EXPECT_EQ(path.root, 0);
+    EXPECT_EQ(path.mmNodes, 0u);
+}
+
+} // namespace
+} // namespace qkc

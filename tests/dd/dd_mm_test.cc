@@ -1,0 +1,176 @@
+/**
+ * DdPackage::multiplyMM and the path executor (ISSUE 10): matrix-matrix
+ * fusion must agree with sequential applies, memoize in its own compute
+ * table, reject misaligned operands, keep protected intermediates across
+ * GC, and serve frozen path subtrees from cache on repeat runs.
+ */
+#include "dd/dd_package.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/noise.h"
+#include "circuit/simulation_path.h"
+#include "dd/dd_simulator.h"
+
+namespace qkc {
+namespace {
+
+Matrix
+hadamard()
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    return Matrix{{Complex(s, 0.0), Complex(s, 0.0)},
+                  {Complex(s, 0.0), Complex(-s, 0.0)}};
+}
+
+/** CNOT with qubits[0] (the MSB of the local basis) as control. */
+Matrix
+cnotMatrix()
+{
+    Matrix m(4, 4);
+    m(0, 0) = Complex(1.0, 0.0);
+    m(1, 1) = Complex(1.0, 0.0);
+    m(2, 3) = Complex(1.0, 0.0);
+    m(3, 2) = Complex(1.0, 0.0);
+    return m;
+}
+
+TEST(DdMmTest, MultiplyMMFusesTwoGates)
+{
+    DdPackage pkg(2);
+    const MEdge h = pkg.makeGateDd(hadamard(), {0});
+    const MEdge cnot = pkg.makeGateDd(cnotMatrix(), {0, 1});
+
+    // multiplyMM(a, b) is "a applied after b": one fused operator equals
+    // the gate-by-gate build of the Bell state.
+    const MEdge fused = pkg.multiplyMM(cnot, h);
+    const VEdge viaFused = pkg.apply(fused, pkg.makeZeroState());
+    const VEdge viaSeq = pkg.apply(cnot, pkg.apply(h, pkg.makeZeroState()));
+    for (std::uint64_t basis = 0; basis < 4; ++basis)
+        EXPECT_TRUE(approxEqual(pkg.amplitude(viaFused, basis),
+                                pkg.amplitude(viaSeq, basis), 1e-12))
+            << "basis " << basis;
+}
+
+TEST(DdMmTest, MmComputeTableServesRepeats)
+{
+    DdPackage pkg(3);
+    const MEdge h = pkg.makeGateDd(hadamard(), {1});
+    const MEdge cnot = pkg.makeGateDd(cnotMatrix(), {1, 2});
+    (void)pkg.multiplyMM(cnot, h);
+    const std::size_t hitsBefore = pkg.stats().mmHits;
+    (void)pkg.multiplyMM(cnot, h);
+    EXPECT_GT(pkg.stats().mmHits, hitsBefore);
+
+    pkg.clearComputeTables();
+    const std::size_t missesBefore = pkg.stats().mmMisses;
+    (void)pkg.multiplyMM(cnot, h);
+    EXPECT_GT(pkg.stats().mmMisses, missesBefore);
+}
+
+TEST(DdMmTest, RejectsMisalignedLevels)
+{
+    DdPackage pkg(2);
+    const MEdge h = pkg.makeGateDd(hadamard(), {0});
+    const MEdge terminal{nullptr, Complex(1.0, 0.0)};
+    EXPECT_THROW((void)pkg.addM(h, terminal), std::logic_error);
+    EXPECT_THROW((void)pkg.multiplyMM(h, terminal), std::logic_error);
+}
+
+TEST(DdMmTest, ProtectedProductSurvivesGarbageCollection)
+{
+    DdPackage pkg(2);
+    const MEdge h = pkg.makeGateDd(hadamard(), {0});
+    const MEdge cnot = pkg.makeGateDd(cnotMatrix(), {0, 1});
+    const MEdge fused = pkg.multiplyMM(cnot, h);
+    pkg.protect(fused);
+
+    (void)pkg.garbageCollect();
+
+    const VEdge state = pkg.apply(fused, pkg.makeZeroState());
+    const double s = 1.0 / std::sqrt(2.0);
+    EXPECT_TRUE(approxEqual(pkg.amplitude(state, 0), Complex(s, 0.0), 1e-12));
+    EXPECT_TRUE(approxEqual(pkg.amplitude(state, 3), Complex(s, 0.0), 1e-12));
+    pkg.unprotect(fused);
+}
+
+/** Layered fixed+parameterized circuit the path planners can fold. */
+Circuit
+layeredCircuit(std::size_t n, double theta)
+{
+    Circuit c(n);
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(q);
+    for (std::size_t q = 0; q + 1 < n; ++q)
+        c.cnot(q, q + 1);
+    for (std::size_t q = 0; q < n; ++q)
+        c.rz(q, theta + 0.1 * static_cast<double>(q));
+    return c;
+}
+
+TEST(DdMmTest, SimulatePathMatchesGateByGateBuild)
+{
+    const Circuit c = layeredCircuit(5, 0.3);
+    PathOptions o;
+    ASSERT_TRUE(parsePathPlanner("pairwise", &o));
+    const SimulationPath path = planSimulationPath(c, o);
+
+    DdSimulator linear;
+    const VEdge want = linear.simulate(c);
+    DdSimulator paired;
+    DdPathStats stats;
+    const VEdge got = paired.simulatePath(c, path, &stats);
+
+    EXPECT_GT(stats.mmProducts, 0u);
+    for (std::uint64_t basis = 0; basis < 32; ++basis)
+        EXPECT_TRUE(approxEqual(linear.package().amplitude(want, basis),
+                                paired.package().amplitude(got, basis), 1e-9))
+            << "basis " << basis;
+}
+
+TEST(DdMmTest, RepeatRunServesFrozenSubtrees)
+{
+    // All-fixed circuit: every MM subtree is frozen, so the second run
+    // (same structure, same path) comes from the protected cache.
+    Circuit c(4);
+    for (std::size_t q = 0; q < 4; ++q)
+        c.h(q);
+    for (std::size_t q = 0; q + 1 < 4; ++q)
+        c.cnot(q, q + 1);
+    PathOptions o;
+    ASSERT_TRUE(parsePathPlanner("pairwise", &o));
+    const SimulationPath path = planSimulationPath(c, o);
+
+    DdSimulator sim;
+    DdPathStats first;
+    (void)sim.simulatePath(c, path, &first);
+    EXPECT_EQ(first.cachedSubtrees, 0u);
+    DdPathStats second;
+    (void)sim.simulatePath(c, path, &second);
+    EXPECT_GT(second.cachedSubtrees, 0u);
+    EXPECT_LT(second.mmProducts, first.mmProducts);
+
+    sim.clearPathCache();
+    DdPathStats third;
+    (void)sim.simulatePath(c, path, &third);
+    EXPECT_EQ(third.cachedSubtrees, 0u);
+}
+
+TEST(DdMmTest, SimulatePathRejectsNoisyCircuits)
+{
+    Circuit c(2);
+    c.h(0);
+    c.append(NoiseChannel::bitFlip(0, 0.05));
+    c.cnot(0, 1);
+    PathOptions o;
+    ASSERT_TRUE(parsePathPlanner("pairwise", &o));
+    const SimulationPath path = planSimulationPath(c, o);
+    DdSimulator sim;
+    EXPECT_THROW((void)sim.simulatePath(c, path), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qkc

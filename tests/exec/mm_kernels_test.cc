@@ -1,0 +1,112 @@
+/**
+ * MxM run-primitive kernels (ISSUE 10): mmProduct on the SIMD dispatch
+ * levels must agree with Matrix::operator* to arithmetic tolerance, be
+ * bit-identical across every level the host supports (the run primitives
+ * never FMA-contract), and reject operand shapes path MM nodes never
+ * produce.
+ */
+#include "exec/mm_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "exec/simd.h"
+#include "util/rng.h"
+
+namespace qkc {
+namespace {
+
+Matrix
+randomMatrix(std::size_t dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(dim, dim);
+    for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t c = 0; c < dim; ++c)
+            m(r, c) = Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    return m;
+}
+
+/** Dispatch levels actually runnable on this host. */
+std::vector<SimdLevel>
+supportedLevels()
+{
+    std::vector<SimdLevel> levels = {SimdLevel::Scalar};
+    if (activeSimdLevel() >= SimdLevel::Avx2)
+        levels.push_back(SimdLevel::Avx2);
+    if (activeSimdLevel() >= SimdLevel::Avx512)
+        levels.push_back(SimdLevel::Avx512);
+    return levels;
+}
+
+TEST(MmKernelsTest, MatchesOperatorStarTwoByTwo)
+{
+    const Matrix a = randomMatrix(2, 11);
+    const Matrix b = randomMatrix(2, 12);
+    const Matrix want = a * b;
+    for (SimdLevel level : supportedLevels()) {
+        const Matrix got = mmProduct(a, b, level);
+        EXPECT_TRUE(got.approxEqual(want, 1e-12))
+            << "level " << simdLevelName(level);
+    }
+}
+
+TEST(MmKernelsTest, MatchesOperatorStarFourByFour)
+{
+    const Matrix a = randomMatrix(4, 21);
+    const Matrix b = randomMatrix(4, 22);
+    const Matrix want = a * b;
+    for (SimdLevel level : supportedLevels()) {
+        const Matrix got = mmProduct(a, b, level);
+        EXPECT_TRUE(got.approxEqual(want, 1e-12))
+            << "level " << simdLevelName(level);
+    }
+}
+
+TEST(MmKernelsTest, BitIdenticalAcrossLevels)
+{
+    for (std::size_t dim : {std::size_t{2}, std::size_t{4}}) {
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+            const Matrix a = randomMatrix(dim, seed);
+            const Matrix b = randomMatrix(dim, seed + 100);
+            const Matrix scalar = mmProduct(a, b, SimdLevel::Scalar);
+            for (SimdLevel level : supportedLevels()) {
+                const Matrix got = mmProduct(a, b, level);
+                for (std::size_t r = 0; r < dim; ++r)
+                    for (std::size_t c = 0; c < dim; ++c)
+                        EXPECT_EQ(got(r, c), scalar(r, c))
+                            << simdLevelName(level) << " dim " << dim
+                            << " seed " << seed << " (" << r << "," << c
+                            << ")";
+            }
+        }
+    }
+}
+
+TEST(MmKernelsTest, DispatchOverloadUsesActiveLevel)
+{
+    const Matrix a = randomMatrix(4, 31);
+    const Matrix b = randomMatrix(4, 32);
+    const Matrix viaDispatch = mmProduct(a, b);
+    const Matrix viaLevel = mmProduct(a, b, activeSimdLevel());
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(viaDispatch(r, c), viaLevel(r, c));
+}
+
+TEST(MmKernelsTest, RejectsUnsupportedShapes)
+{
+    EXPECT_THROW(mmProduct(randomMatrix(3, 1), randomMatrix(3, 2)),
+                 std::invalid_argument);
+    EXPECT_THROW(mmProduct(randomMatrix(8, 1), randomMatrix(8, 2)),
+                 std::invalid_argument);
+    EXPECT_THROW(mmProduct(randomMatrix(2, 1), randomMatrix(4, 2)),
+                 std::invalid_argument);
+    Matrix rect(2, 4);
+    EXPECT_THROW(mmProduct(rect, rect), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qkc

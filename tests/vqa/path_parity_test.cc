@@ -1,0 +1,257 @@
+/**
+ * Cross-path parity (ISSUE 10): pairwise/bracket planners must not change
+ * any dense payload bit (sv/dm), must agree with the dd gate-by-gate build
+ * to 1e-9 total variation while measurably reducing apply-table lookups,
+ * and the path option must flow through the registry, the sessions'
+ * meta.path stamps and the batched rebind cache.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "circuit/noise.h"
+#include "util/rng.h"
+#include "vqa/backends.h"
+
+namespace qkc {
+namespace {
+
+/** H layer, ZZ ring, RX layer — a one-iteration QAOA shape. */
+Circuit
+qaoaLike(std::size_t n, double gamma, double beta)
+{
+    Circuit c(n);
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(q);
+    for (std::size_t q = 0; q < n; ++q)
+        c.zz(q, (q + 1) % n, gamma);
+    for (std::size_t q = 0; q < n; ++q)
+        c.rx(q, beta);
+    return c;
+}
+
+/** 64 alternating Rz / CNOT-ladder layers — deep but DD-structured. */
+Circuit
+depth64Circuit(std::size_t n)
+{
+    Circuit c(n);
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(q);
+    for (std::size_t layer = 0; layer < 64; ++layer) {
+        if (layer % 2 == 0) {
+            for (std::size_t q = 0; q < n; ++q)
+                c.rz(q, 0.1 + 0.01 * static_cast<double>(layer));
+        } else {
+            for (std::size_t q = 0; q + 1 < n; ++q)
+                c.cnot(q, q + 1);
+        }
+    }
+    return c;
+}
+
+Result
+runTask(const std::string& spec, const Circuit& c, const Task& task,
+        std::uint64_t seed)
+{
+    auto backend = makeBackend(spec);
+    auto session = backend->open(c);
+    Rng rng(seed);
+    return session->run(task, rng);
+}
+
+double
+totalVariation(const std::vector<double>& p, const std::vector<double>& q)
+{
+    EXPECT_EQ(p.size(), q.size());
+    double tv = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+        tv += std::abs(p[i] - q[i]);
+    return tv / 2.0;
+}
+
+TEST(PathParityTest, SvPlannersAreBitIdentical)
+{
+    const Circuit c = qaoaLike(5, 0.7, 0.4);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        const std::string base =
+            "statevector:threads=" + std::to_string(threads) + ",path=";
+        const Result linear = runTask(base + "linear", c, Sample{256}, 11);
+        const Result pairwise = runTask(base + "pairwise", c, Sample{256}, 11);
+        const Result bracket = runTask(base + "bracket4", c, Sample{256}, 11);
+        EXPECT_EQ(linear.samples, pairwise.samples) << threads << " threads";
+        EXPECT_EQ(linear.samples, bracket.samples) << threads << " threads";
+
+        const Result lp = runTask(base + "linear", c, Probabilities{}, 12);
+        const Result pp = runTask(base + "pairwise", c, Probabilities{}, 12);
+        ASSERT_EQ(lp.probabilities.size(), pp.probabilities.size());
+        for (std::size_t i = 0; i < lp.probabilities.size(); ++i)
+            EXPECT_EQ(lp.probabilities[i], pp.probabilities[i])
+                << "basis " << i << ", " << threads << " threads";
+    }
+}
+
+TEST(PathParityTest, DmPlannersAreBitIdentical)
+{
+    const Circuit c = qaoaLike(4, 0.5, 0.3);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        const std::string base =
+            "densitymatrix:threads=" + std::to_string(threads) + ",path=";
+        const Result linear = runTask(base + "linear", c, Sample{128}, 21);
+        const Result pairwise = runTask(base + "pairwise", c, Sample{128}, 21);
+        const Result bracket = runTask(base + "bracket4", c, Sample{128}, 21);
+        EXPECT_EQ(linear.samples, pairwise.samples) << threads << " threads";
+        EXPECT_EQ(linear.samples, bracket.samples) << threads << " threads";
+    }
+}
+
+TEST(PathParityTest, DmNoisyPairwiseMatchesLinearDistribution)
+{
+    // With channels in play the planners fuse different segments (barriers
+    // vs carry-across), so the kernel streams differ and parity is
+    // arithmetic, not bitwise.
+    Circuit c = qaoaLike(3, 0.6, 0.2).withNoiseAfterEachGate(
+        NoiseKind::Depolarizing, 0.01);
+    const Result linear =
+        runTask("densitymatrix:path=linear", c, Probabilities{}, 31);
+    const Result pairwise =
+        runTask("densitymatrix:path=pairwise", c, Probabilities{}, 31);
+    EXPECT_LE(totalVariation(linear.probabilities, pairwise.probabilities),
+              1e-9);
+}
+
+TEST(PathParityTest, DdPairwiseMatchesLinearDistribution)
+{
+    const Circuit c = qaoaLike(5, 0.7, 0.4);
+    const Result linear =
+        runTask("decisiondiagram:path=linear", c, Probabilities{}, 41);
+    const Result pairwise =
+        runTask("decisiondiagram:path=pairwise", c, Probabilities{}, 41);
+    EXPECT_LE(totalVariation(linear.probabilities, pairwise.probabilities),
+              1e-9);
+    EXPECT_EQ(pairwise.meta.path.planner, "pairwise");
+    EXPECT_GT(pairwise.meta.path.nodes, 0u);
+    EXPECT_GT(pairwise.meta.path.mmNodes, 0u);
+    EXPECT_GT(pairwise.meta.path.mmProducts, 0u);
+}
+
+TEST(PathParityTest, MetaPathStamps)
+{
+    const Circuit c = qaoaLike(4, 0.3, 0.6);
+
+    const Result sv = runTask("statevector:path=pairwise", c, Sample{32}, 51);
+    EXPECT_EQ(sv.meta.path.planner, "pairwise");
+    EXPECT_GT(sv.meta.path.nodes, 0u);
+    EXPECT_GT(sv.meta.path.mmNodes, 0u);
+    EXPECT_GT(sv.meta.path.mmProducts, 0u);
+
+    const Result svLinear = runTask("statevector", c, Sample{32}, 51);
+    EXPECT_EQ(svLinear.meta.path.planner, "linear");
+    EXPECT_EQ(svLinear.meta.path.mmNodes, 0u);
+
+    const Result dm =
+        runTask("densitymatrix:path=bracket4", c, Sample{32}, 52);
+    EXPECT_EQ(dm.meta.path.planner, "bracket");
+    EXPECT_GT(dm.meta.path.mmNodes, 0u);
+
+    const Result dd = runTask("decisiondiagram", c, Sample{32}, 53);
+    EXPECT_EQ(dd.meta.path.planner, "linear");
+    EXPECT_EQ(dd.meta.path.mmNodes, 0u);
+}
+
+TEST(PathParityTest, DdBatchReusesPlanAndFrozenSubtrees)
+{
+    const Circuit c = qaoaLike(4, 0.3, 0.3);
+    auto backend = makeBackend("decisiondiagram:path=pairwise,threads=2");
+    auto session = backend->open(c);
+
+    const auto paramIdx = c.parameterizedGateIndices();
+    ASSERT_FALSE(paramIdx.empty());
+    std::vector<ParamBinding> bindings;
+    for (std::size_t b = 0; b < 8; ++b) {
+        Circuit bound = c;
+        for (std::size_t idx : paramIdx)
+            bound.setGateParam(idx, 0.2 + 0.05 * static_cast<double>(b));
+        bindings.push_back(std::move(bound));
+    }
+
+    Rng rng(61);
+    const auto results = session->runBatch(bindings, Sample{64}, rng);
+    ASSERT_EQ(results.size(), 8u);
+    EXPECT_GT(session->planReuses(), 0u);
+
+    // The H prefix is parameter-free: its MM subtrees stay frozen across
+    // the sweep, so rebound bindings serve them from the protected cache.
+    const bool anyCached = std::any_of(
+        results.begin(), results.end(), [](const Result& r) {
+            return r.meta.path.cachedSubtrees > 0;
+        });
+    EXPECT_TRUE(anyCached);
+}
+
+TEST(PathParityTest, DdDepth64PairwiseReducesApplyLookups)
+{
+    const Circuit c = depth64Circuit(6);
+    const Result linear =
+        runTask("decisiondiagram:path=linear", c, Sample{64}, 71);
+    const Result pairwise =
+        runTask("decisiondiagram:path=pairwise", c, Sample{64}, 71);
+
+    // Same sampled distribution...
+    const Result lp =
+        runTask("decisiondiagram:path=linear", c, Probabilities{}, 72);
+    const Result pp =
+        runTask("decisiondiagram:path=pairwise", c, Probabilities{}, 72);
+    EXPECT_LE(totalVariation(lp.probabilities, pp.probabilities), 1e-9);
+
+    // ...for measurably fewer apply-table lookups: the MxM folds go
+    // through their own compute table, so the final spine applies are a
+    // fraction of the 300+ gate-by-gate sweeps.
+    const std::size_t linearLookups = linear.meta.ddMemory.taskApply.lookups();
+    const std::size_t pairwiseLookups =
+        pairwise.meta.ddMemory.taskApply.lookups();
+    EXPECT_GT(linearLookups, 0u);
+    EXPECT_LT(pairwiseLookups, linearLookups);
+}
+
+TEST(PathParityTest, TnAndKcRejectThePathOption)
+{
+    try {
+        parseBackendSpec("tensornetwork:path=pairwise");
+        FAIL() << "tensornetwork accepted path=";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("contraction order"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        parseBackendSpec("knowledgecompilation:path=linear");
+        FAIL() << "knowledgecompilation accepted path=";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("no simulation path"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(PathParityTest, RegistryAdvertisesPathWhereSupported)
+{
+    for (const auto& info : backendRegistry()) {
+        const bool hasPath =
+            std::find(info.optionKeys.begin(), info.optionKeys.end(),
+                      "path") != info.optionKeys.end();
+        const bool shouldHave = info.name == "statevector" ||
+                                info.name == "densitymatrix" ||
+                                info.name == "decisiondiagram";
+        EXPECT_EQ(hasPath, shouldHave) << info.name;
+    }
+    EXPECT_NO_THROW(parseBackendSpec("statevector:path=bracket8"));
+    EXPECT_THROW(parseBackendSpec("statevector:path=bogus"),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace qkc
